@@ -1,0 +1,383 @@
+// Benchmarks regenerating the performance-relevant side of every paper
+// artifact (Figures 4-8, Table 1, the demo scenarios) plus the extension
+// sweeps S1-S4 and ablations of DESIGN.md §6. Run with:
+//
+//	go test -bench=. -benchmem
+package mdm_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mdm"
+	"mdm/internal/bdi"
+	"mdm/internal/rdf"
+	"mdm/internal/rdf/turtle"
+	"mdm/internal/relalg"
+	"mdm/internal/rewrite"
+	"mdm/internal/rewrite/gav"
+	"mdm/internal/schema"
+	"mdm/internal/sparql"
+	"mdm/internal/usecase"
+	"mdm/internal/wrapper"
+)
+
+// --- Figure 5: global graph construction ---
+
+func BenchmarkFig5GlobalGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := bdi.New()
+		ex := "http://ex.org/"
+		for c := 0; c < 4; c++ {
+			concept := rdf.IRI(fmt.Sprintf("%sC%d", ex, c))
+			if err := o.AddConcept(concept, "concept"); err != nil {
+				b.Fatal(err)
+			}
+			for f := 0; f < 5; f++ {
+				feat := rdf.IRI(fmt.Sprintf("%sC%d_f%d", ex, c, f))
+				if err := o.AddFeature(feat, "feature"); err != nil {
+					b.Fatal(err)
+				}
+				if err := o.AttachFeature(concept, feat); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := o.MarkIdentifier(rdf.IRI(fmt.Sprintf("%sC%d_f0", ex, c))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 6: source graph construction via schema extraction ---
+
+var playersPayload = []byte(`[
+ {"id":6176,"name":"Lionel Messi","height":170.18,"weight":159,"rating":94,"preferred_foot":"left","team_id":25},
+ {"id":7011,"name":"Robert Lewandowski","height":184.0,"weight":176,"rating":91,"preferred_foot":"right","team_id":27}
+]`)
+
+func BenchmarkFig6SourceGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := bdi.New()
+		if err := o.AddDataSource("players-api", "Players API"); err != nil {
+			b.Fatal(err)
+		}
+		sig, _, err := schema.ExtractSignature("w1", schema.FormatJSON, playersPayload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := o.RegisterWrapper("players-api", sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: LAV mapping definition (incl. validation) ---
+
+func BenchmarkFig7LAVMappings(b *testing.B) {
+	f := usecase.MustNew()
+	m, ok := f.Ont.MappingOf("w1")
+	if !ok {
+		b.Fatal("w1 mapping missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Ont.DefineMapping(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 8: query rewriting (walk -> SPARQL + UCQ plan) ---
+
+func BenchmarkFig8Rewriting(b *testing.B) {
+	f := usecase.MustNew()
+	r := rewrite.New(f.Ont, f.Reg)
+	walk := usecase.Fig8Walk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Rewrite(walk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1: rewrite + federated execution of the exemplary query ---
+
+func BenchmarkTable1Query(b *testing.B) {
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	ctx := context.Background()
+	walk := usecase.Fig8Walk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, _, err := sys.Query(ctx, walk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.Len() != 5 {
+			b.Fatalf("rows = %d", rel.Len())
+		}
+	}
+}
+
+// --- Demo scenario 2: the 4-concept nationality OMQ ---
+
+func BenchmarkNationalityQuery(b *testing.B) {
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	ctx := context.Background()
+	walk := usecase.NationalityWalk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, _, err := sys.Query(ctx, walk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.Len() != 2 {
+			b.Fatalf("rows = %d", rel.Len())
+		}
+	}
+}
+
+// --- Demo scenario 3: rewriting under two coexisting schema versions ---
+
+func BenchmarkEvolutionRewrite(b *testing.B) {
+	f := usecase.MustNew()
+	if err := f.ReleasePlayersV2(); err != nil {
+		b.Fatal(err)
+	}
+	r := rewrite.New(f.Ont, f.Reg)
+	walk := usecase.Fig8Walk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Rewrite(walk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CQs) != 2 {
+			b.Fatalf("CQs = %d", len(res.CQs))
+		}
+	}
+}
+
+// --- S1: rewriting vs number of wrapper versions per source ---
+
+func BenchmarkRewriteWrappersSweep(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		ont, reg, walk := usecase.SyntheticVersions(n)
+		r := rewrite.New(ont, reg)
+		b.Run(fmt.Sprintf("versions=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := r.Rewrite(walk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.CQs) != n {
+					b.Fatalf("CQs = %d, want %d", len(res.CQs), n)
+				}
+			}
+		})
+	}
+}
+
+// --- S2: rewriting vs walk size ---
+
+func BenchmarkRewriteConceptsSweep(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		ont, reg, walk := usecase.SyntheticChain(n)
+		r := rewrite.New(ont, reg)
+		b.Run(fmt.Sprintf("concepts=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Rewrite(walk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- S3: federated execution vs row count ---
+
+func BenchmarkExecuteRowsSweep(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		f := usecase.MustNew()
+		f.W1.SetDocs(usecase.SyntheticPlayers(n))
+		f.W2.SetDocs(usecase.SyntheticTeams(n / 10))
+		res, err := rewrite.New(f.Ont, f.Reg).Rewrite(usecase.Fig8Walk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rel, err := res.Plan.Execute(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rel.Len() == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// --- S4: GAV unfolding vs LAV rewriting cost (both healthy) ---
+
+func BenchmarkGAVvsLAV(b *testing.B) {
+	f := usecase.MustNew()
+	walk := usecase.Fig8Walk()
+	gm := gav.FromLAV(f.Ont)
+	b.Run("gav-unfold", func(b *testing.B) {
+		r := gav.New(f.Ont, f.Reg, gm)
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Rewrite(walk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lav-rewrite", func(b *testing.B) {
+		r := rewrite.New(f.Ont, f.Reg)
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Rewrite(walk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation: relational optimizer on/off (DESIGN.md §6) ---
+
+func BenchmarkOptimizerAblation(b *testing.B) {
+	f := usecase.MustNew()
+	f.W1.SetDocs(usecase.SyntheticPlayers(5000))
+	f.W2.SetDocs(usecase.SyntheticTeams(500))
+	w1, _ := f.Reg.Get("w1")
+	w2, _ := f.Reg.Get("w2")
+	raw := relalg.Plan(relalg.NewProject(
+		relalg.NewJoin(
+			relalg.NewScan(w1),
+			relalg.NewRename(relalg.NewScan(w2), [][2]string{{"name", "teamName"}}),
+			[][2]string{{"teamId", "id"}}),
+		"teamName", "pName"))
+	opt := relalg.Optimize(raw)
+	ctx := context.Background()
+	b.Run("unoptimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := raw.Execute(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Execute(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Substrate microbenches ---
+
+func BenchmarkTripleStoreMatch(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 10000; i++ {
+		g.MustAdd(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://ex.org/s%d", i%100)),
+			rdf.IRI(fmt.Sprintf("http://ex.org/p%d", i%10)),
+			rdf.IntLit(int64(i))))
+	}
+	p := rdf.IRI("http://ex.org/p3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Count(rdf.Any, p, rdf.Any); got == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkTurtleParse(b *testing.B) {
+	f := usecase.MustNew()
+	doc := turtle.WriteDataset(f.Ont.Dataset())
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := turtle.ParseDataset(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPARQLMetadataQuery(b *testing.B) {
+	f := usecase.MustNew()
+	q := sparql.MustParse(`
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c ?f WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> {
+    ?c rdf:type G:Concept .
+    ?c G:hasFeature ?f .
+  }
+}`)
+	ds := f.Ont.Dataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.Eval(ds, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Solutions) == 0 {
+			b.Fatal("no solutions")
+		}
+	}
+}
+
+func BenchmarkSchemaExtraction(b *testing.B) {
+	xmlPayload := []byte(`<teams>
+  <team><id>25</id><name>FC Barcelona</name><shortName>FCB</shortName></team>
+  <team><id>27</id><name>Bayern Munich</name><shortName>FCB</shortName></team>
+</teams>`)
+	csvPayload := []byte("id,name\n1,Spain\n2,Germany\n3,England\n")
+	b.Run("json", func(b *testing.B) {
+		b.SetBytes(int64(len(playersPayload)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := schema.ExtractSignature("w", schema.FormatJSON, playersPayload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("xml", func(b *testing.B) {
+		b.SetBytes(int64(len(xmlPayload)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := schema.ExtractSignature("w", schema.FormatXML, xmlPayload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csv", func(b *testing.B) {
+		b.SetBytes(int64(len(csvPayload)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := schema.ExtractSignature("w", schema.FormatCSV, csvPayload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWrapperFetch(b *testing.B) {
+	w := wrapper.NewMem("w1", "players-api", usecase.SyntheticPlayers(1000), nil)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := w.Fetch(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.Len() != 1000 {
+			b.Fatal("bad fetch")
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment end-to-end — the same
+// code paths `mdm-bench -all` uses — so the artifact regeneration can
+// never silently rot. (Outputs go to stdout; correctness of their
+// content is asserted by the per-package tests.)
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments run real sweeps; skipped in -short mode")
+	}
+	ctx := context.Background()
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(ctx); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.id)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mdm"
+	"mdm/internal/rest"
+	"mdm/internal/usecase"
+)
+
+// startBackend boots a seeded MDM REST server for client-command tests.
+func startBackend(t *testing.T) *client {
+	t.Helper()
+	f := usecase.MustNew()
+	srv := httptest.NewServer(rest.NewServer(mdm.FromParts(f.Ont, f.Reg)))
+	t.Cleanup(srv.Close)
+	return &client{base: srv.URL}
+}
+
+func TestClientCommandsAgainstLiveBackend(t *testing.T) {
+	c := startBackend(t)
+	ok := [][]string{
+		{"stats"},
+		{"validate"},
+		{"render", "global"},
+		{"render", "source"},
+		{"render", "mappings"},
+		{"export"},
+		{"wrappers"},
+		{"releases"},
+		{"drift", "w1"},
+		{"prefix", "zz", "http://zz.org/"},
+		{"concept", "zz:Thing", "Thing"},
+		{"feature", "zz:thingId", ""},
+		{"attach", "zz:Thing", "zz:thingId"},
+		{"id", "zz:thingId"},
+		{"source", "zz-api", "ZZ API"},
+		{"sparql", "ASK { ?s ?p ?o . }"},
+	}
+	for _, args := range ok {
+		if err := c.run(args[0], args[1:]); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestClientCommandArgValidation(t *testing.T) {
+	c := startBackend(t)
+	bad := [][]string{
+		{"render"},
+		{"prefix", "only-one"},
+		{"attach", "one"},
+		{"id"},
+		{"relate", "a", "b"},
+		{"source"},
+		{"wrapper", "w", "s"},
+		{"wrapper", "w", "s", "http://x", "notakv"},
+		{"drift"},
+		{"mapping"},
+		{"suggest", "one"},
+		{"query"},
+		{"sparql"},
+		{"nosuchcommand"},
+	}
+	for _, args := range bad {
+		if err := c.run(args[0], args[1:]); err == nil {
+			t.Errorf("%v: expected usage error", args)
+		}
+	}
+}
+
+func TestClientServerErrorSurfaces(t *testing.T) {
+	c := startBackend(t)
+	err := c.run("drift", []string{"ghost"})
+	if err == nil || !strings.Contains(err.Error(), "server") {
+		t.Errorf("drift ghost err = %v", err)
+	}
+	// A mapping for an unknown wrapper is rejected server-side (422).
+	err = c.run("suggest", []string{"ghost", "w1"})
+	if err == nil {
+		t.Error("suggest for unknown wrapper should fail server-side")
+	}
+}
+
+func TestPrintTableAlignment(t *testing.T) {
+	// Just exercise the rendering helpers for panics/shape.
+	printTable(
+		[]any{"a", "longer"},
+		[]any{[]any{"1", "2"}, []any{"333333", "4"}},
+	)
+}

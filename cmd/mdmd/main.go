@@ -1,0 +1,139 @@
+// Command mdmd runs the MDM backend: the REST service that the original
+// tool's Node.JS frontend talked to (paper §2.5), here self-contained.
+//
+// Usage:
+//
+//	mdmd [-addr :8085] [-data DIR] [-seed] [-simulate]
+//
+//	-addr      listen address
+//	-data      persistence directory; the ontology dataset is loaded at
+//	           startup and snapshotted on shutdown and periodically
+//	-seed      preload the paper's football use case (in-memory wrappers)
+//	-simulate  also start the simulated football REST provider and print
+//	           its URL (endpoints for players/teams/leagues/countries)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"mdm"
+	"mdm/internal/apisim"
+	"mdm/internal/rest"
+	"mdm/internal/usecase"
+)
+
+func main() {
+	addr := flag.String("addr", ":8085", "listen address")
+	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
+	seed := flag.Bool("seed", false, "preload the football demo fixture")
+	simulate := flag.Bool("simulate", false, "start the simulated football provider")
+	flag.Parse()
+
+	sys, err := buildSystem(*dataDir, *seed)
+	if err != nil {
+		log.Fatalf("mdmd: %v", err)
+	}
+
+	if *simulate {
+		provider := apisim.NewFootball()
+		defer provider.Close()
+		log.Printf("mdmd: simulated football provider at %s", provider.URL())
+		log.Printf("mdmd:   endpoints: /v1/players /v2/players /v1/teams /v1/leagues /v1/league-teams /v1/countries")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rest.NewServer(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("mdmd: listening on %s (seeded=%v, data=%q)", *addr, *seed, *dataDir)
+
+	// Periodic snapshots when persistent.
+	if *dataDir != "" {
+		go func() {
+			t := time.NewTicker(30 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := persist(sys, *dataDir); err != nil {
+						log.Printf("mdmd: snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+		log.Print("mdmd: shutting down")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("mdmd: serve: %v", err)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	if *dataDir != "" {
+		if err := persist(sys, *dataDir); err != nil {
+			log.Printf("mdmd: final snapshot: %v", err)
+		}
+	}
+}
+
+// buildSystem assembles the system, loading a previous snapshot when the
+// data directory holds one.
+func buildSystem(dataDir string, seed bool) (*mdm.System, error) {
+	if dataDir != "" {
+		snap := filepath.Join(dataDir, "ontology.trig")
+		if data, err := os.ReadFile(snap); err == nil {
+			log.Printf("mdmd: loading snapshot %s", snap)
+			sys, err := mdm.ImportTriG(string(data))
+			if err != nil {
+				return nil, err
+			}
+			// Wrappers are live code and cannot be restored from a
+			// snapshot; the steward re-registers them over the API.
+			log.Print("mdmd: note: wrappers must be re-registered after a restart")
+			return sys, nil
+		}
+	}
+	if seed {
+		f, err := usecase.New()
+		if err != nil {
+			return nil, err
+		}
+		sys := mdm.FromParts(f.Ont, f.Reg)
+		return sys, nil
+	}
+	return mdm.New(), nil
+}
+
+func persist(sys *mdm.System, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "ontology.trig.tmp")
+	if err := os.WriteFile(tmp, []byte(sys.ExportTriG()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "ontology.trig"))
+}

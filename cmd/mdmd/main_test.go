@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildSystemFresh(t *testing.T) {
+	sys, err := buildSystem("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().Concepts != 0 {
+		t.Error("fresh system not empty")
+	}
+}
+
+func TestBuildSystemSeeded(t *testing.T) {
+	sys, err := buildSystem("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Concepts != 4 || st.Wrappers != 6 {
+		t.Errorf("seeded stats = %+v", st)
+	}
+	if v := sys.Validate(); len(v) != 0 {
+		t.Errorf("seeded system inconsistent: %v", v)
+	}
+}
+
+func TestPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := buildSystem("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := persist(sys, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ontology.trig")); err != nil {
+		t.Fatal(err)
+	}
+	// Reload from the snapshot.
+	sys2, err := buildSystem(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, st2 := sys.Stats(), sys2.Stats()
+	if st1.Concepts != st2.Concepts || st1.Mappings != st2.Mappings {
+		t.Errorf("reloaded stats differ: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestBuildSystemCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "ontology.trig"), []byte("bad <"), 0o644)
+	if _, err := buildSystem(dir, false); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Evolution: the paper's "Governance of evolution" demo scenario.
+//
+// The players API ships a breaking v2 release (field renamed, two fields
+// removed, one added). MDM detects the drift, the steward registers a
+// new wrapper for the same data source and accepts the suggested LAV
+// mapping, and the analyst's unchanged query now draws from BOTH schema
+// versions — where a conventional pipeline (and the GAV baseline) simply
+// crashes.
+//
+// Run with: go run ./examples/evolution
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mdm"
+	"mdm/internal/apisim"
+	"mdm/internal/rewrite/gav"
+	"mdm/internal/usecase"
+	"mdm/internal/wrapper"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Start from the fully set-up football fixture.
+	f, err := usecase.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	walk := usecase.Fig8Walk()
+
+	fmt.Println("== step 1: analyst query before the release ==")
+	runQuery(ctx, sys, walk)
+
+	fmt.Println("\n== step 2: provider ships breaking v2 on a live endpoint ==")
+	provider := apisim.NewFootball()
+	defer provider.Close()
+	// A wrapper watching the unversioned endpoint sees the flip.
+	watch, err := wrapper.NewHTTP(ctx, "watchdog", usecase.SrcPlayers, provider.URL()+"/players")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RegisterWrapper(watch); err != nil {
+		log.Fatal(err)
+	}
+	provider.BreakPlayersEndpoint()
+	drift, err := sys.DetectDrift(ctx, "watchdog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("detected schema drift on the live endpoint:")
+	for _, c := range drift {
+		fmt.Printf("  %s (breaking=%v)\n", c, c.Breaking())
+	}
+
+	fmt.Println("\n== step 3: GAV baseline: the same evolution crashes the query ==")
+	gavMaps := gav.FromLAV(f.Ont)
+	brokenReg := wrapper.NewRegistry()
+	_ = brokenReg.Register(wrapper.NewMem("w1", usecase.SrcPlayers, usecase.PlayersV2Docs(), nil))
+	for _, n := range []string{"w2", "w3", "w4", "w5", "w6"} {
+		w, _ := f.Reg.Get(n)
+		_ = brokenReg.Register(w)
+	}
+	if _, err := gav.New(f.Ont, brokenReg, gavMaps).Rewrite(walk); err != nil {
+		fmt.Println("GAV:", err)
+		fmt.Printf("GAV: %d mapping bindings reference the evolved wrapper and need manual rework\n",
+			gavMaps.BindingsReferencing("w1"))
+	}
+
+	fmt.Println("\n== step 4: MDM/LAV governance: one release, zero changes elsewhere ==")
+	if err := f.ReleasePlayersV2(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registered wrapper w1v2 for players-api and defined its LAV mapping")
+	fmt.Println("\n== step 5: the SAME query now unions both schema versions ==")
+	runQuery(ctx, sys, walk)
+
+	fmt.Println("\n== step 6: the new v2-only feature is immediately queryable ==")
+	runQuery(ctx, sys, usecase.PositionWalk())
+}
+
+func runQuery(ctx context.Context, sys *mdm.System, walk *mdm.Walk) {
+	rel, res, err := sys.Query(ctx, walk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewriting produced %d conjunctive query(ies):\n", len(res.CQs))
+	for _, cq := range res.CQs {
+		fmt.Printf("  over wrappers %v\n", cq.Wrappers)
+	}
+	rel.Sort()
+	fmt.Print(rel.Table())
+}

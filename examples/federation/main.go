@@ -1,0 +1,119 @@
+// Federation: the full service-oriented deployment of paper §2.5 — the
+// MDM backend running as a REST service (as mdmd does), driven entirely
+// over HTTP by a client playing first the steward and then the analyst,
+// against live simulated providers.
+//
+// Run with: go run ./examples/federation
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"mdm"
+	"mdm/internal/apisim"
+	"mdm/internal/rest"
+)
+
+func main() {
+	provider := apisim.NewFootball()
+	defer provider.Close()
+
+	backend := httptest.NewServer(rest.NewServer(mdm.New()))
+	defer backend.Close()
+	fmt.Println("MDM backend:", backend.URL)
+	fmt.Println("football provider:", provider.URL())
+
+	// --- steward over HTTP ---
+	post(backend.URL+"/api/prefixes", map[string]string{"prefix": "ex", "namespace": "http://ex.org/"})
+	post(backend.URL+"/api/prefixes", map[string]string{"prefix": "sc", "namespace": "http://schema.org/"})
+	post(backend.URL+"/api/global/concepts", map[string]string{"iri": "ex:Player", "label": "Player"})
+	post(backend.URL+"/api/global/concepts", map[string]string{"iri": "sc:SportsTeam", "label": "SportsTeam"})
+	for f, c := range map[string]string{
+		"ex:playerId": "ex:Player", "ex:playerName": "ex:Player",
+		"ex:teamId": "sc:SportsTeam", "ex:teamName": "sc:SportsTeam",
+	} {
+		post(backend.URL+"/api/global/features", map[string]string{"iri": f, "label": ""})
+		post(backend.URL+"/api/global/attach", map[string]string{"concept": c, "feature": f})
+	}
+	post(backend.URL+"/api/global/identifiers", map[string]string{"feature": "ex:playerId"})
+	post(backend.URL+"/api/global/identifiers", map[string]string{"feature": "ex:teamId"})
+	post(backend.URL+"/api/global/relations", map[string]string{
+		"from": "ex:Player", "property": "ex:playsIn", "to": "sc:SportsTeam"})
+
+	post(backend.URL+"/api/sources", map[string]string{"id": "players-api", "label": "Players API"})
+	post(backend.URL+"/api/sources", map[string]string{"id": "teams-api", "label": "Teams API"})
+	post(backend.URL+"/api/wrappers", map[string]any{
+		"name": "w1", "source": "players-api", "url": provider.URL() + "/v1/players",
+		"renames": map[string]string{"name": "pName", "preferred_foot": "foot", "team_id": "teamId", "rating": "score"},
+	})
+	post(backend.URL+"/api/wrappers", map[string]any{
+		"name": "w2", "source": "teams-api", "url": provider.URL() + "/v1/teams",
+	})
+	post(backend.URL+"/api/mappings", map[string]any{
+		"wrapper": "w1",
+		"subgraph": [][3]string{
+			{"ex:Player", "rdf:type", "G:Concept"},
+			{"ex:Player", "G:hasFeature", "ex:playerId"},
+			{"ex:Player", "G:hasFeature", "ex:playerName"},
+			{"ex:Player", "ex:playsIn", "sc:SportsTeam"},
+			{"sc:SportsTeam", "rdf:type", "G:Concept"},
+			{"sc:SportsTeam", "G:hasFeature", "ex:teamId"},
+		},
+		"sameAs": map[string]string{"id": "ex:playerId", "pName": "ex:playerName", "teamId": "ex:teamId"},
+	})
+	post(backend.URL+"/api/mappings", map[string]any{
+		"wrapper": "w2",
+		"subgraph": [][3]string{
+			{"sc:SportsTeam", "rdf:type", "G:Concept"},
+			{"sc:SportsTeam", "G:hasFeature", "ex:teamId"},
+			{"sc:SportsTeam", "G:hasFeature", "ex:teamName"},
+		},
+		"sameAs": map[string]string{"id": "ex:teamId", "name": "ex:teamName"},
+	})
+
+	// --- analyst over HTTP ---
+	answer := post(backend.URL+"/api/query", map[string]any{
+		"select": []map[string]string{
+			{"concept": "sc:SportsTeam", "feature": "ex:teamName", "alias": "teamName"},
+			{"concept": "ex:Player", "feature": "ex:playerName", "alias": "playerName"},
+		},
+		"relations": [][3]string{{"ex:Player", "ex:playsIn", "sc:SportsTeam"}},
+	})
+	fmt.Println("\n-- query answer (over HTTP) --")
+	fmt.Printf("%-20s %-20s\n", "teamName", "playerName")
+	for _, r := range answer["rows"].([]any) {
+		row := r.([]any)
+		fmt.Printf("%-20v %-20v\n", row[0], row[1])
+	}
+	fmt.Println("\n-- generated SPARQL --")
+	fmt.Println(answer["sparql"])
+	fmt.Println("-- relational algebra --")
+	for _, a := range answer["algebra"].([]any) {
+		fmt.Println(" ", a)
+	}
+}
+
+// post sends a JSON body and returns the decoded JSON response, failing
+// the program on any error status.
+func post(url string, body any) map[string]any {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s -> %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}

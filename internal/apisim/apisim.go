@@ -1,0 +1,215 @@
+// Package apisim simulates the third-party REST data providers that MDM
+// integrates (paper §1: "external data are commonly ingested from third
+// party data providers via REST APIs with a fixed schema", which then
+// "continuously apply changes in their structure").
+//
+// The football provider serves the paper's four sources — players,
+// teams, leagues, countries — in their original heterogeneous formats
+// (JSON for players, XML for teams, per Figure 2; CSV for countries to
+// exercise the third format). Versioned endpoints let demos replay the
+// breaking v2 release of the players API, including the in-place flip
+// that breaks naive pipelines.
+//
+// The feedback provider simulates the SUPERSEDE project's user-feedback
+// scenario used in the on-site demo.
+package apisim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+)
+
+// Football is the simulated football data provider.
+type Football struct {
+	srv *httptest.Server
+	// requests counts HTTP hits per path.
+	requests sync.Map // string -> *int64
+	// playersVersion controls what /players (unversioned) serves.
+	playersVersion atomic.Int32
+}
+
+// NewFootball starts the provider on an ephemeral port.
+func NewFootball() *Football {
+	f := &Football{}
+	f.playersVersion.Store(1)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/v1/players", f.count(f.playersV1))
+	mux.HandleFunc("/v2/players", f.count(f.playersV2))
+	mux.HandleFunc("/players", f.count(func(w http.ResponseWriter, r *http.Request) {
+		if f.playersVersion.Load() >= 2 {
+			f.playersV2(w, r)
+			return
+		}
+		f.playersV1(w, r)
+	}))
+	mux.HandleFunc("/v1/players/nationalities", f.count(f.nationalities))
+	mux.HandleFunc("/v1/teams", f.count(f.teams))
+	mux.HandleFunc("/v1/leagues", f.count(f.leagues))
+	mux.HandleFunc("/v1/league-teams", f.count(f.leagueTeams))
+	mux.HandleFunc("/v1/countries", f.count(f.countries))
+
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+// URL returns the provider's base URL.
+func (f *Football) URL() string { return f.srv.URL }
+
+// Close shuts the provider down.
+func (f *Football) Close() { f.srv.Close() }
+
+// BreakPlayersEndpoint flips the unversioned /players endpoint to the v2
+// schema in place — the nightmare scenario of paper §1 where a provider
+// ships breaking changes on a live endpoint.
+func (f *Football) BreakPlayersEndpoint() { f.playersVersion.Store(2) }
+
+// Requests returns the number of requests served for a path.
+func (f *Football) Requests(path string) int64 {
+	if v, ok := f.requests.Load(path); ok {
+		return atomic.LoadInt64(v.(*int64))
+	}
+	return 0
+}
+
+func (f *Football) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v, _ := f.requests.LoadOrStore(r.URL.Path, new(int64))
+		atomic.AddInt64(v.(*int64), 1)
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// playersV1 serves the Figure 2 JSON shape: raw field names (name,
+// preferred_foot, team_id, rating) that wrappers rename to the signature
+// of Figure 6 (pName, foot, teamId, score).
+func (f *Football) playersV1(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, []map[string]any{
+		{"id": 6176, "name": "Lionel Messi", "height": 170.18, "weight": 159, "rating": 94, "preferred_foot": "left", "team_id": 25},
+		{"id": 7011, "name": "Robert Lewandowski", "height": 184.0, "weight": 176, "rating": 91, "preferred_foot": "right", "team_id": 27},
+		{"id": 8123, "name": "Zlatan Ibrahimovic", "height": 195.0, "weight": 209, "rating": 90, "preferred_foot": "right", "team_id": 31},
+		{"id": 9001, "name": "Harry Kane", "height": 188.0, "weight": 196, "rating": 89, "preferred_foot": "right", "team_id": 33},
+		{"id": 9002, "name": "Marcus Rashford", "height": 180.0, "weight": 154, "rating": 85, "preferred_foot": "right", "team_id": 31},
+	})
+}
+
+// playersV2 serves the breaking v2: name -> full_name, weight and rating
+// gone, new position field.
+func (f *Football) playersV2(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, []map[string]any{
+		{"id": 6176, "full_name": "Lionel Messi", "height": 170.18, "preferred_foot": "left", "position": "RW", "team_id": 25},
+		{"id": 7011, "full_name": "Robert Lewandowski", "height": 184.0, "preferred_foot": "right", "position": "ST", "team_id": 27},
+		{"id": 9050, "full_name": "Pedri", "height": 174.0, "preferred_foot": "right", "position": "CM", "team_id": 25},
+		{"id": 9051, "full_name": "Bukayo Saka", "height": 178.0, "preferred_foot": "left", "position": "RW", "team_id": 33},
+	})
+}
+
+func (f *Football) nationalities(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"data": []map[string]any{
+		{"id": 6176, "country_id": 4},
+		{"id": 7011, "country_id": 6},
+		{"id": 8123, "country_id": 5},
+		{"id": 9001, "country_id": 3},
+		{"id": 9002, "country_id": 3},
+	}})
+}
+
+// teams serves the Figure 2 XML shape.
+func (f *Football) teams(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/xml")
+	fmt.Fprint(w, `<teams>
+  <team><id>25</id><name>FC Barcelona</name><shortName>FCB</shortName></team>
+  <team><id>27</id><name>Bayern Munich</name><shortName>FCB</shortName></team>
+  <team><id>31</id><name>Manchester United</name><shortName>MU</shortName></team>
+  <team><id>33</id><name>Tottenham Hotspur</name><shortName>THFC</shortName></team>
+</teams>`)
+}
+
+func (f *Football) leagues(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, []map[string]any{
+		{"id": 10, "league_name": "La Liga", "country_id": 1},
+		{"id": 11, "league_name": "Bundesliga", "country_id": 2},
+		{"id": 12, "league_name": "Premier League", "country_id": 3},
+	})
+}
+
+func (f *Football) leagueTeams(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, []map[string]any{
+		{"league_id": 10, "team_id": 25},
+		{"league_id": 11, "team_id": 27},
+		{"league_id": 12, "team_id": 31},
+		{"league_id": 12, "team_id": 33},
+	})
+}
+
+func (f *Football) countries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	fmt.Fprint(w, "id,country_name\n1,Spain\n2,Germany\n3,England\n4,Argentina\n5,Sweden\n6,Poland\n")
+}
+
+// Feedback simulates the SUPERSEDE user-feedback provider: two evolving
+// endpoints with user feedback items and monitored quality-of-service
+// metrics, used by the examples/supersede scenario.
+type Feedback struct {
+	srv *httptest.Server
+	v2  atomic.Bool
+}
+
+// NewFeedback starts the provider.
+func NewFeedback() *Feedback {
+	f := &Feedback{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/feedback", func(w http.ResponseWriter, _ *http.Request) {
+		if f.v2.Load() {
+			// v2 renames rating -> stars and adds channel.
+			writeJSON(w, []map[string]any{
+				{"id": 1, "user_id": 501, "app_id": 9, "stars": 2, "text": "crashes on startup", "channel": "store"},
+				{"id": 2, "user_id": 502, "app_id": 9, "stars": 5, "text": "love the new UI", "channel": "in-app"},
+				{"id": 3, "user_id": 503, "app_id": 7, "stars": 3, "text": "sync is slow", "channel": "store"},
+				{"id": 4, "user_id": 504, "app_id": 7, "stars": 1, "text": "lost my data", "channel": "email"},
+			})
+			return
+		}
+		writeJSON(w, []map[string]any{
+			{"id": 1, "user_id": 501, "app_id": 9, "rating": 2, "text": "crashes on startup"},
+			{"id": 2, "user_id": 502, "app_id": 9, "rating": 5, "text": "love the new UI"},
+			{"id": 3, "user_id": 503, "app_id": 7, "rating": 3, "text": "sync is slow"},
+		})
+	})
+	mux.HandleFunc("/v1/monitoring", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, []map[string]any{
+			{"app_id": 9, "metric": "crash_rate", "value": 0.042},
+			{"app_id": 9, "metric": "p99_latency_ms", "value": 880.0},
+			{"app_id": 7, "metric": "crash_rate", "value": 0.003},
+			{"app_id": 7, "metric": "p99_latency_ms", "value": 120.0},
+		})
+	})
+	mux.HandleFunc("/v1/apps", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, []map[string]any{
+			{"id": 9, "app_name": "SenerCam"},
+			{"id": 7, "app_name": "FleetTrack"},
+		})
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+// URL returns the provider's base URL.
+func (f *Feedback) URL() string { return f.srv.URL }
+
+// Close shuts the provider down.
+func (f *Feedback) Close() { f.srv.Close() }
+
+// ReleaseV2 switches the feedback endpoint to its breaking v2 schema.
+func (f *Feedback) ReleaseV2() { f.v2.Store(true) }

@@ -1,0 +1,141 @@
+package apisim
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestFootballEndpoints(t *testing.T) {
+	f := NewFootball()
+	defer f.Close()
+
+	body, ct := get(t, f.URL()+"/v1/players")
+	if !strings.Contains(ct, "json") {
+		t.Errorf("players content type = %s", ct)
+	}
+	var players []map[string]any
+	if err := json.Unmarshal([]byte(body), &players); err != nil {
+		t.Fatal(err)
+	}
+	if len(players) != 5 {
+		t.Fatalf("players = %d", len(players))
+	}
+	// Figure 2 fidelity: raw field names.
+	p0 := players[0]
+	for _, field := range []string{"id", "name", "height", "weight", "rating", "preferred_foot", "team_id"} {
+		if _, ok := p0[field]; !ok {
+			t.Errorf("players payload missing Figure 2 field %q", field)
+		}
+	}
+	if p0["name"] != "Lionel Messi" || p0["height"].(float64) != 170.18 {
+		t.Errorf("Messi row = %v", p0)
+	}
+
+	body, ct = get(t, f.URL()+"/v1/teams")
+	if !strings.Contains(ct, "xml") || !strings.Contains(body, "<shortName>FCB</shortName>") {
+		t.Errorf("teams = %s / %s", ct, body)
+	}
+
+	body, ct = get(t, f.URL()+"/v1/countries")
+	if !strings.Contains(ct, "csv") || !strings.Contains(body, "Spain") {
+		t.Errorf("countries = %s / %s", ct, body)
+	}
+
+	body, _ = get(t, f.URL()+"/v1/leagues")
+	if !strings.Contains(body, "Premier League") {
+		t.Errorf("leagues = %s", body)
+	}
+	body, _ = get(t, f.URL()+"/v1/league-teams")
+	if !strings.Contains(body, "league_id") {
+		t.Errorf("league-teams = %s", body)
+	}
+	body, _ = get(t, f.URL()+"/v1/players/nationalities")
+	if !strings.Contains(body, "country_id") {
+		t.Errorf("nationalities = %s", body)
+	}
+}
+
+func TestFootballV2AndInPlaceBreak(t *testing.T) {
+	f := NewFootball()
+	defer f.Close()
+
+	v2, _ := get(t, f.URL()+"/v2/players")
+	if !strings.Contains(v2, "full_name") || strings.Contains(v2, `"rating"`) {
+		t.Errorf("v2 payload = %s", v2)
+	}
+	if !strings.Contains(v2, "Pedri") {
+		t.Errorf("v2 should have new players: %s", v2)
+	}
+
+	// Unversioned endpoint serves v1 until the break.
+	u, _ := get(t, f.URL()+"/players")
+	if !strings.Contains(u, `"name"`) {
+		t.Errorf("unversioned pre-break = %s", u)
+	}
+	f.BreakPlayersEndpoint()
+	u, _ = get(t, f.URL()+"/players")
+	if !strings.Contains(u, "full_name") {
+		t.Errorf("unversioned post-break = %s", u)
+	}
+}
+
+func TestFootballRequestCounting(t *testing.T) {
+	f := NewFootball()
+	defer f.Close()
+	if f.Requests("/v1/players") != 0 {
+		t.Error("counter not zero")
+	}
+	get(t, f.URL()+"/v1/players")
+	get(t, f.URL()+"/v1/players")
+	if got := f.Requests("/v1/players"); got != 2 {
+		t.Errorf("requests = %d", got)
+	}
+	if f.Requests("/v1/teams") != 0 {
+		t.Error("unrelated counter bumped")
+	}
+}
+
+func TestFeedbackProvider(t *testing.T) {
+	f := NewFeedback()
+	defer f.Close()
+	v1, _ := get(t, f.URL()+"/v1/feedback")
+	if !strings.Contains(v1, `"rating"`) || strings.Contains(v1, `"stars"`) {
+		t.Errorf("feedback v1 = %s", v1)
+	}
+	f.ReleaseV2()
+	v2, _ := get(t, f.URL()+"/v1/feedback")
+	if !strings.Contains(v2, `"stars"`) || strings.Contains(v2, `"rating"`) {
+		t.Errorf("feedback v2 = %s", v2)
+	}
+	if !strings.Contains(v2, "channel") {
+		t.Errorf("v2 missing new field: %s", v2)
+	}
+	mon, _ := get(t, f.URL()+"/v1/monitoring")
+	if !strings.Contains(mon, "crash_rate") {
+		t.Errorf("monitoring = %s", mon)
+	}
+	apps, _ := get(t, f.URL()+"/v1/apps")
+	if !strings.Contains(apps, "app_name") {
+		t.Errorf("apps = %s", apps)
+	}
+}

@@ -1,0 +1,251 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dataset is an RDF dataset: one default graph plus any number of named
+// graphs, together with a prefix registry. MDM stores the global graph,
+// the source graph and one named graph per LAV mapping in a single
+// Dataset. Dataset is safe for concurrent use.
+type Dataset struct {
+	mu       sync.RWMutex
+	def      *Graph
+	named    map[Term]*Graph
+	prefixes *PrefixMap
+}
+
+// NewDataset returns an empty dataset with the common prefixes (rdf,
+// rdfs, owl, xsd) preregistered.
+func NewDataset() *Dataset {
+	return &Dataset{
+		def:      NewGraph(),
+		named:    make(map[Term]*Graph),
+		prefixes: NewPrefixMap(),
+	}
+}
+
+// Default returns the default graph.
+func (d *Dataset) Default() *Graph {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.def
+}
+
+// Graph returns the named graph with the given name, creating it if
+// absent. A zero name returns the default graph.
+func (d *Dataset) Graph(name Term) *Graph {
+	if name.IsZero() {
+		return d.Default()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g, ok := d.named[name]
+	if !ok {
+		g = NewGraph()
+		d.named[name] = g
+	}
+	return g
+}
+
+// Lookup returns the named graph if it exists, without creating it.
+func (d *Dataset) Lookup(name Term) (*Graph, bool) {
+	if name.IsZero() {
+		return d.Default(), true
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	g, ok := d.named[name]
+	return g, ok
+}
+
+// DropGraph removes a named graph entirely, reporting whether it existed.
+func (d *Dataset) DropGraph(name Term) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.named[name]
+	delete(d.named, name)
+	return ok
+}
+
+// GraphNames returns the names of all named graphs in sorted order.
+func (d *Dataset) GraphNames() []Term {
+	d.mu.RLock()
+	names := make([]Term, 0, len(d.named))
+	for n := range d.named {
+		names = append(names, n)
+	}
+	d.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool { return Compare(names[i], names[j]) < 0 })
+	return names
+}
+
+// AddQuad inserts a quad into the appropriate graph.
+func (d *Dataset) AddQuad(q Quad) (bool, error) {
+	return d.Graph(q.Graph).Add(q.Triple)
+}
+
+// Quads returns every quad in the dataset (default graph first, then
+// named graphs in name order) in deterministic order.
+func (d *Dataset) Quads() []Quad {
+	var out []Quad
+	for _, t := range d.Default().Triples() {
+		out = append(out, Quad{Triple: t})
+	}
+	for _, name := range d.GraphNames() {
+		g, _ := d.Lookup(name)
+		for _, t := range g.Triples() {
+			out = append(out, Quad{Triple: t, Graph: name})
+		}
+	}
+	return out
+}
+
+// Len returns the total number of quads across all graphs.
+func (d *Dataset) Len() int {
+	n := d.Default().Len()
+	for _, name := range d.GraphNames() {
+		g, _ := d.Lookup(name)
+		n += g.Len()
+	}
+	return n
+}
+
+// Prefixes returns the dataset's prefix registry.
+func (d *Dataset) Prefixes() *PrefixMap { return d.prefixes }
+
+// Clone returns a deep copy of the dataset including prefixes.
+func (d *Dataset) Clone() *Dataset {
+	out := NewDataset()
+	out.prefixes = d.prefixes.Clone()
+	out.def = d.Default().Clone()
+	for _, name := range d.GraphNames() {
+		g, _ := d.Lookup(name)
+		out.named[name] = g.Clone()
+	}
+	return out
+}
+
+// PrefixMap maps prefix labels (e.g. "rdfs") to namespace IRIs and back.
+// It is safe for concurrent use.
+type PrefixMap struct {
+	mu      sync.RWMutex
+	forward map[string]string // prefix -> namespace
+	reverse map[string]string // namespace -> prefix
+}
+
+// NewPrefixMap returns a registry preloaded with rdf, rdfs, owl and xsd.
+func NewPrefixMap() *PrefixMap {
+	pm := &PrefixMap{
+		forward: make(map[string]string),
+		reverse: make(map[string]string),
+	}
+	pm.Bind("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+	pm.Bind("rdfs", "http://www.w3.org/2000/01/rdf-schema#")
+	pm.Bind("owl", "http://www.w3.org/2002/07/owl#")
+	pm.Bind("xsd", "http://www.w3.org/2001/XMLSchema#")
+	return pm
+}
+
+// Bind registers prefix -> namespace, replacing earlier bindings of the
+// same prefix.
+func (pm *PrefixMap) Bind(prefix, namespace string) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if old, ok := pm.forward[prefix]; ok {
+		delete(pm.reverse, old)
+	}
+	pm.forward[prefix] = namespace
+	pm.reverse[namespace] = prefix
+}
+
+// Expand resolves a CURIE like "rdfs:label" to a full IRI. Strings
+// without a known prefix are returned unchanged with ok = false.
+func (pm *PrefixMap) Expand(curie string) (string, bool) {
+	i := strings.Index(curie, ":")
+	if i < 0 {
+		return curie, false
+	}
+	pm.mu.RLock()
+	ns, ok := pm.forward[curie[:i]]
+	pm.mu.RUnlock()
+	if !ok {
+		return curie, false
+	}
+	return ns + curie[i+1:], true
+}
+
+// MustExpand resolves a CURIE and panics if the prefix is unknown. Use
+// only with compile-time-constant CURIEs.
+func (pm *PrefixMap) MustExpand(curie string) string {
+	iri, ok := pm.Expand(curie)
+	if !ok {
+		panic(fmt.Sprintf("rdf: unknown prefix in %q", curie))
+	}
+	return iri
+}
+
+// Compact shortens an IRI to a CURIE when a registered namespace matches,
+// otherwise returns the IRI unchanged with ok = false. The longest
+// matching namespace wins.
+func (pm *PrefixMap) Compact(iri string) (string, bool) {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	best, bestNS := "", ""
+	for ns, prefix := range pm.reverse {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			bestNS, best = ns, prefix
+		}
+	}
+	if bestNS == "" {
+		return iri, false
+	}
+	local := iri[len(bestNS):]
+	if local == "" || strings.ContainsAny(local, "/#") {
+		return iri, false
+	}
+	return best + ":" + local, true
+}
+
+// CompactTerm renders a term using CURIEs where possible; literals keep
+// their N-Triples form.
+func (pm *PrefixMap) CompactTerm(t Term) string {
+	if t.Kind == KindIRI {
+		if c, ok := pm.Compact(t.Value); ok {
+			return c
+		}
+	}
+	return t.String()
+}
+
+// Pairs returns all (prefix, namespace) bindings sorted by prefix.
+func (pm *PrefixMap) Pairs() [][2]string {
+	pm.mu.RLock()
+	out := make([][2]string, 0, len(pm.forward))
+	for p, ns := range pm.forward {
+		out = append(out, [2]string{p, ns})
+	}
+	pm.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Clone returns a copy of the registry.
+func (pm *PrefixMap) Clone() *PrefixMap {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	out := &PrefixMap{
+		forward: make(map[string]string, len(pm.forward)),
+		reverse: make(map[string]string, len(pm.reverse)),
+	}
+	for k, v := range pm.forward {
+		out.forward[k] = v
+	}
+	for k, v := range pm.reverse {
+		out.reverse[k] = v
+	}
+	return out
+}

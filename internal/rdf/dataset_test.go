@@ -1,0 +1,186 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestDatasetDefaultAndNamed(t *testing.T) {
+	ds := NewDataset()
+	ds.Default().MustAdd(T(IRI("s"), IRI("p"), Lit("dflt")))
+	g1 := ds.Graph(IRI("http://ex.org/g1"))
+	g1.MustAdd(T(IRI("s"), IRI("p"), Lit("named")))
+
+	if ds.Default().Len() != 1 {
+		t.Fatalf("default graph len = %d", ds.Default().Len())
+	}
+	got, ok := ds.Lookup(IRI("http://ex.org/g1"))
+	if !ok || got.Len() != 1 {
+		t.Fatalf("Lookup named = %v, %v", got, ok)
+	}
+	if _, ok := ds.Lookup(IRI("http://ex.org/missing")); ok {
+		t.Fatal("Lookup should not create graphs")
+	}
+	// Graph() with zero name returns default.
+	if ds.Graph(Term{}) != ds.Default() {
+		t.Fatal("Graph(zero) != Default()")
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("dataset Len = %d, want 2", ds.Len())
+	}
+}
+
+func TestDatasetGraphNamesSorted(t *testing.T) {
+	ds := NewDataset()
+	ds.Graph(IRI("http://ex.org/b"))
+	ds.Graph(IRI("http://ex.org/a"))
+	ds.Graph(IRI("http://ex.org/c"))
+	names := ds.GraphNames()
+	if len(names) != 3 || names[0].Value != "http://ex.org/a" || names[2].Value != "http://ex.org/c" {
+		t.Errorf("GraphNames = %v", names)
+	}
+}
+
+func TestDatasetDropGraph(t *testing.T) {
+	ds := NewDataset()
+	name := IRI("http://ex.org/g")
+	ds.Graph(name).MustAdd(T(IRI("s"), IRI("p"), Lit("v")))
+	if !ds.DropGraph(name) {
+		t.Fatal("DropGraph = false")
+	}
+	if _, ok := ds.Lookup(name); ok {
+		t.Fatal("graph survived drop")
+	}
+	if ds.DropGraph(name) {
+		t.Fatal("second DropGraph should be false")
+	}
+}
+
+func TestDatasetQuadsOrderAndAddQuad(t *testing.T) {
+	ds := NewDataset()
+	if _, err := ds.AddQuad(Q(IRI("s"), IRI("p"), Lit("n"), IRI("g"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.AddQuad(Quad{Triple: T(IRI("s"), IRI("p"), Lit("d"))}); err != nil {
+		t.Fatal(err)
+	}
+	qs := ds.Quads()
+	if len(qs) != 2 {
+		t.Fatalf("Quads len = %d", len(qs))
+	}
+	if !qs[0].Graph.IsZero() {
+		t.Error("default-graph quads should come first")
+	}
+	if qs[1].Graph != IRI("g") {
+		t.Errorf("named quad graph = %v", qs[1].Graph)
+	}
+}
+
+func TestDatasetClone(t *testing.T) {
+	ds := NewDataset()
+	ds.Prefixes().Bind("ex", "http://ex.org/")
+	ds.Default().MustAdd(T(IRI("s"), IRI("p"), Lit("v")))
+	ds.Graph(IRI("g")).MustAdd(T(IRI("s2"), IRI("p"), Lit("v2")))
+
+	c := ds.Clone()
+	c.Default().MustAdd(T(IRI("s3"), IRI("p"), Lit("v3")))
+	c.Prefixes().Bind("zz", "http://zz.org/")
+
+	if ds.Default().Len() != 1 {
+		t.Error("clone mutation leaked into original default graph")
+	}
+	if _, ok := ds.Prefixes().Expand("zz:a"); ok {
+		t.Error("clone prefix leaked into original")
+	}
+	if _, ok := c.Prefixes().Expand("ex:a"); !ok {
+		t.Error("clone lost original prefix")
+	}
+	g, ok := c.Lookup(IRI("g"))
+	if !ok || g.Len() != 1 {
+		t.Error("clone lost named graph")
+	}
+}
+
+func TestPrefixMapExpandCompact(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("sc", "http://schema.org/")
+	iri, ok := pm.Expand("sc:SportsTeam")
+	if !ok || iri != "http://schema.org/SportsTeam" {
+		t.Errorf("Expand = %q, %v", iri, ok)
+	}
+	if _, ok := pm.Expand("nope:x"); ok {
+		t.Error("unknown prefix should not expand")
+	}
+	if _, ok := pm.Expand("noColon"); ok {
+		t.Error("string without colon should not expand")
+	}
+	c, ok := pm.Compact("http://schema.org/SportsTeam")
+	if !ok || c != "sc:SportsTeam" {
+		t.Errorf("Compact = %q, %v", c, ok)
+	}
+	if _, ok := pm.Compact("http://unknown.org/x"); ok {
+		t.Error("unknown namespace should not compact")
+	}
+	// Local parts containing separators must not compact.
+	if _, ok := pm.Compact("http://schema.org/a/b"); ok {
+		t.Error("nested path should not compact")
+	}
+}
+
+func TestPrefixMapLongestMatchWins(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("a", "http://ex.org/")
+	pm.Bind("b", "http://ex.org/sub#")
+	c, ok := pm.Compact("http://ex.org/sub#x")
+	if !ok || c != "b:x" {
+		t.Errorf("Compact = %q, want b:x", c)
+	}
+}
+
+func TestPrefixMapRebindReplaces(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("p", "http://one.org/")
+	pm.Bind("p", "http://two.org/")
+	if iri, _ := pm.Expand("p:x"); iri != "http://two.org/x" {
+		t.Errorf("Expand after rebind = %q", iri)
+	}
+	if _, ok := pm.Compact("http://one.org/x"); ok {
+		t.Error("stale reverse binding survived rebind")
+	}
+}
+
+func TestPrefixMapMustExpandPanics(t *testing.T) {
+	pm := NewPrefixMap()
+	if got := pm.MustExpand("rdf:type"); got != RDFType {
+		t.Errorf("MustExpand = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExpand should panic for unknown prefix")
+		}
+	}()
+	pm.MustExpand("bogus:x")
+}
+
+func TestPrefixMapCompactTerm(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("ex", "http://ex.org/")
+	if got := pm.CompactTerm(IRI("http://ex.org/a")); got != "ex:a" {
+		t.Errorf("CompactTerm IRI = %q", got)
+	}
+	if got := pm.CompactTerm(Lit("v")); got != `"v"` {
+		t.Errorf("CompactTerm literal = %q", got)
+	}
+	if got := pm.CompactTerm(IRI("http://other.org/a")); got != "<http://other.org/a>" {
+		t.Errorf("CompactTerm unknown ns = %q", got)
+	}
+}
+
+func TestPrefixMapPairsSorted(t *testing.T) {
+	pm := NewPrefixMap()
+	pairs := pm.Pairs()
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1][0] >= pairs[i][0] {
+			t.Errorf("Pairs not sorted: %v", pairs)
+		}
+	}
+}

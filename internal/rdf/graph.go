@@ -1,0 +1,380 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is a set of triples indexed by subject, predicate and object so
+// that every single- or double-bound pattern is answered from a hash
+// lookup. Graph is safe for concurrent use.
+//
+// The zero value is not ready to use; call NewGraph.
+type Graph struct {
+	mu  sync.RWMutex
+	spo index
+	pos index
+	osp index
+	n   int
+}
+
+// index is a three-level hash index over triples. The meaning of the
+// levels depends on the permutation (spo, pos, osp).
+type index map[Term]map[Term]map[Term]struct{}
+
+func (ix index) add(a, b, c Term) bool {
+	m2, ok := ix[a]
+	if !ok {
+		m2 = make(map[Term]map[Term]struct{})
+		ix[a] = m2
+	}
+	m3, ok := m2[b]
+	if !ok {
+		m3 = make(map[Term]struct{})
+		m2[b] = m3
+	}
+	if _, dup := m3[c]; dup {
+		return false
+	}
+	m3[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c Term) bool {
+	m2, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m3[c]; !ok {
+		return false
+	}
+	delete(m3, c)
+	if len(m3) == 0 {
+		delete(m2, b)
+		if len(m2) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(index),
+		pos: make(index),
+		osp: make(index),
+	}
+}
+
+// Add inserts a triple. It reports whether the triple was newly added
+// (false if it was already present) and returns an error for structurally
+// invalid triples.
+func (g *Graph) Add(t Triple) (bool, error) {
+	if !t.Valid() {
+		return false, fmt.Errorf("rdf: invalid triple %s", t)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.add(t.S, t.P, t.O) {
+		return false, nil
+	}
+	g.pos.add(t.P, t.O, t.S)
+	g.osp.add(t.O, t.S, t.P)
+	g.n++
+	return true, nil
+}
+
+// MustAdd inserts a triple and panics on structural invalidity. It is a
+// convenience for fixtures and internally generated triples whose shape
+// is known to be valid.
+func (g *Graph) MustAdd(t Triple) {
+	if _, err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts every triple, stopping at the first invalid one.
+func (g *Graph) AddAll(ts []Triple) error {
+	for _, t := range ts {
+		if _, err := g.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.remove(t.P, t.O, t.S)
+	g.osp.remove(t.O, t.S, t.P)
+	g.n--
+	return true
+}
+
+// Has reports whether the exact triple is present.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	m2, ok := g.spo[t.S]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = m3[t.O]
+	return ok
+}
+
+// Len returns the number of stored triples.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Match returns all triples matching the pattern, where each of s, p, o
+// is either a concrete term or the Any wildcard. Results are returned in
+// a deterministic (sorted) order.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	out := g.matchLocked(s, p, o)
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// MatchFirst returns an arbitrary triple matching the pattern, or ok =
+// false if none does. It avoids materializing and sorting the full match
+// set.
+func (g *Graph) MatchFirst(s, p, o Term) (Triple, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	res := g.matchLocked(s, p, o)
+	if len(res) == 0 {
+		return Triple{}, false
+	}
+	sort.Slice(res, func(i, j int) bool { return CompareTriples(res[i], res[j]) < 0 })
+	return res[0], true
+}
+
+// Count returns the number of triples matching the pattern without the
+// sorting cost of Match.
+func (g *Graph) Count(s, p, o Term) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.matchLocked(s, p, o))
+}
+
+func (g *Graph) matchLocked(s, p, o Term) []Triple {
+	var out []Triple
+	sAny, pAny, oAny := s.IsAny(), p.IsAny(), o.IsAny()
+	switch {
+	case !sAny && !pAny && !oAny:
+		if m2, ok := g.spo[s]; ok {
+			if m3, ok := m2[p]; ok {
+				if _, ok := m3[o]; ok {
+					out = append(out, T(s, p, o))
+				}
+			}
+		}
+	case !sAny && !pAny: // s p ?
+		if m2, ok := g.spo[s]; ok {
+			for obj := range m2[p] {
+				out = append(out, T(s, p, obj))
+			}
+		}
+	case !sAny && !oAny: // s ? o
+		if m2, ok := g.osp[o]; ok {
+			for pred := range m2[s] {
+				out = append(out, T(s, pred, o))
+			}
+		}
+	case !pAny && !oAny: // ? p o
+		if m2, ok := g.pos[p]; ok {
+			for subj := range m2[o] {
+				out = append(out, T(subj, p, o))
+			}
+		}
+	case !sAny: // s ? ?
+		for pred, m3 := range g.spo[s] {
+			for obj := range m3 {
+				out = append(out, T(s, pred, obj))
+			}
+		}
+	case !pAny: // ? p ?
+		for obj, m3 := range g.pos[p] {
+			for subj := range m3 {
+				out = append(out, T(subj, p, obj))
+			}
+		}
+	case !oAny: // ? ? o
+		for subj, m3 := range g.osp[o] {
+			for pred := range m3 {
+				out = append(out, T(subj, pred, o))
+			}
+		}
+	default: // ? ? ?
+		for subj, m2 := range g.spo {
+			for pred, m3 := range m2 {
+				for obj := range m3 {
+					out = append(out, T(subj, pred, obj))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Triples returns all triples in deterministic order.
+func (g *Graph) Triples() []Triple { return g.Match(Any, Any, Any) }
+
+// Subjects returns the distinct subjects of triples matching (Any, p, o).
+func (g *Graph) Subjects(p, o Term) []Term {
+	seen := map[Term]struct{}{}
+	var out []Term
+	for _, t := range g.Match(Any, p, o) {
+		if _, dup := seen[t.S]; !dup {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+	}
+	return out
+}
+
+// Objects returns the distinct objects of triples matching (s, p, Any).
+func (g *Graph) Objects(s, p Term) []Term {
+	seen := map[Term]struct{}{}
+	var out []Term
+	for _, t := range g.Match(s, p, Any) {
+		if _, dup := seen[t.O]; !dup {
+			seen[t.O] = struct{}{}
+			out = append(out, t.O)
+		}
+	}
+	return out
+}
+
+// Object returns the single object of (s, p, ·). ok is false when no such
+// triple exists; when several exist the smallest by Compare is returned.
+func (g *Graph) Object(s, p Term) (Term, bool) {
+	t, ok := g.MatchFirst(s, p, Any)
+	if !ok {
+		return Term{}, false
+	}
+	return t.O, true
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	for _, t := range g.Triples() {
+		out.MustAdd(t)
+	}
+	return out
+}
+
+// Merge adds every triple of other into g.
+func (g *Graph) Merge(other *Graph) {
+	for _, t := range other.Triples() {
+		g.MustAdd(t)
+	}
+}
+
+// Equal reports whether two graphs contain exactly the same triples.
+// (Blank nodes are compared by label, not by isomorphism; MDM never
+// relies on blank-node renaming.)
+func (g *Graph) Equal(other *Graph) bool {
+	if g.Len() != other.Len() {
+		return false
+	}
+	for _, t := range g.Triples() {
+		if !other.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubClassClosure returns the set of classes reachable from class via
+// zero or more rdfs:subClassOf edges (reflexive, transitive closure).
+func (g *Graph) SubClassClosure(class Term) map[Term]bool {
+	return g.closure(class, IRI(RDFSSubClassOf), false)
+}
+
+// SuperClassClosure returns class plus all its (transitive) superclasses.
+func (g *Graph) SuperClassClosure(class Term) map[Term]bool {
+	return g.closure(class, IRI(RDFSSubClassOf), true)
+}
+
+// closure walks pred-edges from start. forward=true follows start→object
+// direction (superclasses); forward=false follows object→subject
+// (subclasses).
+func (g *Graph) closure(start, pred Term, forward bool) map[Term]bool {
+	seen := map[Term]bool{start: true}
+	frontier := []Term{start}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			var neigh []Term
+			if forward {
+				neigh = g.Objects(cur, pred)
+			} else {
+				neigh = g.Subjects(pred, cur)
+			}
+			for _, n := range neigh {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// IsSubClassOf reports whether sub is class or a (transitive) subclass of
+// class.
+func (g *Graph) IsSubClassOf(sub, class Term) bool {
+	return g.SuperClassClosure(sub)[class]
+}
+
+// SameAs returns the owl:sameAs equivalence set of t (bidirectional,
+// transitive, including t itself).
+func (g *Graph) SameAs(t Term) map[Term]bool {
+	seen := map[Term]bool{t: true}
+	frontier := []Term{t}
+	same := IRI(OWLSameAs)
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, cur := range frontier {
+			for _, n := range g.Objects(cur, same) {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+			for _, n := range g.Subjects(same, cur) {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}

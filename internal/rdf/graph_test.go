@@ -1,0 +1,304 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mkTriple(i int) Triple {
+	return T(
+		IRI(fmt.Sprintf("http://ex.org/s%d", i%7)),
+		IRI(fmt.Sprintf("http://ex.org/p%d", i%3)),
+		IntLit(int64(i)),
+	)
+}
+
+func TestGraphAddHasRemove(t *testing.T) {
+	g := NewGraph()
+	tr := T(IRI("s"), IRI("p"), Lit("o"))
+	added, err := g.Add(tr)
+	if err != nil || !added {
+		t.Fatalf("Add = %v, %v", added, err)
+	}
+	if !g.Has(tr) {
+		t.Fatal("Has = false after Add")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	added, err = g.Add(tr)
+	if err != nil || added {
+		t.Fatalf("duplicate Add = %v, %v; want false, nil", added, err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len after dup = %d", g.Len())
+	}
+	if !g.Remove(tr) {
+		t.Fatal("Remove = false")
+	}
+	if g.Has(tr) || g.Len() != 0 {
+		t.Fatal("triple still present after Remove")
+	}
+	if g.Remove(tr) {
+		t.Fatal("second Remove should report false")
+	}
+}
+
+func TestGraphAddInvalid(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Add(T(Lit("s"), IRI("p"), IRI("o"))); err == nil {
+		t.Error("literal subject should be rejected")
+	}
+	if _, err := g.Add(T(IRI("s"), Blank("p"), IRI("o"))); err == nil {
+		t.Error("blank predicate should be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on invalid triple")
+		}
+	}()
+	g.MustAdd(T(Any, IRI("p"), IRI("o")))
+}
+
+func TestGraphMatchAllPatternShapes(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 30; i++ {
+		g.MustAdd(mkTriple(i))
+	}
+	s, p, o := IRI("http://ex.org/s1"), IRI("http://ex.org/p1"), IntLit(1)
+
+	type pat struct {
+		s, p, o Term
+	}
+	pats := []pat{
+		{s, p, o}, {s, p, Any}, {s, Any, o}, {Any, p, o},
+		{s, Any, Any}, {Any, p, Any}, {Any, Any, o}, {Any, Any, Any},
+	}
+	for _, pt := range pats {
+		got := g.Match(pt.s, pt.p, pt.o)
+		// Cross-check against a brute-force scan.
+		var want int
+		for _, tr := range g.Triples() {
+			if (pt.s.IsAny() || tr.S == pt.s) && (pt.p.IsAny() || tr.P == pt.p) && (pt.o.IsAny() || tr.O == pt.o) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("Match(%v,%v,%v) = %d results, want %d", pt.s, pt.p, pt.o, len(got), want)
+		}
+		if g.Count(pt.s, pt.p, pt.o) != want {
+			t.Errorf("Count(%v,%v,%v) != brute force", pt.s, pt.p, pt.o)
+		}
+		for i := 1; i < len(got); i++ {
+			if CompareTriples(got[i-1], got[i]) >= 0 {
+				t.Errorf("Match results not sorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestGraphMatchFirst(t *testing.T) {
+	g := NewGraph()
+	if _, ok := g.MatchFirst(Any, Any, Any); ok {
+		t.Error("MatchFirst on empty graph should report false")
+	}
+	g.MustAdd(T(IRI("s"), IRI("p"), Lit("b")))
+	g.MustAdd(T(IRI("s"), IRI("p"), Lit("a")))
+	tr, ok := g.MatchFirst(IRI("s"), IRI("p"), Any)
+	if !ok || tr.O != Lit("a") {
+		t.Errorf("MatchFirst = %v, %v; want smallest object \"a\"", tr, ok)
+	}
+}
+
+func TestGraphObjectsSubjects(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(T(IRI("s1"), IRI("p"), IRI("o1")))
+	g.MustAdd(T(IRI("s1"), IRI("p"), IRI("o2")))
+	g.MustAdd(T(IRI("s2"), IRI("p"), IRI("o1")))
+	if got := g.Objects(IRI("s1"), IRI("p")); len(got) != 2 {
+		t.Errorf("Objects = %v", got)
+	}
+	if got := g.Subjects(IRI("p"), IRI("o1")); len(got) != 2 {
+		t.Errorf("Subjects = %v", got)
+	}
+	o, ok := g.Object(IRI("s2"), IRI("p"))
+	if !ok || o != IRI("o1") {
+		t.Errorf("Object = %v, %v", o, ok)
+	}
+	if _, ok := g.Object(IRI("s3"), IRI("p")); ok {
+		t.Error("Object on missing subject should report false")
+	}
+}
+
+func TestGraphCloneMergeEqual(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.MustAdd(mkTriple(i))
+	}
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.MustAdd(T(IRI("extra"), IRI("p"), Lit("v")))
+	if g.Equal(c) {
+		t.Fatal("Equal should detect extra triple")
+	}
+	if g.Len() == c.Len() {
+		t.Fatal("clone mutation affected original")
+	}
+	g2 := NewGraph()
+	g2.Merge(g)
+	g2.Merge(c)
+	if g2.Len() != c.Len() {
+		t.Fatalf("merge union size = %d, want %d", g2.Len(), c.Len())
+	}
+	// Equal with same length but different content.
+	a, b := NewGraph(), NewGraph()
+	a.MustAdd(T(IRI("x"), IRI("p"), Lit("1")))
+	b.MustAdd(T(IRI("y"), IRI("p"), Lit("1")))
+	if a.Equal(b) {
+		t.Fatal("graphs with different triples reported equal")
+	}
+}
+
+func TestSubClassClosure(t *testing.T) {
+	g := NewGraph()
+	sub := IRI(RDFSSubClassOf)
+	// identifier <- teamId <- specialTeamId ; identifier <- playerId
+	g.MustAdd(T(IRI("teamId"), sub, IRI("identifier")))
+	g.MustAdd(T(IRI("specialTeamId"), sub, IRI("teamId")))
+	g.MustAdd(T(IRI("playerId"), sub, IRI("identifier")))
+	g.MustAdd(T(IRI("unrelated"), sub, IRI("other")))
+
+	down := g.SubClassClosure(IRI("identifier"))
+	for _, want := range []string{"identifier", "teamId", "specialTeamId", "playerId"} {
+		if !down[IRI(want)] {
+			t.Errorf("SubClassClosure missing %s", want)
+		}
+	}
+	if down[IRI("unrelated")] {
+		t.Error("SubClassClosure leaked unrelated class")
+	}
+
+	up := g.SuperClassClosure(IRI("specialTeamId"))
+	for _, want := range []string{"specialTeamId", "teamId", "identifier"} {
+		if !up[IRI(want)] {
+			t.Errorf("SuperClassClosure missing %s", want)
+		}
+	}
+	if !g.IsSubClassOf(IRI("specialTeamId"), IRI("identifier")) {
+		t.Error("IsSubClassOf transitive failed")
+	}
+	if g.IsSubClassOf(IRI("identifier"), IRI("specialTeamId")) {
+		t.Error("IsSubClassOf inverted")
+	}
+	if !g.IsSubClassOf(IRI("teamId"), IRI("teamId")) {
+		t.Error("IsSubClassOf should be reflexive")
+	}
+}
+
+func TestSubClassClosureCycleTerminates(t *testing.T) {
+	g := NewGraph()
+	sub := IRI(RDFSSubClassOf)
+	g.MustAdd(T(IRI("a"), sub, IRI("b")))
+	g.MustAdd(T(IRI("b"), sub, IRI("a")))
+	got := g.SubClassClosure(IRI("a"))
+	if !got[IRI("a")] || !got[IRI("b")] || len(got) != 2 {
+		t.Errorf("cycle closure = %v", got)
+	}
+}
+
+func TestSameAsSymmetricTransitive(t *testing.T) {
+	g := NewGraph()
+	same := IRI(OWLSameAs)
+	g.MustAdd(T(IRI("a"), same, IRI("b")))
+	g.MustAdd(T(IRI("c"), same, IRI("b"))) // reverse direction link
+	g.MustAdd(T(IRI("c"), same, IRI("d")))
+	set := g.SameAs(IRI("a"))
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !set[IRI(want)] {
+			t.Errorf("SameAs missing %s, got %v", want, set)
+		}
+	}
+	if len(set) != 4 {
+		t.Errorf("SameAs size = %d", len(set))
+	}
+	solo := g.SameAs(IRI("z"))
+	if len(solo) != 1 || !solo[IRI("z")] {
+		t.Errorf("SameAs singleton = %v", solo)
+	}
+}
+
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.MustAdd(mkTriple(w*200 + i))
+				g.Match(Any, IRI("http://ex.org/p1"), Any)
+				g.Count(Any, Any, Any)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() == 0 {
+		t.Fatal("no triples after concurrent writes")
+	}
+}
+
+func TestPropAddThenHasAndRemove(t *testing.T) {
+	prop := func(ts []Triple) bool {
+		g := NewGraph()
+		for _, tr := range ts {
+			g.MustAdd(tr)
+		}
+		for _, tr := range ts {
+			if !g.Has(tr) {
+				return false
+			}
+		}
+		for _, tr := range ts {
+			g.Remove(tr)
+		}
+		return g.Len() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMatchConsistentWithTriples(t *testing.T) {
+	prop := func(ts []Triple) bool {
+		g := NewGraph()
+		uniq := map[Triple]struct{}{}
+		for _, tr := range ts {
+			g.MustAdd(tr)
+			uniq[tr] = struct{}{}
+		}
+		if g.Len() != len(uniq) {
+			return false
+		}
+		return len(g.Triples()) == len(uniq)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneEqual(t *testing.T) {
+	prop := func(ts []Triple) bool {
+		g := NewGraph()
+		for _, tr := range ts {
+			g.MustAdd(tr)
+		}
+		return g.Equal(g.Clone())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", IRI("http://ex.org/a"), KindIRI, "<http://ex.org/a>"},
+		{"plain literal", Lit("hello"), KindLiteral, `"hello"`},
+		{"typed literal", TypedLit("5", XSDInteger), KindLiteral, `"5"^^<` + XSDInteger + ">"},
+		{"lang literal", LangLit("hola", "es"), KindLiteral, `"hola"@es`},
+		{"int literal", IntLit(42), KindLiteral, `"42"^^<` + XSDInteger + ">"},
+		{"bool literal", BoolLit(true), KindLiteral, `"true"^^<` + XSDBoolean + ">"},
+		{"blank", Blank("b1"), KindBlank, "_:b1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind != c.kind {
+				t.Errorf("kind = %v, want %v", c.term.Kind, c.kind)
+			}
+			if got := c.term.String(); got != c.str {
+				t.Errorf("String() = %q, want %q", got, c.str)
+			}
+		})
+	}
+}
+
+func TestTermStringEscapesQuotes(t *testing.T) {
+	if got := Lit(`say "hi"`).String(); got != `"say \"hi\""` {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestXSDStringLiteralRendersPlain(t *testing.T) {
+	if got := TypedLit("x", XSDString).String(); got != `"x"` {
+		t.Errorf("xsd:string literal should render without datatype, got %q", got)
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !IRI("x").IsIRI() || IRI("x").IsLiteral() || IRI("x").IsBlank() {
+		t.Error("IRI predicates wrong")
+	}
+	if !Lit("x").IsLiteral() || !Blank("x").IsBlank() || !Any.IsAny() {
+		t.Error("kind predicates wrong")
+	}
+	var zero Term
+	if !zero.IsZero() || zero.IsAny() == false && zero.Kind != KindIRI {
+		// zero value has KindIRI(0) but empty value; IsZero must hold.
+		if !zero.IsZero() {
+			t.Error("zero term not detected")
+		}
+	}
+	if IRI("x").IsZero() {
+		t.Error("non-zero term reported zero")
+	}
+}
+
+func TestTermNumericParsing(t *testing.T) {
+	if v, err := IntLit(-7).Int(); err != nil || v != -7 {
+		t.Errorf("Int() = %d, %v", v, err)
+	}
+	if v, err := FloatLit(2.5).Float(); err != nil || v != 2.5 {
+		t.Errorf("Float() = %g, %v", v, err)
+	}
+	if v, err := BoolLit(true).Bool(); err != nil || !v {
+		t.Errorf("Bool() = %v, %v", v, err)
+	}
+	if _, err := IRI("x").Int(); err == nil {
+		t.Error("Int() on IRI should error")
+	}
+	if _, err := IRI("x").Float(); err == nil {
+		t.Error("Float() on IRI should error")
+	}
+	if _, err := Blank("x").Bool(); err == nil {
+		t.Error("Bool() on blank should error")
+	}
+	if _, err := Lit("abc").Int(); err == nil {
+		t.Error("Int() on non-numeric literal should error")
+	}
+}
+
+func TestLocalNameAndNamespace(t *testing.T) {
+	cases := []struct {
+		iri, local, ns string
+	}{
+		{"http://schema.org/SportsTeam", "SportsTeam", "http://schema.org/"},
+		{"http://www.w3.org/2000/01/rdf-schema#label", "label", "http://www.w3.org/2000/01/rdf-schema#"},
+		{"urn:x", "urn:x", ""}, // no #/ separator: whole IRI is the local name
+	}
+	for _, c := range cases {
+		term := IRI(c.iri)
+		if got := term.LocalName(); got != c.local {
+			t.Errorf("LocalName(%s) = %q, want %q", c.iri, got, c.local)
+		}
+	}
+	if got := IRI("http://schema.org/SportsTeam").Namespace(); got != "http://schema.org/" {
+		t.Errorf("Namespace = %q", got)
+	}
+	if got := Lit("x").Namespace(); got != "" {
+		t.Errorf("Namespace of literal = %q, want empty", got)
+	}
+	if got := Lit("v").LocalName(); got != "v" {
+		t.Errorf("LocalName of literal = %q", got)
+	}
+}
+
+func TestCompareOrdersKinds(t *testing.T) {
+	iri, blank, lit := IRI("m"), Blank("m"), Lit("m")
+	if Compare(iri, blank) >= 0 {
+		t.Error("IRI should sort before blank")
+	}
+	if Compare(blank, lit) >= 0 {
+		t.Error("blank should sort before literal")
+	}
+	if Compare(lit, lit) != 0 {
+		t.Error("equal terms should compare 0")
+	}
+	if Compare(Lit("a"), Lit("b")) >= 0 {
+		t.Error("lexical order on value expected")
+	}
+	if Compare(TypedLit("1", XSDInteger), TypedLit("1", XSDDouble)) == 0 {
+		t.Error("datatype must participate in comparison")
+	}
+	if Compare(LangLit("x", "en"), LangLit("x", "fr")) == 0 {
+		t.Error("lang must participate in comparison")
+	}
+}
+
+func TestTripleValid(t *testing.T) {
+	good := []Triple{
+		T(IRI("s"), IRI("p"), IRI("o")),
+		T(Blank("b"), IRI("p"), Lit("v")),
+		T(IRI("s"), IRI("p"), Blank("b")),
+	}
+	for _, tr := range good {
+		if !tr.Valid() {
+			t.Errorf("triple %s should be valid", tr)
+		}
+	}
+	bad := []Triple{
+		T(Lit("s"), IRI("p"), IRI("o")),   // literal subject
+		T(IRI("s"), Lit("p"), IRI("o")),   // literal predicate
+		T(IRI("s"), Blank("p"), IRI("o")), // blank predicate
+		T(IRI("s"), IRI("p"), Any),        // wildcard object
+		T(Any, IRI("p"), IRI("o")),        // wildcard subject
+	}
+	for _, tr := range bad {
+		if tr.Valid() {
+			t.Errorf("triple %s should be invalid", tr)
+		}
+	}
+}
+
+func TestQuadString(t *testing.T) {
+	q := Q(IRI("s"), IRI("p"), IRI("o"), IRI("g"))
+	if got := q.String(); got != "<s> <p> <o> <g>" {
+		t.Errorf("Quad.String() = %q", got)
+	}
+	dq := Quad{Triple: T(IRI("s"), IRI("p"), IRI("o"))}
+	if got := dq.String(); got != "<s> <p> <o>" {
+		t.Errorf("default-graph Quad.String() = %q", got)
+	}
+}
+
+// genTerm produces a random concrete term for property tests.
+func genTerm(r *rand.Rand) Term {
+	switch r.Intn(3) {
+	case 0:
+		return IRI("http://ex.org/r" + string(rune('a'+r.Intn(26))))
+	case 1:
+		return Blank("b" + string(rune('a'+r.Intn(26))))
+	default:
+		return Lit("v" + string(rune('a'+r.Intn(26))))
+	}
+}
+
+// Generate implements quick.Generator for Triple, producing valid triples.
+func (Triple) Generate(r *rand.Rand, _ int) reflect.Value {
+	var s Term
+	if r.Intn(2) == 0 {
+		s = IRI("http://ex.org/s" + string(rune('a'+r.Intn(26))))
+	} else {
+		s = Blank("s" + string(rune('a'+r.Intn(26))))
+	}
+	p := IRI("http://ex.org/p" + string(rune('a'+r.Intn(8))))
+	return reflect.ValueOf(T(s, p, genTerm(r)))
+}
+
+func TestPropCompareTriplesIsTotalOrder(t *testing.T) {
+	antisym := func(a, b Triple) bool {
+		ab, ba := CompareTriples(a, b), CompareTriples(b, a)
+		if a == b {
+			return ab == 0 && ba == 0
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	reflexive := func(a Triple) bool { return CompareTriples(a, a) == 0 }
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGeneratedTriplesValid(t *testing.T) {
+	valid := func(tr Triple) bool { return tr.Valid() }
+	if err := quick.Check(valid, nil); err != nil {
+		t.Error(err)
+	}
+}

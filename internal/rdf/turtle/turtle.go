@@ -1,0 +1,603 @@
+// Package turtle implements a practical subset of the Turtle and TriG
+// RDF serialization formats: @prefix directives, prefixed names, IRI
+// references, string literals with datatype/language tags, numeric and
+// boolean shorthand, blank nodes, the "a" keyword, predicate lists (;)
+// and object lists (,), and TriG named-graph blocks.
+//
+// MDM uses it to load ontology fixtures and to export the global/source
+// graphs in a form inspectable with standard RDF tooling.
+package turtle
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"mdm/internal/rdf"
+)
+
+// ParseError describes a syntax error with line/column position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("turtle: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a Turtle document into a new graph. Prefix directives are
+// recorded into the returned PrefixMap.
+func Parse(src string) (*rdf.Graph, *rdf.PrefixMap, error) {
+	ds, err := ParseDataset(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds.Default(), ds.Prefixes(), nil
+}
+
+// ParseDataset parses a TriG document (Turtle plus named-graph blocks)
+// into a dataset.
+func ParseDataset(src string) (*rdf.Dataset, error) {
+	p := &parser{src: src, line: 1, col: 1, ds: rdf.NewDataset()}
+	if err := p.parseDocument(); err != nil {
+		return nil, err
+	}
+	return p.ds, nil
+}
+
+type parser struct {
+	src       string
+	pos       int
+	line, col int
+	ds        *rdf.Dataset
+	graph     rdf.Term // current named graph ("" = default)
+	blankSeq  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+func (p *parser) skipWS() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipWS()
+	if p.eof() || p.peek() != c {
+		return p.errf("expected %q, got %q", string(c), string(p.peek()))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseDocument() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseStatement() error {
+	p.skipWS()
+	// Directive?
+	if strings.HasPrefix(p.src[p.pos:], "@prefix") {
+		return p.parsePrefixDirective()
+	}
+	if strings.HasPrefix(strings.ToUpper(p.src[p.pos:]), "PREFIX") && p.isKeywordAt("PREFIX") {
+		return p.parseSparqlPrefix()
+	}
+	if strings.HasPrefix(strings.ToUpper(p.src[p.pos:]), "GRAPH") && p.isKeywordAt("GRAPH") {
+		for i := 0; i < 5; i++ {
+			p.advance()
+		}
+		return p.parseGraphBlockWithName()
+	}
+	// TriG graph block: IRI { ... } — look ahead for '{' after a term.
+	save := *p
+	term, err := p.parseTerm()
+	if err == nil {
+		p.skipWS()
+		if !p.eof() && p.peek() == '{' && term.IsIRI() {
+			p.advance()
+			return p.parseGraphBody(term)
+		}
+	}
+	*p = save
+	if !p.eof() && p.peek() == '{' { // anonymous default-graph block
+		p.advance()
+		return p.parseGraphBody(rdf.Term{})
+	}
+	return p.parseTriples()
+}
+
+// isKeywordAt reports whether the upcoming token equals the keyword
+// case-insensitively and is followed by whitespace or '<'.
+func (p *parser) isKeywordAt(kw string) bool {
+	rest := p.src[p.pos:]
+	if len(rest) < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(rest[:len(kw)], kw) {
+		return false
+	}
+	if len(rest) == len(kw) {
+		return true
+	}
+	c := rest[len(kw)]
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '<'
+}
+
+func (p *parser) parsePrefixDirective() error {
+	for i := 0; i < len("@prefix"); i++ {
+		p.advance()
+	}
+	if err := p.bindPrefix(); err != nil {
+		return err
+	}
+	return p.expect('.')
+}
+
+func (p *parser) parseSparqlPrefix() error {
+	for i := 0; i < len("PREFIX"); i++ {
+		p.advance()
+	}
+	return p.bindPrefix()
+}
+
+func (p *parser) bindPrefix() error {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.peek() != ':' {
+		p.advance()
+	}
+	prefix := strings.TrimSpace(p.src[start:p.pos])
+	if err := p.expect(':'); err != nil {
+		return err
+	}
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.ds.Prefixes().Bind(prefix, iri)
+	return nil
+}
+
+func (p *parser) parseGraphBlockWithName() error {
+	p.skipWS()
+	name, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	if !name.IsIRI() {
+		return p.errf("graph name must be an IRI, got %s", name)
+	}
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	return p.parseGraphBody(name)
+}
+
+func (p *parser) parseGraphBody(name rdf.Term) error {
+	prev := p.graph
+	p.graph = name
+	defer func() { p.graph = prev }()
+	for {
+		p.skipWS()
+		if p.eof() {
+			return p.errf("unterminated graph block")
+		}
+		if p.peek() == '}' {
+			p.advance()
+			return nil
+		}
+		if err := p.parseTriples(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseTriples() error {
+	subj, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			if _, err := p.ds.Graph(p.graph).Add(rdf.T(subj, pred, obj)); err != nil {
+				return p.errf("%v", err)
+			}
+			p.skipWS()
+			if !p.eof() && p.peek() == ',' {
+				p.advance()
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if !p.eof() && p.peek() == ';' {
+			p.advance()
+			p.skipWS()
+			// Allow trailing ; before .
+			if !p.eof() && (p.peek() == '.' || p.peek() == '}') {
+				break
+			}
+			continue
+		}
+		break
+	}
+	p.skipWS()
+	if !p.eof() && p.peek() == '.' {
+		p.advance()
+		return nil
+	}
+	if !p.eof() && p.peek() == '}' {
+		return nil // graph block closes the statement
+	}
+	return p.errf("expected '.' after triples")
+}
+
+func (p *parser) parsePredicate() (rdf.Term, error) {
+	p.skipWS()
+	if !p.eof() && p.peek() == 'a' {
+		// "a" keyword only if followed by whitespace.
+		if p.pos+1 >= len(p.src) || isWS(p.src[p.pos+1]) {
+			p.advance()
+			return rdf.IRI(rdf.RDFType), nil
+		}
+	}
+	return p.parseTerm()
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func (p *parser) parseTerm() (rdf.Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return rdf.Term{}, p.errf("unexpected end of input")
+	}
+	switch c := p.peek(); {
+	case c == '<':
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.IRI(iri), nil
+	case c == '"':
+		return p.parseLiteral()
+	case c == '_':
+		return p.parseBlank()
+	case c == '[':
+		p.advance()
+		p.skipWS()
+		if p.eof() || p.peek() != ']' {
+			return rdf.Term{}, p.errf("only empty blank node property lists [] are supported")
+		}
+		p.advance()
+		p.blankSeq++
+		return rdf.Blank(fmt.Sprintf("anon%d", p.blankSeq)), nil
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return p.parsePrefixedOrKeyword()
+	}
+}
+
+func (p *parser) parseIRIRef() (string, error) {
+	if err := p.expect('<'); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated IRI")
+		}
+		c := p.advance()
+		if c == '>' {
+			return sb.String(), nil
+		}
+		if c == ' ' || c == '\n' {
+			return "", p.errf("whitespace in IRI")
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func (p *parser) parseLiteral() (rdf.Term, error) {
+	if err := p.expect('"'); err != nil {
+		return rdf.Term{}, err
+	}
+	var sb strings.Builder
+	for {
+		if p.eof() {
+			return rdf.Term{}, p.errf("unterminated string literal")
+		}
+		c := p.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if p.eof() {
+				return rdf.Term{}, p.errf("dangling escape")
+			}
+			e := p.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"', '\\':
+				sb.WriteByte(e)
+			case 'u':
+				if p.pos+4 > len(p.src) {
+					return rdf.Term{}, p.errf("truncated \\u escape")
+				}
+				hex := p.src[p.pos : p.pos+4]
+				v, err := strconv.ParseUint(hex, 16, 32)
+				if err != nil {
+					return rdf.Term{}, p.errf("bad \\u escape %q", hex)
+				}
+				for i := 0; i < 4; i++ {
+					p.advance()
+				}
+				sb.WriteRune(rune(v))
+			default:
+				return rdf.Term{}, p.errf("unsupported escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	lex := sb.String()
+	// Datatype or language tag?
+	if !p.eof() && p.peek() == '^' {
+		p.advance()
+		if err := p.expect('^'); err != nil {
+			return rdf.Term{}, err
+		}
+		p.skipWS()
+		dt, err := p.parseTerm()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if !dt.IsIRI() {
+			return rdf.Term{}, p.errf("datatype must be an IRI")
+		}
+		return rdf.TypedLit(lex, dt.Value), nil
+	}
+	if !p.eof() && p.peek() == '@' {
+		p.advance()
+		start := p.pos
+		for !p.eof() && (isAlnum(p.peek()) || p.peek() == '-') {
+			p.advance()
+		}
+		return rdf.LangLit(lex, p.src[start:p.pos]), nil
+	}
+	return rdf.Lit(lex), nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *parser) parseBlank() (rdf.Term, error) {
+	p.advance() // _
+	if err := p.expect(':'); err != nil {
+		return rdf.Term{}, err
+	}
+	start := p.pos
+	for !p.eof() && isNameChar(p.peek()) {
+		p.advance()
+	}
+	if p.pos == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	return rdf.Blank(p.src[start:p.pos]), nil
+}
+
+func (p *parser) parseNumber() (rdf.Term, error) {
+	start := p.pos
+	if p.peek() == '+' || p.peek() == '-' {
+		p.advance()
+	}
+	dots := 0
+	for !p.eof() {
+		c := p.peek()
+		if c >= '0' && c <= '9' {
+			p.advance()
+			continue
+		}
+		if c == '.' {
+			// a trailing '.' is the statement terminator, not a decimal
+			// point, unless followed by a digit.
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+				dots++
+				p.advance()
+				continue
+			}
+		}
+		if c == 'e' || c == 'E' {
+			p.advance()
+			if !p.eof() && (p.peek() == '+' || p.peek() == '-') {
+				p.advance()
+			}
+			continue
+		}
+		break
+	}
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return rdf.Term{}, p.errf("malformed number")
+	}
+	if dots > 0 || strings.ContainsAny(lex, "eE") {
+		return rdf.TypedLit(lex, rdf.XSDDouble), nil
+	}
+	return rdf.TypedLit(lex, rdf.XSDInteger), nil
+}
+
+func isNameChar(c byte) bool {
+	return isAlnum(c) || c == '_' || c == '-' || c == '.'
+}
+
+func (p *parser) parsePrefixedOrKeyword() (rdf.Term, error) {
+	start := p.pos
+	for !p.eof() && (isNameChar(p.peek()) || p.peek() == ':') {
+		// stop name at ':' boundary handled below; consume all for now
+		p.advance()
+	}
+	tok := p.src[start:p.pos]
+	// name characters may include a trailing '.' which is really the
+	// statement terminator.
+	for strings.HasSuffix(tok, ".") {
+		tok = tok[:len(tok)-1]
+		p.pos--
+		p.col--
+	}
+	switch tok {
+	case "true":
+		return rdf.BoolLit(true), nil
+	case "false":
+		return rdf.BoolLit(false), nil
+	case "":
+		return rdf.Term{}, p.errf("unexpected character %q", string(p.peek()))
+	}
+	i := strings.Index(tok, ":")
+	if i < 0 {
+		return rdf.Term{}, p.errf("bare word %q is not a valid term", tok)
+	}
+	iri, ok := p.ds.Prefixes().Expand(tok)
+	if !ok {
+		return rdf.Term{}, p.errf("unknown prefix in %q", tok)
+	}
+	return rdf.IRI(iri), nil
+}
+
+// --- Serialization ---
+
+// WriteGraph serializes a graph as Turtle using the given prefixes,
+// grouping triples by subject with ';' separators.
+func WriteGraph(g *rdf.Graph, pm *rdf.PrefixMap) string {
+	var sb strings.Builder
+	writePrefixes(&sb, pm)
+	writeGraphBody(&sb, g, pm, "")
+	return sb.String()
+}
+
+// WriteDataset serializes a dataset as TriG: the default graph at top
+// level followed by one block per named graph.
+func WriteDataset(ds *rdf.Dataset) string {
+	pm := ds.Prefixes()
+	var sb strings.Builder
+	writePrefixes(&sb, pm)
+	writeGraphBody(&sb, ds.Default(), pm, "")
+	for _, name := range ds.GraphNames() {
+		g, _ := ds.Lookup(name)
+		fmt.Fprintf(&sb, "%s {\n", pm.CompactTerm(name))
+		writeGraphBody(&sb, g, pm, "    ")
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func writePrefixes(sb *strings.Builder, pm *rdf.PrefixMap) {
+	for _, pair := range pm.Pairs() {
+		fmt.Fprintf(sb, "@prefix %s: <%s> .\n", pair[0], pair[1])
+	}
+	sb.WriteString("\n")
+}
+
+func writeGraphBody(sb *strings.Builder, g *rdf.Graph, pm *rdf.PrefixMap, indent string) {
+	triples := g.Triples()
+	bySubject := map[rdf.Term][]rdf.Triple{}
+	var order []rdf.Term
+	for _, t := range triples {
+		if _, ok := bySubject[t.S]; !ok {
+			order = append(order, t.S)
+		}
+		bySubject[t.S] = append(bySubject[t.S], t)
+	}
+	sort.Slice(order, func(i, j int) bool { return rdf.Compare(order[i], order[j]) < 0 })
+	for _, s := range order {
+		ts := bySubject[s]
+		fmt.Fprintf(sb, "%s%s ", indent, pm.CompactTerm(s))
+		for i, t := range ts {
+			pred := pm.CompactTerm(t.P)
+			if t.P.Value == rdf.RDFType {
+				pred = "a"
+			}
+			if i > 0 {
+				fmt.Fprintf(sb, " ;\n%s    ", indent)
+			}
+			fmt.Fprintf(sb, "%s %s", pred, pm.CompactTerm(t.O))
+		}
+		sb.WriteString(" .\n")
+	}
+}
+
+// Normalize round-trips src through the parser and serializer, useful in
+// tests to compare documents structurally.
+func Normalize(src string) (string, error) {
+	ds, err := ParseDataset(src)
+	if err != nil {
+		return "", err
+	}
+	return WriteDataset(ds), nil
+}
+
+// IsNameStart reports whether r can start a prefixed-name local part;
+// exposed for the SPARQL lexer to share.
+func IsNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}

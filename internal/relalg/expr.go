@@ -1,0 +1,179 @@
+package relalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pred is a selection predicate evaluated over a row within a schema.
+type Pred interface {
+	// Eval returns the truth value of the predicate. Comparisons
+	// involving NULL are false (SQL-like three-valued logic collapsed to
+	// two values).
+	Eval(cols []string, row Row) bool
+	String() string
+	// Columns appends referenced column names to dst.
+	Columns(dst map[string]bool)
+}
+
+// colIndexIn resolves a column name within a schema, returning -1 when
+// absent (predicate then evaluates to false).
+func colIndexIn(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Cmp compares a column against a constant or another column.
+type Cmp struct {
+	Op    string // = != < <= > >=
+	Col   string
+	Val   Value  // used when OtherCol == ""
+	Other string // other column name; "" when comparing to Val
+}
+
+// Eval implements Pred.
+func (c Cmp) Eval(cols []string, row Row) bool {
+	i := colIndexIn(cols, c.Col)
+	if i < 0 {
+		return false
+	}
+	left := row[i]
+	var right Value
+	if c.Other != "" {
+		j := colIndexIn(cols, c.Other)
+		if j < 0 {
+			return false
+		}
+		right = row[j]
+	} else {
+		right = c.Val
+	}
+	if left.IsNull() || right.IsNull() {
+		return false
+	}
+	switch c.Op {
+	case "=":
+		return Equal(left, right)
+	case "!=":
+		return !Equal(left, right)
+	}
+	cmp := Compare(left, right)
+	switch c.Op {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// Columns implements Pred.
+func (c Cmp) Columns(dst map[string]bool) {
+	dst[c.Col] = true
+	if c.Other != "" {
+		dst[c.Other] = true
+	}
+}
+
+func (c Cmp) String() string {
+	if c.Other != "" {
+		return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Other)
+	}
+	return fmt.Sprintf("%s %s %s", c.Col, c.Op, quoteVal(c.Val))
+}
+
+func quoteVal(v Value) string {
+	if v.T == TypeString {
+		return "'" + v.S + "'"
+	}
+	return v.Text()
+}
+
+// And conjoins predicates.
+type And struct{ Preds []Pred }
+
+// Eval implements Pred.
+func (a And) Eval(cols []string, row Row) bool {
+	for _, p := range a.Preds {
+		if !p.Eval(cols, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Columns implements Pred.
+func (a And) Columns(dst map[string]bool) {
+	for _, p := range a.Preds {
+		p.Columns(dst)
+	}
+}
+
+func (a And) String() string {
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// Or disjoins predicates.
+type Or struct{ Preds []Pred }
+
+// Eval implements Pred.
+func (o Or) Eval(cols []string, row Row) bool {
+	for _, p := range o.Preds {
+		if p.Eval(cols, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// Columns implements Pred.
+func (o Or) Columns(dst map[string]bool) {
+	for _, p := range o.Preds {
+		p.Columns(dst)
+	}
+}
+
+func (o Or) String() string {
+	parts := make([]string, len(o.Preds))
+	for i, p := range o.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// Not negates a predicate.
+type Not struct{ P Pred }
+
+// Eval implements Pred.
+func (n Not) Eval(cols []string, row Row) bool { return !n.P.Eval(cols, row) }
+
+// Columns implements Pred.
+func (n Not) Columns(dst map[string]bool) { n.P.Columns(dst) }
+
+func (n Not) String() string { return "¬" + n.P.String() }
+
+// NotNull is satisfied when the column is non-NULL.
+type NotNull struct{ Col string }
+
+// Eval implements Pred.
+func (n NotNull) Eval(cols []string, row Row) bool {
+	i := colIndexIn(cols, n.Col)
+	return i >= 0 && !row[i].IsNull()
+}
+
+// Columns implements Pred.
+func (n NotNull) Columns(dst map[string]bool) { dst[n.Col] = true }
+
+func (n NotNull) String() string { return n.Col + " IS NOT NULL" }

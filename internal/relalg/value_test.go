@@ -1,0 +1,150 @@
+package relalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndText(t *testing.T) {
+	cases := []struct {
+		v    Value
+		typ  Type
+		text string
+	}{
+		{Null(), TypeNull, ""},
+		{String("x"), TypeString, "x"},
+		{Int(-5), TypeInt, "-5"},
+		{Float(2.5), TypeFloat, "2.5"},
+		{Bool(true), TypeBool, "true"},
+	}
+	for _, c := range cases {
+		if c.v.T != c.typ {
+			t.Errorf("type of %#v = %v, want %v", c.v, c.v.T, c.typ)
+		}
+		if got := c.v.Text(); got != c.text {
+			t.Errorf("Text(%#v) = %q, want %q", c.v, got, c.text)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestInfer(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"170.18", Float(170.18)},
+		{"1e3", Float(1000)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"hello", String("hello")},
+		{"", String("")},
+		{"42abc", String("42abc")},
+	}
+	for _, c := range cases {
+		if got := Infer(c.in); got != c.want {
+			t.Errorf("Infer(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEqualNumericCoercion(t *testing.T) {
+	if !Equal(Int(5), Float(5.0)) {
+		t.Error("int 5 should equal float 5.0")
+	}
+	if Equal(Int(5), String("5")) {
+		t.Error("int should not equal string")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must be false")
+	}
+	if Equal(Null(), Int(0)) || Equal(Int(0), Null()) {
+		t.Error("NULL equals nothing")
+	}
+	if !Equal(String("a"), String("a")) || Equal(String("a"), String("b")) {
+		t.Error("string equality wrong")
+	}
+	if !Equal(Bool(true), Bool(true)) || Equal(Bool(true), Bool(false)) {
+		t.Error("bool equality wrong")
+	}
+	if Equal(Bool(true), Int(1)) {
+		t.Error("bool should not coerce to int")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Compare(Int(1), Int(2)) >= 0 || Compare(Int(2), Int(1)) <= 0 {
+		t.Error("int ordering wrong")
+	}
+	if Compare(Int(2), Float(2.5)) >= 0 {
+		t.Error("cross numeric ordering wrong")
+	}
+	if Compare(String("a"), String("b")) >= 0 {
+		t.Error("string ordering wrong")
+	}
+	if Compare(Null(), Int(0)) >= 0 {
+		t.Error("NULL should sort first")
+	}
+	if Compare(Bool(false), Bool(true)) >= 0 {
+		t.Error("false < true expected")
+	}
+	if Compare(Int(7), Int(7)) != 0 || Compare(Int(7), Float(7)) != 0 {
+		t.Error("equal numerics should compare 0")
+	}
+	if Compare(Bool(true), Int(0)) >= 0 {
+		t.Error("bool should rank below numeric")
+	}
+	if Compare(Int(999), String("0")) >= 0 {
+		t.Error("numeric should rank below string")
+	}
+}
+
+func TestKeyCoercesNumerics(t *testing.T) {
+	if Int(3).Key() != Float(3.0).Key() {
+		t.Error("int/float keys should match for equal magnitude")
+	}
+	if Int(3).Key() == String("3").Key() {
+		t.Error("int and string keys must differ")
+	}
+	if Null().Key() == String("").Key() {
+		t.Error("NULL key must differ from empty string")
+	}
+}
+
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEqualIffKeyEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Equal(Int(a), Int(b)) == (Int(a).Key() == Int(b).Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Equal(String(a), String(b)) == (String(a).Key() == String(b).Key())
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInferRoundTripsText(t *testing.T) {
+	f := func(i int64) bool {
+		v := Int(i)
+		return Infer(v.Text()) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,640 @@
+// Package rest exposes MDM over HTTP, replacing the Jersey/Java REST
+// backend of the original implementation (paper §2.5: "the backend is
+// implemented as a set of REST APIs ... the frontend interacts with the
+// backend by means of HTTP REST calls").
+//
+// The four interactions of paper §2 map onto the resource tree:
+//
+//	definition of the global graph   POST /api/global/{concepts,features,attach,identifiers,relations}
+//	registration of wrappers         POST /api/sources, POST /api/wrappers
+//	definition of LAV mappings       POST /api/mappings
+//	querying the global graph        POST /api/query  (walks), POST /api/sparql (metadata)
+//
+// plus read-side endpoints for stats, rendering, releases, drift
+// detection, validation and TriG export.
+package rest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mdm"
+	"mdm/internal/schema"
+	"mdm/internal/sparql"
+	"mdm/internal/store"
+	"mdm/internal/wrapper"
+)
+
+// Server is the MDM REST service.
+type Server struct {
+	sys *mdm.System
+	mux *http.ServeMux
+	// QueryTimeout bounds walk execution (default 30s).
+	QueryTimeout time.Duration
+}
+
+// NewServer wraps an MDM system.
+func NewServer(sys *mdm.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), QueryTimeout: 30 * time.Second}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/render/global", s.handleRenderGlobal)
+	s.mux.HandleFunc("GET /api/render/source", s.handleRenderSource)
+	s.mux.HandleFunc("GET /api/render/mappings", s.handleRenderMappings)
+	s.mux.HandleFunc("GET /api/validate", s.handleValidate)
+	s.mux.HandleFunc("GET /api/export", s.handleExport)
+
+	s.mux.HandleFunc("POST /api/prefixes", s.handleAddPrefix)
+	s.mux.HandleFunc("POST /api/global/concepts", s.handleAddConcept)
+	s.mux.HandleFunc("POST /api/global/features", s.handleAddFeature)
+	s.mux.HandleFunc("POST /api/global/attach", s.handleAttach)
+	s.mux.HandleFunc("POST /api/global/identifiers", s.handleMarkIdentifier)
+	s.mux.HandleFunc("POST /api/global/relations", s.handleRelate)
+
+	s.mux.HandleFunc("POST /api/sources", s.handleAddSource)
+	s.mux.HandleFunc("POST /api/wrappers", s.handleRegisterWrapper)
+	s.mux.HandleFunc("GET /api/wrappers", s.handleListWrappers)
+	s.mux.HandleFunc("GET /api/releases", s.handleReleases)
+	s.mux.HandleFunc("GET /api/drift/{wrapper}", s.handleDrift)
+
+	s.mux.HandleFunc("POST /api/mappings", s.handleDefineMapping)
+	s.mux.HandleFunc("GET /api/mappings/{wrapper}/suggest", s.handleSuggestMapping)
+
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/query/sparql", s.handleQuerySPARQL)
+	s.mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+
+	s.mux.HandleFunc("POST /api/walks", s.handleSaveWalk)
+	s.mux.HandleFunc("GET /api/walks", s.handleListWalks)
+	s.mux.HandleFunc("POST /api/walks/{name}/run", s.handleRunWalk)
+}
+
+// --- helpers ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func fail(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("rest: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- read side ---
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Stats())
+}
+
+func (s *Server) handleRenderGlobal(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"text": s.sys.RenderGlobalGraph()})
+}
+
+func (s *Server) handleRenderSource(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"text": s.sys.RenderSourceGraph()})
+}
+
+func (s *Server) handleRenderMappings(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"text": s.sys.RenderMappings()})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, _ *http.Request) {
+	violations := s.sys.Validate()
+	out := make([]string, len(violations))
+	for i, v := range violations {
+		out[i] = v.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"consistent": len(out) == 0, "violations": out})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/trig")
+	fmt.Fprint(w, s.sys.ExportTriG())
+}
+
+// --- global graph ---
+
+type prefixReq struct {
+	Prefix    string `json:"prefix"`
+	Namespace string `json:"namespace"`
+}
+
+func (s *Server) handleAddPrefix(w http.ResponseWriter, r *http.Request) {
+	var req prefixReq
+	if !decode(w, r, &req) {
+		return
+	}
+	s.sys.BindPrefix(req.Prefix, req.Namespace)
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+type nodeReq struct {
+	IRI   string `json:"iri"`
+	Label string `json:"label"`
+}
+
+func (s *Server) handleAddConcept(w http.ResponseWriter, r *http.Request) {
+	var req nodeReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.AddConcept(req.IRI, req.Label); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleAddFeature(w http.ResponseWriter, r *http.Request) {
+	var req nodeReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.AddFeature(req.IRI, req.Label); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+type attachReq struct {
+	Concept string `json:"concept"`
+	Feature string `json:"feature"`
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req attachReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.AttachFeature(req.Concept, req.Feature); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+type identifierReq struct {
+	Feature string `json:"feature"`
+}
+
+func (s *Server) handleMarkIdentifier(w http.ResponseWriter, r *http.Request) {
+	var req identifierReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.MarkIdentifier(req.Feature); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+type relationReq struct {
+	From     string `json:"from"`
+	Property string `json:"property"`
+	To       string `json:"to"`
+}
+
+func (s *Server) handleRelate(w http.ResponseWriter, r *http.Request) {
+	var req relationReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.RelateConcepts(req.From, req.Property, req.To); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+// --- sources & wrappers ---
+
+type sourceReq struct {
+	ID    string `json:"id"`
+	Label string `json:"label"`
+}
+
+func (s *Server) handleAddSource(w http.ResponseWriter, r *http.Request) {
+	var req sourceReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.AddSource(req.ID, req.Label); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+type wrapperReq struct {
+	Name    string            `json:"name"`
+	Source  string            `json:"source"`
+	URL     string            `json:"url"`
+	Format  string            `json:"format,omitempty"`
+	Renames map[string]string `json:"renames,omitempty"`
+}
+
+type releaseResp struct {
+	Seq        int      `json:"seq"`
+	Kind       string   `json:"kind"`
+	Source     string   `json:"source"`
+	Wrapper    string   `json:"wrapper"`
+	Signature  string   `json:"signature"`
+	Supersedes string   `json:"supersedes,omitempty"`
+	Breaking   bool     `json:"breaking"`
+	Changes    []string `json:"changes,omitempty"`
+}
+
+func toReleaseResp(rel mdm.Release) releaseResp {
+	out := releaseResp{
+		Seq: rel.Seq, Kind: string(rel.Kind), Source: rel.SourceID,
+		Wrapper: rel.Wrapper, Signature: rel.Signature,
+		Supersedes: rel.Supersedes, Breaking: rel.Breaking,
+	}
+	for _, c := range rel.Changes {
+		out.Changes = append(out.Changes, c.String())
+	}
+	return out
+}
+
+// handleRegisterWrapper registers an HTTP wrapper against a live
+// endpoint: MDM fetches a sample, extracts the signature and records the
+// release (paper §2.2 made operational).
+func (s *Server) handleRegisterWrapper(w http.ResponseWriter, r *http.Request) {
+	var req wrapperReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Source == "" || req.URL == "" {
+		fail(w, http.StatusBadRequest, fmt.Errorf("rest: name, source and url are required"))
+		return
+	}
+	opts := []wrapper.HTTPOption{}
+	if req.Format != "" {
+		opts = append(opts, wrapper.WithFormat(schema.Format(req.Format)))
+	}
+	for from, to := range req.Renames {
+		opts = append(opts, wrapper.WithRename(from, to))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	hw, err := wrapper.NewHTTP(ctx, req.Name, req.Source, req.URL, opts...)
+	if err != nil {
+		fail(w, http.StatusBadGateway, err)
+		return
+	}
+	rel, err := s.sys.RegisterWrapper(hw)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toReleaseResp(rel))
+}
+
+type wrapperInfo struct {
+	Name      string `json:"name"`
+	Source    string `json:"source"`
+	Signature string `json:"signature"`
+}
+
+func (s *Server) handleListWrappers(w http.ResponseWriter, _ *http.Request) {
+	var out []wrapperInfo
+	for _, name := range s.sys.Wrappers().Names() {
+		wr, _ := s.sys.Wrappers().Get(name)
+		out = append(out, wrapperInfo{Name: name, Source: wr.SourceID(), Signature: wr.Signature().String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReleases(w http.ResponseWriter, _ *http.Request) {
+	rels := s.sys.ReleaseLog()
+	out := make([]releaseResp, len(rels))
+	for i, rel := range rels {
+		out[i] = toReleaseResp(rel)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("wrapper")
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	changes, err := s.sys.DetectDrift(ctx, name)
+	if err != nil {
+		fail(w, http.StatusNotFound, err)
+		return
+	}
+	descs := make([]string, len(changes))
+	breaking := false
+	for i, c := range changes {
+		descs[i] = c.String()
+		breaking = breaking || c.Breaking()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"wrapper": name, "drift": descs, "breaking": breaking})
+}
+
+// --- mappings ---
+
+type mappingReq struct {
+	Wrapper  string            `json:"wrapper"`
+	Subgraph [][3]string       `json:"subgraph"`
+	SameAs   map[string]string `json:"sameAs"`
+}
+
+func (s *Server) handleDefineMapping(w http.ResponseWriter, r *http.Request) {
+	var req mappingReq
+	if !decode(w, r, &req) {
+		return
+	}
+	m := mdm.Mapping{Wrapper: req.Wrapper, SameAs: map[string]mdm.Term{}}
+	for _, t := range req.Subgraph {
+		m.Subgraph = append(m.Subgraph, mdm.T(s.sys.IRI(t[0]), s.sys.IRI(t[1]), s.sys.IRI(t[2])))
+	}
+	for attr, feat := range req.SameAs {
+		m.SameAs[attr] = s.sys.IRI(feat)
+	}
+	if err := s.sys.DefineMapping(m); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSuggestMapping(w http.ResponseWriter, r *http.Request) {
+	newW := r.PathValue("wrapper")
+	prev := r.URL.Query().Get("from")
+	if prev == "" {
+		fail(w, http.StatusBadRequest, fmt.Errorf("rest: query parameter 'from' (previous wrapper) required"))
+		return
+	}
+	m, changes, err := s.sys.SuggestMapping(prev, newW)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	pm := s.sys.Ontology().Dataset().Prefixes()
+	resp := mappingReq{Wrapper: m.Wrapper, SameAs: map[string]string{}}
+	for _, t := range m.Subgraph {
+		resp.Subgraph = append(resp.Subgraph, [3]string{
+			pm.CompactTerm(t.S), pm.CompactTerm(t.P), pm.CompactTerm(t.O)})
+	}
+	for attr, feat := range m.SameAs {
+		resp.SameAs[attr] = pm.CompactTerm(feat)
+	}
+	descs := make([]string, len(changes))
+	for i, c := range changes {
+		descs[i] = c.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mapping": resp, "changes": descs})
+}
+
+// --- querying ---
+
+// walkReq is the JSON form of a walk — what the original UI's drawn
+// contour serializes to. Select is ordered: it determines the output
+// column order.
+type walkReq struct {
+	// Select lists the projected features in order.
+	Select []selectItem `json:"select"`
+	// Relations lists [from, property, to] concept edges.
+	Relations [][3]string `json:"relations,omitempty"`
+	// Concepts may list extra concepts with no projected features.
+	Concepts []string `json:"concepts,omitempty"`
+}
+
+// selectItem is one projected feature.
+type selectItem struct {
+	Concept string `json:"concept"`
+	Feature string `json:"feature"`
+	// Alias optionally names the output column.
+	Alias string `json:"alias,omitempty"`
+}
+
+type queryResp struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	SPARQL  string     `json:"sparql"`
+	Algebra []string   `json:"algebra"`
+	CQs     int        `json:"cqs"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req walkReq
+	if !decode(w, r, &req) {
+		return
+	}
+	walk, err := s.buildWalk(req)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	rel, res, err := s.sys.Query(ctx, walk)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildQueryResp(rel, res))
+}
+
+type sparqlReq struct {
+	Query string `json:"query"`
+}
+
+// handleQuerySPARQL accepts an OMQ written in SPARQL, translates it to a
+// walk and answers it through the LAV rewriting (the analyst-facing
+// querying surface for SPARQL-literate users).
+func (s *Server) handleQuerySPARQL(w http.ResponseWriter, r *http.Request) {
+	var req sparqlReq
+	if !decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	rel, res, err := s.sys.QuerySPARQL(ctx, req.Query)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildQueryResp(rel, res))
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	var req sparqlReq
+	if !decode(w, r, &req) {
+		return
+	}
+	res, err := s.sys.SPARQL(req.Query)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if res.Form == sparql.FormAsk {
+		writeJSON(w, http.StatusOK, map[string]any{"ask": res.Bool})
+		return
+	}
+	rows := make([][]string, 0, len(res.Solutions))
+	for _, sol := range res.Solutions {
+		row := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			if t, ok := sol[v]; ok {
+				row[i] = t.Value
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"vars": res.Vars, "rows": rows})
+}
+
+// --- saved walks (analytical processes) ---
+
+// savedWalkReq names a walk so analysts can re-run their analytical
+// processes later. Saved walks are stored as metadata, not plans: they
+// are re-rewritten at run time, which is precisely how MDM keeps
+// "hundreds of analytical processes" (paper §1) working across schema
+// evolution — after a new release, running the same saved walk simply
+// produces a union over more wrapper versions.
+type savedWalkReq struct {
+	Name string `json:"name"`
+	walkReq
+}
+
+func (s *Server) handleSaveWalk(w http.ResponseWriter, r *http.Request) {
+	var req savedWalkReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		fail(w, http.StatusBadRequest, fmt.Errorf("rest: walk name required"))
+		return
+	}
+	// Validate now so broken walks are rejected at save time.
+	walk, err := s.buildWalk(req.walkReq)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := s.sys.Rewrite(walk); err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	blob, err := json.Marshal(req.walkReq)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if existing, ok := s.sys.Metadata().FindOne("walks", store.Doc{"name": req.Name}); ok {
+		if _, err := s.sys.Metadata().Update("walks", existing.ID(), store.Doc{"name": req.Name, "walk": string(blob)}); err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else if _, err := s.sys.Metadata().Insert("walks", store.Doc{"name": req.Name, "walk": string(blob)}); err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok", "name": req.Name})
+}
+
+func (s *Server) handleListWalks(w http.ResponseWriter, _ *http.Request) {
+	docs := s.sys.Metadata().Find("walks", nil)
+	names := make([]string, 0, len(docs))
+	for _, d := range docs {
+		if n, ok := d["name"].(string); ok {
+			names = append(names, n)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"walks": names})
+}
+
+func (s *Server) handleRunWalk(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	doc, ok := s.sys.Metadata().FindOne("walks", store.Doc{"name": name})
+	if !ok {
+		fail(w, http.StatusNotFound, fmt.Errorf("rest: no saved walk %q", name))
+		return
+	}
+	var req walkReq
+	if err := json.Unmarshal([]byte(doc["walk"].(string)), &req); err != nil {
+		fail(w, http.StatusInternalServerError, fmt.Errorf("rest: corrupt saved walk: %w", err))
+		return
+	}
+	walk, err := s.buildWalk(req)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	rel, res, err := s.sys.Query(ctx, walk)
+	if err != nil {
+		fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildQueryResp(rel, res))
+}
+
+// buildWalk converts a JSON walk request to a Walk.
+func (s *Server) buildWalk(req walkReq) (*mdm.Walk, error) {
+	walk := mdm.NewWalk()
+	for _, c := range req.Concepts {
+		walk.AddConcept(s.sys.IRI(c))
+	}
+	for _, sel := range req.Select {
+		if sel.Concept == "" || sel.Feature == "" {
+			return nil, fmt.Errorf("rest: select items need concept and feature")
+		}
+		if sel.Alias != "" {
+			walk.SelectAs(s.sys.IRI(sel.Concept), s.sys.IRI(sel.Feature), sel.Alias)
+		} else {
+			walk.Select(s.sys.IRI(sel.Concept), s.sys.IRI(sel.Feature))
+		}
+	}
+	for _, rel := range req.Relations {
+		walk.Relate(s.sys.IRI(rel[0]), s.sys.IRI(rel[1]), s.sys.IRI(rel[2]))
+	}
+	return walk, nil
+}
+
+// buildQueryResp renders a query answer as the wire format.
+func buildQueryResp(rel *mdm.Relation, res *mdm.RewriteResult) queryResp {
+	resp := queryResp{Columns: rel.Cols, SPARQL: res.SPARQL, CQs: len(res.CQs)}
+	for _, cq := range res.CQs {
+		resp.Algebra = append(resp.Algebra, cq.Algebra)
+	}
+	rel.Sort()
+	for _, row := range rel.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.Text()
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	return resp
+}

@@ -1,0 +1,518 @@
+package rest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mdm"
+	"mdm/internal/apisim"
+	"mdm/internal/rest"
+)
+
+// client is a tiny JSON test client.
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func (c *client) do(method, path string, body any, wantStatus int) map[string]any {
+	c.t.Helper()
+	var rdr *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rdr = bytes.NewReader(b)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	dec := json.NewDecoder(resp.Body)
+	_ = dec.Decode(&out)
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d (body %v)", method, path, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func (c *client) doList(method, path string, wantStatus int) []any {
+	c.t.Helper()
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantStatus)
+	}
+	var out []any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out
+}
+
+// setupServer boots the full stack: simulated provider + MDM REST API.
+func setupServer(t *testing.T) (*client, *apisim.Football) {
+	t.Helper()
+	provider := apisim.NewFootball()
+	t.Cleanup(provider.Close)
+	sys := mdm.New()
+	srv := httptest.NewServer(rest.NewServer(sys))
+	t.Cleanup(srv.Close)
+	return &client{t: t, base: srv.URL, http: srv.Client()}, provider
+}
+
+// stewardSetup drives the full "System setup" demo scenario over HTTP.
+func stewardSetup(t *testing.T, c *client, provider *apisim.Football) {
+	t.Helper()
+	c.do("POST", "/api/prefixes", map[string]string{"prefix": "ex", "namespace": "http://ex.org/"}, 201)
+	c.do("POST", "/api/prefixes", map[string]string{"prefix": "sc", "namespace": "http://schema.org/"}, 201)
+
+	for _, req := range []map[string]string{
+		{"iri": "ex:Player", "label": "Player"},
+		{"iri": "sc:SportsTeam", "label": "SportsTeam"},
+	} {
+		c.do("POST", "/api/global/concepts", req, 201)
+	}
+	features := map[string]string{
+		"ex:playerId": "ex:Player", "ex:playerName": "ex:Player",
+		"ex:height": "ex:Player", "ex:teamId": "sc:SportsTeam",
+		"ex:teamName": "sc:SportsTeam",
+	}
+	for f, concept := range features {
+		c.do("POST", "/api/global/features", map[string]string{"iri": f, "label": f}, 201)
+		c.do("POST", "/api/global/attach", map[string]string{"concept": concept, "feature": f}, 201)
+	}
+	c.do("POST", "/api/global/identifiers", map[string]string{"feature": "ex:playerId"}, 201)
+	c.do("POST", "/api/global/identifiers", map[string]string{"feature": "ex:teamId"}, 201)
+	c.do("POST", "/api/global/relations",
+		map[string]string{"from": "ex:Player", "property": "ex:playsIn", "to": "sc:SportsTeam"}, 201)
+
+	c.do("POST", "/api/sources", map[string]string{"id": "players-api", "label": "Players API"}, 201)
+	c.do("POST", "/api/sources", map[string]string{"id": "teams-api", "label": "Teams API"}, 201)
+
+	c.do("POST", "/api/wrappers", map[string]any{
+		"name": "w1", "source": "players-api", "url": provider.URL() + "/v1/players",
+		"renames": map[string]string{"name": "pName", "preferred_foot": "foot", "team_id": "teamId", "rating": "score"},
+	}, 201)
+	c.do("POST", "/api/wrappers", map[string]any{
+		"name": "w2", "source": "teams-api", "url": provider.URL() + "/v1/teams",
+	}, 201)
+
+	c.do("POST", "/api/mappings", map[string]any{
+		"wrapper": "w1",
+		"subgraph": [][3]string{
+			{"ex:Player", "rdf:type", "G:Concept"},
+			{"ex:Player", "G:hasFeature", "ex:playerId"},
+			{"ex:Player", "G:hasFeature", "ex:playerName"},
+			{"ex:Player", "G:hasFeature", "ex:height"},
+			{"ex:Player", "ex:playsIn", "sc:SportsTeam"},
+			{"sc:SportsTeam", "rdf:type", "G:Concept"},
+			{"sc:SportsTeam", "G:hasFeature", "ex:teamId"},
+		},
+		"sameAs": map[string]string{
+			"id": "ex:playerId", "pName": "ex:playerName",
+			"height": "ex:height", "teamId": "ex:teamId",
+		},
+	}, 201)
+	c.do("POST", "/api/mappings", map[string]any{
+		"wrapper": "w2",
+		"subgraph": [][3]string{
+			{"sc:SportsTeam", "rdf:type", "G:Concept"},
+			{"sc:SportsTeam", "G:hasFeature", "ex:teamId"},
+			{"sc:SportsTeam", "G:hasFeature", "ex:teamName"},
+		},
+		"sameAs": map[string]string{"id": "ex:teamId", "name": "ex:teamName"},
+	}, 201)
+}
+
+func TestEndToEndSetupAndQuery(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+
+	// Validation must pass.
+	v := c.do("GET", "/api/validate", nil, 200)
+	if v["consistent"] != true {
+		t.Fatalf("validate = %v", v)
+	}
+
+	// Stats reflect the setup.
+	st := c.do("GET", "/api/stats", nil, 200)
+	if st["Concepts"].(float64) != 2 || st["Wrappers"].(float64) != 2 || st["Mappings"].(float64) != 2 {
+		t.Fatalf("stats = %v", st)
+	}
+
+	// Figure 8 query over HTTP.
+	q := c.do("POST", "/api/query", map[string]any{
+		"select": []map[string]string{
+			{"concept": "sc:SportsTeam", "feature": "ex:teamName", "alias": "teamName"},
+			{"concept": "ex:Player", "feature": "ex:playerName", "alias": "playerName"},
+		},
+		"relations": [][3]string{{"ex:Player", "ex:playsIn", "sc:SportsTeam"}},
+	}, 200)
+	if q["cqs"].(float64) != 1 {
+		t.Fatalf("cqs = %v", q["cqs"])
+	}
+	rows := q["rows"].([]any)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	var sawMessi bool
+	for _, r := range rows {
+		cells := r.([]any)
+		if cells[1] == "Lionel Messi" && cells[0] == "FC Barcelona" {
+			sawMessi = true
+		}
+	}
+	if !sawMessi {
+		t.Errorf("Table 1 row missing: %v", rows)
+	}
+	if !strings.Contains(q["sparql"].(string), "SELECT") {
+		t.Errorf("sparql = %v", q["sparql"])
+	}
+	alg := q["algebra"].([]any)
+	if len(alg) != 1 || !strings.Contains(alg[0].(string), "⋈") {
+		t.Errorf("algebra = %v", alg)
+	}
+
+	// Renders.
+	g := c.do("GET", "/api/render/global", nil, 200)
+	if !strings.Contains(g["text"].(string), "concept ex:Player") {
+		t.Errorf("render global = %v", g["text"])
+	}
+	// Wrapper listing.
+	ws := c.doList("GET", "/api/wrappers", 200)
+	if len(ws) != 2 {
+		t.Errorf("wrappers = %v", ws)
+	}
+	// Releases: two new-source releases.
+	rels := c.doList("GET", "/api/releases", 200)
+	if len(rels) != 2 {
+		t.Errorf("releases = %v", rels)
+	}
+}
+
+func TestEvolutionScenarioOverHTTP(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+
+	// Drift: none initially.
+	d := c.do("GET", "/api/drift/w1", nil, 200)
+	if d["breaking"] != false {
+		t.Fatalf("unexpected drift: %v", d)
+	}
+
+	// Provider breaks the unversioned endpoint... but w1 points to
+	// /v1/players, so we register the v2 wrapper as a new release.
+	c.do("POST", "/api/wrappers", map[string]any{
+		"name": "w1v2", "source": "players-api", "url": provider.URL() + "/v2/players",
+		"renames": map[string]string{"full_name": "pName", "preferred_foot": "foot", "team_id": "teamId"},
+	}, 201)
+
+	// The release log marks it breaking vs w1.
+	rels := c.doList("GET", "/api/releases", 200)
+	last := rels[len(rels)-1].(map[string]any)
+	if last["kind"] != "new-version" || last["breaking"] != true || last["supersedes"] != "w1" {
+		t.Fatalf("v2 release = %v", last)
+	}
+
+	// Suggested mapping from w1.
+	sm := c.do("GET", "/api/mappings/w1v2/suggest?from=w1", nil, 200)
+	mp := sm["mapping"].(map[string]any)
+	sameAs := mp["sameAs"].(map[string]any)
+	if sameAs["pName"] != "ex:playerName" {
+		t.Fatalf("suggested sameAs = %v", sameAs)
+	}
+
+	// Define the suggested mapping verbatim.
+	var subgraph [][3]string
+	for _, tr := range mp["subgraph"].([]any) {
+		arr := tr.([]any)
+		subgraph = append(subgraph, [3]string{arr[0].(string), arr[1].(string), arr[2].(string)})
+	}
+	sa := map[string]string{}
+	for k, v := range sameAs {
+		sa[k] = v.(string)
+	}
+	c.do("POST", "/api/mappings", map[string]any{
+		"wrapper": "w1v2", "subgraph": subgraph, "sameAs": sa,
+	}, 201)
+
+	// The same query now unions both versions: Pedri (v2-only) appears.
+	q := c.do("POST", "/api/query", map[string]any{
+		"select": []map[string]string{
+			{"concept": "sc:SportsTeam", "feature": "ex:teamName"},
+			{"concept": "ex:Player", "feature": "ex:playerName"},
+		},
+		"relations": [][3]string{{"ex:Player", "ex:playsIn", "sc:SportsTeam"}},
+	}, 200)
+	if q["cqs"].(float64) != 2 {
+		t.Fatalf("cqs after evolution = %v", q["cqs"])
+	}
+	var sawPedri, sawZlatan bool
+	for _, r := range q["rows"].([]any) {
+		cells := r.([]any)
+		for _, cell := range cells {
+			if cell == "Pedri" {
+				sawPedri = true
+			}
+			if cell == "Zlatan Ibrahimovic" {
+				sawZlatan = true
+			}
+		}
+	}
+	if !sawPedri || !sawZlatan {
+		t.Errorf("union incomplete: pedri=%v zlatan=%v rows=%v", sawPedri, sawZlatan, q["rows"])
+	}
+}
+
+func TestDriftDetectionOverHTTP(t *testing.T) {
+	c, provider := setupServer(t)
+	c.do("POST", "/api/sources", map[string]string{"id": "players-api", "label": ""}, 201)
+	// Wrapper on the UNVERSIONED endpoint.
+	c.do("POST", "/api/wrappers", map[string]any{
+		"name": "wu", "source": "players-api", "url": provider.URL() + "/players",
+	}, 201)
+	provider.BreakPlayersEndpoint()
+	d := c.do("GET", "/api/drift/wu", nil, 200)
+	if d["breaking"] != true {
+		t.Fatalf("in-place break not detected: %v", d)
+	}
+	drift := d["drift"].([]any)
+	if len(drift) == 0 {
+		t.Fatal("empty drift list")
+	}
+}
+
+func TestSPARQLEndpoint(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	res := c.do("POST", "/api/sparql", map[string]string{
+		"query": `PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c WHERE { GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> { ?c rdf:type G:Concept . } } ORDER BY ?c`,
+	}, 200)
+	rows := res["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("sparql rows = %v", rows)
+	}
+	ask := c.do("POST", "/api/sparql", map[string]string{
+		"query": `ASK { ?s ?p ?o . }`,
+	}, 200)
+	// The default graph is empty (everything lives in named graphs).
+	if ask["ask"] != false {
+		t.Errorf("ask = %v", ask)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	c, provider := setupServer(t)
+	// Bad JSON.
+	req, _ := http.NewRequest("POST", c.base+"/api/sources", strings.NewReader("{nope"))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad JSON status = %d", resp.StatusCode)
+	}
+	// Unknown fields rejected.
+	c.do("POST", "/api/sources", map[string]any{"id": "x", "label": "y", "bogus": 1}, 400)
+	// Wrapper registration requires fields.
+	c.do("POST", "/api/wrappers", map[string]any{"name": "w"}, 400)
+	// Wrapper against dead endpoint -> 502.
+	c.do("POST", "/api/sources", map[string]string{"id": "s1", "label": ""}, 201)
+	c.do("POST", "/api/wrappers", map[string]any{
+		"name": "w", "source": "s1", "url": "http://127.0.0.1:1/nope",
+	}, 502)
+	// Query on empty system -> 422.
+	c.do("POST", "/api/query", map[string]any{
+		"select": []map[string]string{{"concept": "ex:Ghost", "feature": "ex:f"}},
+	}, 422)
+	// Drift for unknown wrapper -> 404.
+	c.do("GET", "/api/drift/ghost", nil, 404)
+	// Suggest without 'from' -> 400.
+	c.do("GET", "/api/mappings/w1/suggest", nil, 400)
+	// Bad SPARQL -> 422.
+	c.do("POST", "/api/sparql", map[string]string{"query": "garbage"}, 422)
+	// Mapping for unknown wrapper -> 422.
+	c.do("POST", "/api/mappings", map[string]any{
+		"wrapper": "ghost", "subgraph": [][3]string{}, "sameAs": map[string]string{},
+	}, 422)
+	_ = provider
+}
+
+func TestExportEndpoint(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	resp, err := c.http.Get(c.base + "/api/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	if !strings.Contains(body, "@prefix") || !strings.Contains(body, "Concept") {
+		t.Errorf("export = %.200s", body)
+	}
+	// Round trip through mdm.ImportTriG.
+	sys2, err := mdm.ImportTriG(body)
+	if err != nil {
+		t.Fatalf("reimport: %v", err)
+	}
+	if sys2.Stats().Concepts != 2 {
+		t.Errorf("reimported stats = %+v", sys2.Stats())
+	}
+}
+
+func TestQueryMethodNotAllowed(t *testing.T) {
+	c, _ := setupServer(t)
+	resp, err := c.http.Get(c.base + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/query = %d", resp.StatusCode)
+	}
+}
+
+func ExampleServer() {
+	sys := mdm.New()
+	srv := httptest.NewServer(rest.NewServer(sys))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.StatusCode)
+	// Output: 200
+}
+
+func TestQuerySPARQLEndpoint(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	q := c.do("POST", "/api/query/sparql", map[string]string{
+		"query": `PREFIX ex: <http://ex.org/>
+PREFIX sc: <http://schema.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?teamName ?playerName WHERE {
+  ?t rdf:type sc:SportsTeam .
+  ?t ex:teamName ?teamName .
+  ?p rdf:type ex:Player .
+  ?p ex:playerName ?playerName .
+  ?p ex:playsIn ?t .
+}`,
+	}, 200)
+	rows := q["rows"].([]any)
+	if len(rows) != 5 {
+		t.Fatalf("sparql walk rows = %d", len(rows))
+	}
+	cols := q["columns"].([]any)
+	if cols[0] != "teamName" || cols[1] != "playerName" {
+		t.Errorf("columns = %v", cols)
+	}
+	// Unsupported fragment -> 422.
+	c.do("POST", "/api/query/sparql", map[string]string{
+		"query": `SELECT DISTINCT ?x WHERE { ?x ?p ?o . }`,
+	}, 422)
+}
+
+func TestSavedWalksSurviveEvolution(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+
+	// Save the analytical process once.
+	c.do("POST", "/api/walks", map[string]any{
+		"name": "players-and-teams",
+		"select": []map[string]string{
+			{"concept": "sc:SportsTeam", "feature": "ex:teamName", "alias": "teamName"},
+			{"concept": "ex:Player", "feature": "ex:playerName", "alias": "playerName"},
+		},
+		"relations": [][3]string{{"ex:Player", "ex:playsIn", "sc:SportsTeam"}},
+	}, 201)
+
+	ls := c.do("GET", "/api/walks", nil, 200)
+	walks := ls["walks"].([]any)
+	if len(walks) != 1 || walks[0] != "players-and-teams" {
+		t.Fatalf("walks = %v", walks)
+	}
+
+	// First run: one CQ, 5 rows.
+	r1 := c.do("POST", "/api/walks/players-and-teams/run", nil, 200)
+	if r1["cqs"].(float64) != 1 || len(r1["rows"].([]any)) != 5 {
+		t.Fatalf("run1 = %v", r1)
+	}
+
+	// Evolution: register v2 wrapper + mapping (same steps as the
+	// evolution test).
+	c.do("POST", "/api/wrappers", map[string]any{
+		"name": "w1v2", "source": "players-api", "url": provider.URL() + "/v2/players",
+		"renames": map[string]string{"full_name": "pName", "preferred_foot": "foot", "team_id": "teamId"},
+	}, 201)
+	sm := c.do("GET", "/api/mappings/w1v2/suggest?from=w1", nil, 200)
+	mp := sm["mapping"].(map[string]any)
+	var subgraph [][3]string
+	for _, tr := range mp["subgraph"].([]any) {
+		arr := tr.([]any)
+		subgraph = append(subgraph, [3]string{arr[0].(string), arr[1].(string), arr[2].(string)})
+	}
+	sa := map[string]string{}
+	for k, v := range mp["sameAs"].(map[string]any) {
+		sa[k] = v.(string)
+	}
+	c.do("POST", "/api/mappings", map[string]any{"wrapper": "w1v2", "subgraph": subgraph, "sameAs": sa}, 201)
+
+	// Same saved walk, zero changes: now two CQs and v2-only rows.
+	r2 := c.do("POST", "/api/walks/players-and-teams/run", nil, 200)
+	if r2["cqs"].(float64) != 2 {
+		t.Fatalf("run2 cqs = %v", r2["cqs"])
+	}
+	var sawPedri bool
+	for _, r := range r2["rows"].([]any) {
+		for _, cell := range r.([]any) {
+			if cell == "Pedri" {
+				sawPedri = true
+			}
+		}
+	}
+	if !sawPedri {
+		t.Errorf("saved walk did not pick up the new version: %v", r2["rows"])
+	}
+
+	// Overwrite and error paths.
+	c.do("POST", "/api/walks", map[string]any{
+		"name": "players-and-teams",
+		"select": []map[string]string{
+			{"concept": "ex:Player", "feature": "ex:playerName"},
+		},
+	}, 201)
+	if got := c.do("GET", "/api/walks", nil, 200)["walks"].([]any); len(got) != 1 {
+		t.Errorf("overwrite duplicated the walk: %v", got)
+	}
+	c.do("POST", "/api/walks", map[string]any{"name": ""}, 400)
+	c.do("POST", "/api/walks", map[string]any{
+		"name":   "broken",
+		"select": []map[string]string{{"concept": "ex:Ghost", "feature": "ex:f"}},
+	}, 422)
+	c.do("POST", "/api/walks/ghost/run", nil, 404)
+}

@@ -1,0 +1,144 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"mdm/internal/bdi"
+	"mdm/internal/rdf"
+	"mdm/internal/sparql"
+)
+
+// WalkFromSPARQL translates an ontology-mediated SPARQL query into a
+// Walk. The paper's analysts draw walks graphically and MDM shows the
+// equivalent SPARQL (Figure 8); this function supports the opposite
+// direction, so SPARQL-literate analysts can submit queries directly.
+//
+// The accepted fragment is the one MDM itself generates:
+//
+//	SELECT ?f1 ?f2 ... WHERE {
+//	  ?c1 rdf:type <Concept1> .
+//	  ?c1 <featureIRI> ?f1 .
+//	  ?c1 <relationIRI> ?c2 .
+//	  ?c2 rdf:type <Concept2> .
+//	  ...
+//	}
+//
+// Each subject variable must be typed by exactly one concept; feature
+// patterns bind feature values to projected variables (the variable name
+// becomes the output column); relation patterns connect concept
+// variables. DISTINCT/ORDER/LIMIT modifiers and FILTERs are rejected —
+// the LAV rewriting semantics the paper defines covers plain conjunctive
+// walks.
+func WalkFromSPARQL(ont *bdi.Ontology, query string) (*Walk, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != sparql.FormSelect {
+		return nil, fmt.Errorf("rewrite: only SELECT queries can be walks")
+	}
+	if q.Distinct || len(q.OrderBy) > 0 || q.Limit >= 0 || q.Offset > 0 {
+		return nil, fmt.Errorf("rewrite: solution modifiers are not supported in walks")
+	}
+	if len(q.Where.Filters) > 0 {
+		return nil, fmt.Errorf("rewrite: FILTER is not supported in walks")
+	}
+
+	// First pass: concept typing patterns.
+	conceptOf := map[string]rdf.Term{} // subject var -> concept IRI
+	var rest []sparql.TriplePattern
+	for _, p := range q.Where.Patterns {
+		tp, ok := p.(sparql.TriplePattern)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: only basic graph patterns are supported in walks, got %T", p)
+		}
+		if !tp.S.IsVar() {
+			return nil, fmt.Errorf("rewrite: walk subjects must be variables, got %s", tp.S)
+		}
+		if tp.P.IsVar() {
+			return nil, fmt.Errorf("rewrite: walk predicates must be IRIs, got %s", tp.P)
+		}
+		if tp.P.Term.Value == rdf.RDFType {
+			if tp.O.IsVar() || !tp.O.Term.IsIRI() {
+				return nil, fmt.Errorf("rewrite: rdf:type object must be a concept IRI")
+			}
+			if prev, dup := conceptOf[tp.S.Var]; dup && prev != tp.O.Term {
+				return nil, fmt.Errorf("rewrite: variable ?%s typed by two concepts (%s, %s)",
+					tp.S.Var, prev.LocalName(), tp.O.Term.LocalName())
+			}
+			conceptOf[tp.S.Var] = tp.O.Term
+			continue
+		}
+		rest = append(rest, tp)
+	}
+	if len(conceptOf) == 0 {
+		return nil, fmt.Errorf("rewrite: walk needs at least one '?x rdf:type <Concept>' pattern")
+	}
+
+	g := ont.Global()
+	walk := NewWalk()
+	for _, c := range conceptOf {
+		if !g.Has(rdf.T(c, rdf.IRI(rdf.RDFType), bdi.ClassConcept)) {
+			return nil, fmt.Errorf("rewrite: %s is not a declared concept", c)
+		}
+	}
+	// Register concepts in deterministic order (projection order below
+	// still comes from the SELECT list).
+	for _, tp := range q.Where.Patterns {
+		if t, ok := tp.(sparql.TriplePattern); ok && !t.P.IsVar() && t.P.Term.Value == rdf.RDFType {
+			walk.AddConcept(t.O.Term)
+		}
+	}
+
+	// Second pass: feature and relation patterns.
+	varFeature := map[string]rdf.Term{} // value var -> feature IRI
+	varConcept := map[string]rdf.Term{} // value var -> owning concept
+	for _, tp := range rest {
+		concept, ok := conceptOf[tp.S.Var]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: variable ?%s is not typed by rdf:type", tp.S.Var)
+		}
+		pred := tp.P.Term
+		switch {
+		case tp.O.IsVar():
+			if otherConcept, isConceptVar := conceptOf[tp.O.Var]; isConceptVar {
+				// relation pattern between two concept variables
+				if !g.Has(rdf.T(concept, pred, otherConcept)) {
+					return nil, fmt.Errorf("rewrite: relation %s —%s→ %s not in global graph",
+						concept.LocalName(), pred.LocalName(), otherConcept.LocalName())
+				}
+				walk.Relate(concept, pred, otherConcept)
+				continue
+			}
+			// feature pattern: predicate must be a feature of the
+			// concept (directly or inherited through the taxonomy)
+			if !ont.HasFeatureInherited(concept, pred) {
+				return nil, fmt.Errorf("rewrite: %s is not a feature of %s",
+					pred.LocalName(), concept.LocalName())
+			}
+			if prevF, dup := varFeature[tp.O.Var]; dup && prevF != pred {
+				return nil, fmt.Errorf("rewrite: variable ?%s bound to two features", tp.O.Var)
+			}
+			varFeature[tp.O.Var] = pred
+			varConcept[tp.O.Var] = concept
+		default:
+			return nil, fmt.Errorf("rewrite: constant objects are not supported in walks (use FILTER-free projections), got %s", tp.O.Term)
+		}
+	}
+
+	// Projection from the SELECT list; variable names become aliases.
+	if q.Star {
+		for v, f := range varFeature {
+			walk.SelectAs(varConcept[v], f, v)
+		}
+		return walk, nil
+	}
+	for _, v := range q.Variables {
+		f, ok := varFeature[v]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: projected variable ?%s is not bound to a feature", v)
+		}
+		walk.SelectAs(varConcept[v], f, v)
+	}
+	return walk, nil
+}

@@ -1,0 +1,180 @@
+package rewrite_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdm/internal/rdf"
+	"mdm/internal/relalg"
+	"mdm/internal/rewrite"
+	"mdm/internal/usecase"
+)
+
+// conceptFeatures enumerates the fixture's (concept, feature) space for
+// random walk generation.
+var conceptFeatures = []struct {
+	concept rdf.Term
+	feats   []rdf.Term
+}{
+	{usecase.Player, []rdf.Term{usecase.PlayerID, usecase.PlayerName, usecase.Height, usecase.Weight, usecase.Rating, usecase.Foot}},
+	{usecase.Team, []rdf.Term{usecase.TeamID, usecase.TeamName, usecase.TeamShortName}},
+	{usecase.League, []rdf.Term{usecase.LeagueID, usecase.LeagueName}},
+	{usecase.Country, []rdf.Term{usecase.CountryID, usecase.CountryName}},
+}
+
+// relationsBetween connects adjacent concepts of the fixture.
+var fixtureRelations = []rdf.Triple{
+	rdf.T(usecase.Player, usecase.PlaysIn, usecase.Team),
+	rdf.T(usecase.Team, usecase.CompetesIn, usecase.League),
+	rdf.T(usecase.League, usecase.InCountry, usecase.Country),
+	rdf.T(usecase.Player, usecase.HasNationality, usecase.Country),
+}
+
+// randomWalk picks a connected prefix of the concept chain and a random
+// non-empty feature subset per concept.
+func randomWalk(r *rand.Rand) *rewrite.Walk {
+	n := 1 + r.Intn(len(conceptFeatures)) // 1..4 concepts along the chain
+	w := rewrite.NewWalk()
+	for i := 0; i < n; i++ {
+		cf := conceptFeatures[i]
+		// Non-empty random feature subset.
+		k := 1 + r.Intn(len(cf.feats))
+		perm := r.Perm(len(cf.feats))
+		for _, j := range perm[:k] {
+			w.Select(cf.concept, cf.feats[j])
+		}
+	}
+	// Chain relations connect the prefix: Player->Team->League->Country.
+	for i := 0; i < n-1; i++ {
+		rel := fixtureRelations[i]
+		w.Relate(rel.S, rel.P, rel.O)
+	}
+	return w
+}
+
+// TestPropRandomWalksRewriteAndExecute: every connected walk over the
+// fixture rewrites without error and the result schema matches the
+// projection.
+func TestPropRandomWalksRewriteAndExecute(t *testing.T) {
+	f := usecase.MustNew()
+	r := rewrite.New(f.Ont, f.Reg)
+	ctx := context.Background()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWalk(rng)
+		res, err := r.Rewrite(w)
+		if err != nil {
+			t.Logf("seed %d: rewrite failed: %v", seed, err)
+			return false
+		}
+		if len(res.OutputColumns) != len(w.ProjectedFeatures()) {
+			t.Logf("seed %d: columns %v vs features %v", seed, res.OutputColumns, w.ProjectedFeatures())
+			return false
+		}
+		rel, err := res.Plan.Execute(ctx)
+		if err != nil {
+			t.Logf("seed %d: execute failed: %v", seed, err)
+			return false
+		}
+		if len(rel.Cols) != len(res.OutputColumns) {
+			return false
+		}
+		for i := range rel.Cols {
+			if rel.Cols[i] != res.OutputColumns[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAllCQsShareSchema: every conjunctive query in a union projects
+// the same columns (a structural invariant of the rewriting).
+func TestPropAllCQsShareSchema(t *testing.T) {
+	f := usecase.MustNew()
+	if err := f.ReleasePlayersV2(); err != nil {
+		t.Fatal(err)
+	}
+	r := rewrite.New(f.Ont, f.Reg)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWalk(rng)
+		res, err := r.Rewrite(w)
+		if err != nil {
+			return false
+		}
+		return len(res.CQs) >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropEvolutionMonotonicity: registering an additional schema
+// version never removes rows from a query answer (LAV certain answers
+// grow monotonically with sources).
+func TestPropEvolutionMonotonicity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Walks over features common to both players-API versions, so
+		// both CQs can contribute rows after the release.
+		w := rewrite.NewWalk()
+		common := []rdf.Term{usecase.PlayerID, usecase.PlayerName, usecase.Height, usecase.Foot}
+		k := 1 + rng.Intn(len(common))
+		for _, j := range rng.Perm(len(common))[:k] {
+			w.Select(usecase.Player, common[j])
+		}
+
+		before := usecase.MustNew()
+		resB, err := rewrite.New(before.Ont, before.Reg).Rewrite(w)
+		if err != nil {
+			return false
+		}
+		relB, err := resB.Plan.Execute(context.Background())
+		if err != nil {
+			return false
+		}
+
+		after := usecase.MustNew()
+		if err := after.ReleasePlayersV2(); err != nil {
+			return false
+		}
+		resA, err := rewrite.New(after.Ont, after.Reg).Rewrite(w)
+		if err != nil {
+			return false
+		}
+		relA, err := resA.Plan.Execute(context.Background())
+		if err != nil {
+			return false
+		}
+		// Every pre-release row must survive post-release (dedup may
+		// merge, never drop).
+		seen := map[string]bool{}
+		for _, row := range relA.Rows {
+			seen[rowKey(row)] = true
+		}
+		for _, row := range relB.Rows {
+			if !seen[rowKey(row)] {
+				t.Logf("seed %d: row lost after release", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func rowKey(row relalg.Row) string {
+	out := ""
+	for _, v := range row {
+		out += v.Key() + "\x00"
+	}
+	return out
+}

@@ -1,0 +1,589 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdm/internal/bdi"
+	"mdm/internal/rdf"
+	"mdm/internal/relalg"
+	"mdm/internal/wrapper"
+)
+
+// Rewriter resolves walks over an ontology into federated plans over a
+// wrapper registry.
+type Rewriter struct {
+	ont *bdi.Ontology
+	reg *wrapper.Registry
+	// MaxCQs caps the number of conjunctive queries generated (0 = no
+	// cap); a safety valve against combinatorial mappings.
+	MaxCQs int
+}
+
+// New returns a Rewriter over the given ontology and wrappers.
+func New(ont *bdi.Ontology, reg *wrapper.Registry) *Rewriter {
+	return &Rewriter{ont: ont, reg: reg}
+}
+
+// col names the plan column for a feature: its CURIE when a prefix is
+// bound (readable in algebra renderings), else the full IRI form.
+func (r *Rewriter) col(f rdf.Term) string {
+	return r.ont.Dataset().Prefixes().CompactTerm(f)
+}
+
+// Result is the outcome of rewriting a walk.
+type Result struct {
+	// Plan is the executable union of conjunctive queries.
+	Plan relalg.Plan
+	// SPARQL is the walk's SPARQL rendering (display only).
+	SPARQL string
+	// CQs lists the conjunctive queries in the union, one entry per
+	// wrapper combination, for inspection (Figure 8's algebra line).
+	CQs []CQ
+	// OutputColumns are the projected column names in order.
+	OutputColumns []string
+	// ExpandedFeatures are identifier features added by query expansion
+	// (phase a) that are not part of the projection.
+	ExpandedFeatures []rdf.Term
+}
+
+// CQ describes one conjunctive query of the union.
+type CQ struct {
+	// Wrappers are the wrapper names joined by this CQ, in join order.
+	Wrappers []string
+	// Algebra is the CQ's relational algebra rendering.
+	Algebra string
+	plan    relalg.Plan
+}
+
+// Rewrite runs the three-phase algorithm on a walk.
+func (r *Rewriter) Rewrite(w *Walk) (*Result, error) {
+	if err := w.Validate(r.ont); err != nil {
+		return nil, err
+	}
+
+	// --- Phase (a): query expansion ------------------------------------
+	// Every walk concept contributes its identifier feature, whether or
+	// not the analyst selected it; joins are only legal on identifiers.
+	need := map[rdf.Term][]rdf.Term{} // concept -> features (projection ∪ id)
+	var expanded []rdf.Term
+	for _, c := range w.Concepts {
+		feats := append([]rdf.Term(nil), w.Features[c]...)
+		id, ok := r.ont.IdentifierOf(c)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: concept %s has no identifier feature; cannot expand query", c)
+		}
+		if !containsTerm(feats, id) {
+			feats = append(feats, id)
+			expanded = append(expanded, id)
+		}
+		need[c] = feats
+	}
+
+	// --- Phase (b): intra-concept generation ---------------------------
+	// For each concept, compute which wrappers can contribute (cover the
+	// concept and provide its identifier) and what they provide. The
+	// actual cover choice happens jointly with phase (c) so that
+	// relation-witness wrappers already in a combination are not
+	// duplicated by redundant per-concept covers.
+	coverages := map[rdf.Term]conceptCoverage{}
+	for _, c := range w.Concepts {
+		cov, err := r.conceptCoverage(c, need[c])
+		if err != nil {
+			return nil, err
+		}
+		coverages[c] = cov
+	}
+
+	// --- Phase (c): inter-concept generation ---------------------------
+	combos, err := r.interConcept(w, need, coverages)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the projection.
+	var projFeatures []rdf.Term
+	for _, c := range w.Concepts {
+		projFeatures = append(projFeatures, w.Features[c]...)
+	}
+	outCols := make([]string, len(projFeatures))
+	seen := map[string]int{}
+	for i, f := range projFeatures {
+		name := w.columnName(f)
+		seen[name]++
+		if seen[name] > 1 {
+			name = fmt.Sprintf("%s_%d", name, seen[name])
+		}
+		outCols[i] = name
+	}
+
+	res := &Result{
+		SPARQL:           w.SPARQL(r.ont),
+		OutputColumns:    outCols,
+		ExpandedFeatures: sortTerms(expanded),
+	}
+	var plans []relalg.Plan
+	for _, combo := range combos {
+		plan, err := combo.assemble(projFeatures, outCols)
+		if err != nil {
+			return nil, err
+		}
+		plan = relalg.Optimize(plan)
+		res.CQs = append(res.CQs, CQ{
+			Wrappers: combo.wrapperNames(),
+			Algebra:  plan.Algebra(),
+			plan:     plan,
+		})
+		plans = append(plans, plan)
+		if r.MaxCQs > 0 && len(plans) >= r.MaxCQs {
+			break
+		}
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("rewrite: no wrapper combination answers the walk")
+	}
+	if len(plans) == 1 {
+		res.Plan = plans[0]
+	} else {
+		res.Plan = relalg.NewDistinct(relalg.NewUnion(plans...))
+	}
+	return res, nil
+}
+
+// conceptCoverage records, for one walk concept, which wrappers can
+// contribute tuples (they cover the concept and map its identifier) and
+// which of the needed features each provides.
+type conceptCoverage struct {
+	concept    rdf.Term
+	candidates []string                       // sorted wrapper names
+	provides   map[string]map[rdf.Term]string // wrapper -> feature -> attribute
+}
+
+// conceptCoverage computes the candidates for one concept (phase b
+// groundwork). It fails fast when a needed feature is provided by no
+// wrapper at all.
+func (r *Rewriter) conceptCoverage(c rdf.Term, feats []rdf.Term) (conceptCoverage, error) {
+	id, _ := r.ont.IdentifierOf(c)
+	cov := conceptCoverage{concept: c, provides: map[string]map[rdf.Term]string{}}
+	for _, wname := range r.ont.WrappersCovering(c) {
+		m := map[rdf.Term]string{}
+		for _, f := range feats {
+			if r.ont.WrapperProvidesFeature(wname, c, f) {
+				if attr, ok := r.ont.AttributeForFeature(wname, f); ok {
+					m[f] = attr
+				}
+			}
+		}
+		// Without the identifier a wrapper's tuples cannot be joined or
+		// deduplicated, so it cannot contribute.
+		if _, hasID := m[id]; !hasID {
+			continue
+		}
+		cov.candidates = append(cov.candidates, wname)
+		cov.provides[wname] = m
+	}
+	if len(cov.candidates) == 0 {
+		return cov, fmt.Errorf("rewrite: no wrapper provides concept %s with its identifier", c)
+	}
+	sort.Strings(cov.candidates)
+	for _, f := range feats {
+		provided := false
+		for _, m := range cov.provides {
+			if _, ok := m[f]; ok {
+				provided = true
+				break
+			}
+		}
+		if !provided {
+			return cov, fmt.Errorf("rewrite: feature %s of concept %s is not provided by any wrapper",
+				f.LocalName(), c)
+		}
+	}
+	return cov, nil
+}
+
+// minimalCovers enumerates the minimal candidate subsets that provide
+// every feature in feats not already provided by the chosen set. When
+// nothing remains, the single empty cover is returned.
+func (cov conceptCoverage) minimalCovers(feats []rdf.Term, chosen map[string]bool) [][]string {
+	remaining := feats[:0:0]
+	for _, f := range feats {
+		already := false
+		for wname := range chosen {
+			if m, ok := cov.provides[wname]; ok {
+				if _, ok := m[f]; ok {
+					already = true
+					break
+				}
+			}
+		}
+		if !already {
+			remaining = append(remaining, f)
+		}
+	}
+	if len(remaining) == 0 {
+		return [][]string{nil}
+	}
+	var covers [][]string
+	allCovered := func(covered map[rdf.Term]bool) bool {
+		for _, f := range remaining {
+			if !covered[f] {
+				return false
+			}
+		}
+		return true
+	}
+	var search func(start int, picked []string, covered map[rdf.Term]bool)
+	search = func(start int, picked []string, covered map[rdf.Term]bool) {
+		if allCovered(covered) {
+			covers = append(covers, append([]string(nil), picked...))
+			return
+		}
+		for i := start; i < len(cov.candidates); i++ {
+			wname := cov.candidates[i]
+			adds := false
+			for f := range cov.provides[wname] {
+				if !covered[f] {
+					for _, rf := range remaining {
+						if rf == f {
+							adds = true
+						}
+					}
+				}
+				if adds {
+					break
+				}
+			}
+			if !adds {
+				continue
+			}
+			nc := map[rdf.Term]bool{}
+			for k := range covered {
+				nc[k] = true
+			}
+			for f := range cov.provides[wname] {
+				nc[f] = true
+			}
+			search(i+1, append(picked, wname), nc)
+		}
+	}
+	search(0, nil, map[rdf.Term]bool{})
+	return dropSupersets(covers)
+}
+
+// dropSupersets removes covers that are strict supersets of another
+// cover (minimality), and duplicate covers.
+func dropSupersets(covers [][]string) [][]string {
+	asSet := make([]map[string]bool, len(covers))
+	for i, c := range covers {
+		asSet[i] = map[string]bool{}
+		for _, w := range c {
+			asSet[i][w] = true
+		}
+	}
+	var out [][]string
+	for i, c := range covers {
+		minimal := true
+		for j := range covers {
+			if i == j {
+				continue
+			}
+			if len(asSet[j]) < len(asSet[i]) && subset(asSet[j], asSet[i]) {
+				minimal = false
+				break
+			}
+			if len(asSet[j]) == len(asSet[i]) && j < i && subset(asSet[j], asSet[i]) {
+				minimal = false // duplicate; keep first
+				break
+			}
+		}
+		if minimal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// combo is a full combination: the wrapper set of one conjunctive query.
+type combo struct {
+	r        *Rewriter
+	walk     *Walk
+	wrappers []string // sorted, deduplicated
+}
+
+func (c combo) wrapperNames() []string { return c.wrappers }
+
+// maxCombos bounds the inter-concept search; far beyond any sane mapping
+// configuration, it guards against combinatorial blow-up.
+const maxCombos = 4096
+
+// interConcept enumerates wrapper combinations: first a witness wrapper
+// per relation edge (a witness covers the relation triple and maps the
+// identifiers of both endpoints, materializing the edge as a joinable
+// id-id relation), then, per concept, a minimal cover of the features
+// not already provided by the wrappers chosen so far. Combinations are
+// deduplicated by wrapper set, and sets that are strict supersets of
+// another combination are pruned: under LAV certain-answer semantics the
+// extra wrapper can only restrict the subset combination's answer.
+func (r *Rewriter) interConcept(w *Walk, need map[rdf.Term][]rdf.Term, coverages map[rdf.Term]conceptCoverage) ([]combo, error) {
+	witnessOpts := make([][]string, len(w.Relations))
+	for i, rel := range w.Relations {
+		idS, okS := r.ont.IdentifierOf(rel.S)
+		idO, okO := r.ont.IdentifierOf(rel.O)
+		if !okS || !okO {
+			return nil, fmt.Errorf("rewrite: relation %s endpoint lacks an identifier", rel)
+		}
+		for _, wname := range r.ont.MappedWrappers() {
+			if !r.ont.WrapperCoversRelation(wname, rel) {
+				continue
+			}
+			if _, ok := r.ont.AttributeForFeature(wname, idS); !ok {
+				continue
+			}
+			if _, ok := r.ont.AttributeForFeature(wname, idO); !ok {
+				continue
+			}
+			witnessOpts[i] = append(witnessOpts[i], wname)
+		}
+		if len(witnessOpts[i]) == 0 {
+			return nil, fmt.Errorf("rewrite: no wrapper witnesses relation %s —%s→ %s",
+				rel.S.LocalName(), rel.P.LocalName(), rel.O.LocalName())
+		}
+	}
+
+	var out []combo
+	seen := map[string]bool{}
+	emit := func(set map[string]bool) {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		key := strings.Join(names, ",")
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, combo{r: r, walk: w, wrappers: names})
+	}
+
+	var recConcepts func(j int, set map[string]bool)
+	recConcepts = func(j int, set map[string]bool) {
+		if len(out) >= maxCombos {
+			return
+		}
+		if j == len(w.Concepts) {
+			emit(set)
+			return
+		}
+		c := w.Concepts[j]
+		for _, cover := range coverages[c].minimalCovers(need[c], set) {
+			ns := set
+			if len(cover) > 0 {
+				ns = map[string]bool{}
+				for k := range set {
+					ns[k] = true
+				}
+				for _, wname := range cover {
+					ns[wname] = true
+				}
+			}
+			recConcepts(j+1, ns)
+		}
+	}
+	var recWitness func(i int, set map[string]bool)
+	recWitness = func(i int, set map[string]bool) {
+		if len(out) >= maxCombos {
+			return
+		}
+		if i == len(w.Relations) {
+			recConcepts(0, set)
+			return
+		}
+		for _, wname := range witnessOpts[i] {
+			ns := set
+			if !set[wname] {
+				ns = map[string]bool{}
+				for k := range set {
+					ns[k] = true
+				}
+				ns[wname] = true
+			}
+			recWitness(i+1, ns)
+		}
+	}
+	recWitness(0, map[string]bool{})
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rewrite: no wrapper combination covers all relation edges of the walk")
+	}
+	return pruneCombos(out), nil
+}
+
+// pruneCombos removes combinations whose wrapper set strictly contains
+// another combination's set.
+func pruneCombos(combos []combo) []combo {
+	sets := make([]map[string]bool, len(combos))
+	for i, c := range combos {
+		sets[i] = map[string]bool{}
+		for _, n := range c.wrappers {
+			sets[i][n] = true
+		}
+	}
+	var out []combo
+	for i, c := range combos {
+		redundant := false
+		for j := range combos {
+			if i == j || len(sets[j]) >= len(sets[i]) {
+				continue
+			}
+			if subset(sets[j], sets[i]) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// assemble builds the CQ plan for a combination: per-wrapper base plans
+// (scan + rename attributes to feature IRIs), joined greedily on shared
+// identifier-feature columns, then projected and renamed to the output
+// columns.
+func (c combo) assemble(projFeatures []rdf.Term, outCols []string) (relalg.Plan, error) {
+	r := c.r
+	// Identifier features are the only legal join columns (paper §2.3).
+	// Collect them from every participating wrapper's sameAs targets so
+	// relation witnesses contribute their join columns too.
+	isID := map[string]bool{}
+	for _, wname := range c.wrapperNames() {
+		if m, ok := r.ont.MappingOf(wname); ok {
+			for _, f := range m.SameAs {
+				if r.ont.IsIdentifier(f) {
+					isID[r.col(f)] = true
+				}
+			}
+		}
+	}
+
+	// One base plan per distinct wrapper in the combination (feature
+	// providers and relation witnesses alike). A wrapper may serve
+	// several concepts (e.g. w1 covers Player and the Team identifier);
+	// its sameAs links are applied once.
+	names := c.wrapperNames()
+	base := map[string]relalg.Plan{}
+	for _, wname := range names {
+		plan, err := c.basePlan(wname)
+		if err != nil {
+			return nil, err
+		}
+		base[wname] = plan
+	}
+
+	// Greedy connected join on shared identifier columns.
+	remaining := append([]string(nil), names...)
+	plan := base[remaining[0]]
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		progress := false
+		for i, wname := range remaining {
+			on := sharedIDColumns(plan.Columns(), base[wname].Columns(), isID)
+			if len(on) == 0 {
+				continue
+			}
+			plan = relalg.NewJoin(plan, base[wname], on)
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("rewrite: wrapper combination %v is not joinable on identifier features", names)
+		}
+	}
+
+	// Final projection: feature IRIs -> output column names.
+	var mapping [][2]string
+	var featCols []string
+	for i, f := range projFeatures {
+		featCols = append(featCols, r.col(f))
+		mapping = append(mapping, [2]string{r.col(f), outCols[i]})
+	}
+	projected := relalg.NewProject(plan, featCols...)
+	return relalg.NewRename(projected, mapping), nil
+}
+
+// basePlan builds scan+rename for one wrapper: attributes that have a
+// sameAs link are renamed to their feature IRI; unmapped attributes are
+// dropped by a projection.
+func (c combo) basePlan(wname string) (relalg.Plan, error) {
+	wr, ok := c.r.reg.Get(wname)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: wrapper %q has a mapping but is not registered", wname)
+	}
+	m, ok := c.r.ont.MappingOf(wname)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: wrapper %q has no LAV mapping", wname)
+	}
+	var mapping [][2]string
+	var keep []string
+	// Deterministic order over attributes.
+	attrs := make([]string, 0, len(m.SameAs))
+	for a := range m.SameAs {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	have := map[string]bool{}
+	for _, col := range wr.Columns() {
+		have[col] = true
+	}
+	for _, a := range attrs {
+		if !have[a] {
+			return nil, fmt.Errorf("rewrite: mapping of %s references attribute %q missing from wrapper signature", wname, a)
+		}
+		f := m.SameAs[a]
+		mapping = append(mapping, [2]string{a, c.r.col(f)})
+		keep = append(keep, c.r.col(f))
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("rewrite: wrapper %s maps no attributes", wname)
+	}
+	renamed := relalg.NewRename(relalg.NewScan(wr), mapping)
+	return relalg.NewProject(renamed, keep...), nil
+}
+
+// sharedIDColumns returns natural-join pairs over identifier features
+// present on both sides.
+func sharedIDColumns(l, r []string, isID map[string]bool) [][2]string {
+	rset := map[string]bool{}
+	for _, c := range r {
+		rset[c] = true
+	}
+	var on [][2]string
+	for _, c := range l {
+		if isID[c] && rset[c] {
+			on = append(on, [2]string{c, c})
+		}
+	}
+	return on
+}
+
+func containsTerm(ts []rdf.Term, t rdf.Term) bool {
+	for _, e := range ts {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+// Package rewrite implements MDM's ontology-mediated query answering:
+// the LAV query rewriting algorithm of paper §2.4. An analyst poses an
+// OMQ as a "walk" — a subgraph pattern over the global graph selected
+// graphically in the original tool. The algorithm resolves the LAV
+// mappings in three phases:
+//
+//	(a) query expansion      — concept identifiers not explicitly
+//	    requested are added to the walk, since all joins happen on
+//	    features inheriting from sc:identifier;
+//	(b) intra-concept generation — for every concept, the minimal
+//	    combinations of wrappers that jointly provide the requested
+//	    features (joined on the concept identifier) are enumerated,
+//	    yielding "partial walks";
+//	(c) inter-concept generation — partial walks are connected across
+//	    the walk's relation edges (each edge must be witnessed by a
+//	    wrapper mapping that covers it), producing a union of
+//	    conjunctive queries (UCQ) over the wrappers.
+//
+// The result is a relalg.Plan ready for federated execution, plus the
+// equivalent SPARQL text (Figure 8 of the paper shows both).
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdm/internal/bdi"
+	"mdm/internal/rdf"
+)
+
+// Walk is an ontology-mediated query: a connected subgraph of the global
+// graph with the features the analyst wants projected.
+type Walk struct {
+	// Concepts are the selected concept IRIs.
+	Concepts []rdf.Term
+	// Features maps each concept to the features to project, in order.
+	Features map[rdf.Term][]rdf.Term
+	// Relations are the selected concept-relation edges.
+	Relations []rdf.Triple
+	// Aliases optionally maps a feature IRI to an output column name;
+	// features without an alias use their IRI local name.
+	Aliases map[rdf.Term]string
+}
+
+// NewWalk returns an empty walk.
+func NewWalk() *Walk {
+	return &Walk{Features: map[rdf.Term][]rdf.Term{}, Aliases: map[rdf.Term]string{}}
+}
+
+// AddConcept adds a concept to the walk (idempotent).
+func (w *Walk) AddConcept(c rdf.Term) *Walk {
+	for _, e := range w.Concepts {
+		if e == c {
+			return w
+		}
+	}
+	w.Concepts = append(w.Concepts, c)
+	return w
+}
+
+// Select requests a feature of a concept for projection.
+func (w *Walk) Select(concept, feature rdf.Term) *Walk {
+	w.AddConcept(concept)
+	for _, f := range w.Features[concept] {
+		if f == feature {
+			return w
+		}
+	}
+	w.Features[concept] = append(w.Features[concept], feature)
+	return w
+}
+
+// SelectAs requests a feature with an explicit output column name.
+func (w *Walk) SelectAs(concept, feature rdf.Term, alias string) *Walk {
+	w.Select(concept, feature)
+	w.Aliases[feature] = alias
+	return w
+}
+
+// Relate adds a relation edge between two walk concepts.
+func (w *Walk) Relate(from, prop, to rdf.Term) *Walk {
+	w.AddConcept(from)
+	w.AddConcept(to)
+	t := rdf.T(from, prop, to)
+	for _, e := range w.Relations {
+		if e == t {
+			return w
+		}
+	}
+	w.Relations = append(w.Relations, t)
+	return w
+}
+
+// ProjectedFeatures returns the walk's requested features in a stable
+// order: by concept insertion order, then feature insertion order.
+func (w *Walk) ProjectedFeatures() []rdf.Term {
+	var out []rdf.Term
+	for _, c := range w.Concepts {
+		out = append(out, w.Features[c]...)
+	}
+	return out
+}
+
+// Validate checks the walk against an ontology: concepts declared,
+// features attached to their concepts, relations present in the global
+// graph, and the walk connected when it has more than one concept.
+func (w *Walk) Validate(o *bdi.Ontology) error {
+	if len(w.Concepts) == 0 {
+		return fmt.Errorf("rewrite: empty walk")
+	}
+	g := o.Global()
+	for _, c := range w.Concepts {
+		if !g.Has(rdf.T(c, rdf.IRI(rdf.RDFType), bdi.ClassConcept)) {
+			return fmt.Errorf("rewrite: %w %s", errUnknown, c)
+		}
+	}
+	for c, feats := range w.Features {
+		for _, f := range feats {
+			// Taxonomy-aware: features may be inherited from superclasses.
+			if !o.HasFeatureInherited(c, f) {
+				return fmt.Errorf("rewrite: feature %s is not attached to concept %s", f, c)
+			}
+		}
+	}
+	for _, r := range w.Relations {
+		if !g.Has(r) {
+			return fmt.Errorf("rewrite: relation %s not in global graph", r)
+		}
+	}
+	if len(w.Concepts) > 1 {
+		if !w.connected() {
+			return fmt.Errorf("rewrite: walk is not connected; add relation edges")
+		}
+	}
+	return nil
+}
+
+var errUnknown = fmt.Errorf("unknown concept")
+
+func (w *Walk) connected() bool {
+	adj := map[rdf.Term][]rdf.Term{}
+	for _, r := range w.Relations {
+		adj[r.S] = append(adj[r.S], r.O)
+		adj[r.O] = append(adj[r.O], r.S)
+	}
+	seen := map[rdf.Term]bool{w.Concepts[0]: true}
+	stack := []rdf.Term{w.Concepts[0]}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[cur] {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	for _, c := range w.Concepts {
+		if !seen[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// SPARQL renders the walk as the equivalent SPARQL query over the global
+// vocabulary, as MDM displays it (Figure 8): one instance variable per
+// concept, one triple pattern per requested feature, one per relation.
+func (w *Walk) SPARQL(o *bdi.Ontology) string {
+	pm := o.Dataset().Prefixes()
+	varOf := map[rdf.Term]string{}
+	used := map[string]int{}
+	for _, c := range w.Concepts {
+		base := lowerFirst(c.LocalName())
+		used[base]++
+		if used[base] > 1 {
+			base = fmt.Sprintf("%s%d", base, used[base])
+		}
+		varOf[c] = base
+	}
+	var selectVars, patterns []string
+	for _, c := range w.Concepts {
+		patterns = append(patterns, fmt.Sprintf("?%s rdf:type %s .", varOf[c], pm.CompactTerm(c)))
+		for _, f := range w.Features[c] {
+			v := w.columnName(f)
+			selectVars = append(selectVars, "?"+v)
+			patterns = append(patterns, fmt.Sprintf("?%s %s ?%s .", varOf[c], pm.CompactTerm(f), v))
+		}
+	}
+	for _, r := range w.Relations {
+		patterns = append(patterns, fmt.Sprintf("?%s %s ?%s .", varOf[r.S], pm.CompactTerm(r.P), varOf[r.O]))
+	}
+	var sb strings.Builder
+	for _, pair := range pm.Pairs() {
+		// Only emit prefixes actually used, to keep Figure 8 readable.
+		pfx := pair[0] + ":"
+		usedHere := false
+		for _, p := range patterns {
+			if strings.Contains(p, pfx) {
+				usedHere = true
+				break
+			}
+		}
+		if usedHere {
+			fmt.Fprintf(&sb, "PREFIX %s: <%s>\n", pair[0], pair[1])
+		}
+	}
+	fmt.Fprintf(&sb, "SELECT %s WHERE {\n", strings.Join(selectVars, " "))
+	for _, p := range patterns {
+		fmt.Fprintf(&sb, "  %s\n", p)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// columnName returns the output column for a feature (alias or local
+// name).
+func (w *Walk) columnName(f rdf.Term) string {
+	if a, ok := w.Aliases[f]; ok && a != "" {
+		return a
+	}
+	return f.LocalName()
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// sortTerms sorts a term slice in place and returns it.
+func sortTerms(ts []rdf.Term) []rdf.Term {
+	sort.Slice(ts, func(i, j int) bool { return rdf.Compare(ts[i], ts[j]) < 0 })
+	return ts
+}

@@ -1,0 +1,241 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdm/internal/rdf"
+)
+
+// QueryForm distinguishes SELECT from ASK queries.
+type QueryForm int
+
+// Supported query forms.
+const (
+	FormSelect QueryForm = iota
+	FormAsk
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form      QueryForm
+	Prefixes  *rdf.PrefixMap
+	Distinct  bool
+	Star      bool     // SELECT *
+	Variables []string // projected variables (without '?') when !Star
+	Where     *Group
+	OrderBy   []OrderKey
+	Limit     int // -1 = unset
+	Offset    int
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Group is a group graph pattern: a sequence of pattern elements
+// evaluated as a join, plus filters applied over the group's solutions.
+type Group struct {
+	Patterns []Pattern
+	Filters  []Expr
+}
+
+// Pattern is a group element: a triple pattern, OPTIONAL group, UNION, or
+// GRAPH block.
+type Pattern interface {
+	patternNode()
+	// Vars appends the variables mentioned by the pattern to dst.
+	Vars(dst map[string]bool)
+	String() string
+}
+
+// NodeKind discriminates the three kinds of pattern nodes.
+type NodeKind int
+
+// Pattern node kinds.
+const (
+	NodeVar NodeKind = iota
+	NodeTerm
+)
+
+// Node is a position in a triple pattern: a variable or a concrete term.
+type Node struct {
+	Kind NodeKind
+	Var  string   // when Kind == NodeVar
+	Term rdf.Term // when Kind == NodeTerm
+}
+
+// V returns a variable node.
+func V(name string) Node { return Node{Kind: NodeVar, Var: name} }
+
+// N returns a concrete-term node.
+func N(t rdf.Term) Node { return Node{Kind: NodeTerm, Term: t} }
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Kind == NodeVar }
+
+func (n Node) String() string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// TriplePattern is an (s, p, o) pattern where each position may be a
+// variable.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+func (TriplePattern) patternNode() {}
+
+// Vars implements Pattern.
+func (tp TriplePattern) Vars(dst map[string]bool) {
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.IsVar() {
+			dst[n.Var] = true
+		}
+	}
+}
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// Optional wraps a group evaluated as a left join.
+type Optional struct {
+	Group *Group
+}
+
+func (Optional) patternNode() {}
+
+// Vars implements Pattern.
+func (o Optional) Vars(dst map[string]bool) { o.Group.collectVars(dst) }
+
+func (o Optional) String() string { return "OPTIONAL " + o.Group.String() }
+
+// Union is the alternation of two or more groups.
+type Union struct {
+	Branches []*Group
+}
+
+func (Union) patternNode() {}
+
+// Vars implements Pattern.
+func (u Union) Vars(dst map[string]bool) {
+	for _, b := range u.Branches {
+		b.collectVars(dst)
+	}
+}
+
+func (u Union) String() string {
+	parts := make([]string, len(u.Branches))
+	for i, b := range u.Branches {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " UNION ")
+}
+
+// GraphPattern scopes a group to a named graph, identified either by a
+// concrete IRI or by a variable that ranges over graph names.
+type GraphPattern struct {
+	Name  Node
+	Group *Group
+}
+
+func (GraphPattern) patternNode() {}
+
+// Vars implements Pattern.
+func (g GraphPattern) Vars(dst map[string]bool) {
+	if g.Name.IsVar() {
+		dst[g.Name.Var] = true
+	}
+	g.Group.collectVars(dst)
+}
+
+func (g GraphPattern) String() string {
+	return fmt.Sprintf("GRAPH %s %s", g.Name, g.Group)
+}
+
+func (g *Group) collectVars(dst map[string]bool) {
+	for _, p := range g.Patterns {
+		p.Vars(dst)
+	}
+	for _, f := range g.Filters {
+		f.Vars(dst)
+	}
+}
+
+// AllVars returns the sorted set of variables mentioned in the group.
+func (g *Group) AllVars() []string {
+	set := map[string]bool{}
+	g.collectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Group) String() string {
+	var sb strings.Builder
+	sb.WriteString("{ ")
+	for _, p := range g.Patterns {
+		sb.WriteString(p.String())
+		sb.WriteString(" ")
+	}
+	for _, f := range g.Filters {
+		fmt.Fprintf(&sb, "FILTER (%s) ", f)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// String pretty-prints the query in canonical SPARQL concrete syntax.
+func (q *Query) String() string {
+	var sb strings.Builder
+	if q.Prefixes != nil {
+		for _, pair := range q.Prefixes.Pairs() {
+			fmt.Fprintf(&sb, "PREFIX %s: <%s>\n", pair[0], pair[1])
+		}
+	}
+	switch q.Form {
+	case FormAsk:
+		sb.WriteString("ASK ")
+	default:
+		sb.WriteString("SELECT ")
+		if q.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		if q.Star {
+			sb.WriteString("* ")
+		} else {
+			for _, v := range q.Variables {
+				sb.WriteString("?" + v + " ")
+			}
+		}
+		sb.WriteString("WHERE ")
+	}
+	sb.WriteString(q.Where.String())
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				fmt.Fprintf(&sb, " DESC(?%s)", k.Var)
+			} else {
+				fmt.Fprintf(&sb, " ?%s", k.Var)
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&sb, " OFFSET %d", q.Offset)
+	}
+	return sb.String()
+}

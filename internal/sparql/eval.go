@@ -1,0 +1,381 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdm/internal/rdf"
+)
+
+// Binding maps variable names (without '?') to terms.
+type Binding map[string]rdf.Term
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is the outcome of query evaluation.
+type Result struct {
+	// Vars is the projection list in order.
+	Vars []string
+	// Solutions holds one binding per result row.
+	Solutions []Binding
+	// Bool is the ASK answer when the query form is ASK.
+	Bool bool
+	// Form echoes the query form.
+	Form QueryForm
+}
+
+// Table renders the result as an aligned text table (for demos/tests).
+func (r *Result) Table() string {
+	if r.Form == FormAsk {
+		return fmt.Sprintf("ASK -> %v\n", r.Bool)
+	}
+	widths := make([]int, len(r.Vars))
+	for i, v := range r.Vars {
+		widths[i] = len(v) + 1
+	}
+	cells := make([][]string, len(r.Solutions))
+	for si, s := range r.Solutions {
+		row := make([]string, len(r.Vars))
+		for i, v := range r.Vars {
+			if t, ok := s[v]; ok {
+				row[i] = t.Value
+			}
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		cells[si] = row
+	}
+	var sb strings.Builder
+	for i, v := range r.Vars {
+		fmt.Fprintf(&sb, "%-*s", widths[i]+2, "?"+v)
+	}
+	sb.WriteString("\n")
+	for _, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// evalCtx carries the dataset and active graph through evaluation.
+type evalCtx struct {
+	ds     *rdf.Dataset
+	active *rdf.Graph
+}
+
+// Eval evaluates a query against a dataset. The default graph is the
+// active graph except inside GRAPH blocks.
+func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
+	ctx := evalCtx{ds: ds, active: ds.Default()}
+	sols, err := evalGroup(ctx, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Form: q.Form}
+	if q.Form == FormAsk {
+		res.Bool = len(sols) > 0
+		return res, nil
+	}
+
+	// Projection list.
+	if q.Star {
+		res.Vars = q.Where.AllVars()
+	} else {
+		res.Vars = q.Variables
+	}
+
+	// ORDER BY before projection so order keys may be non-projected.
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(sols, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				ti, iok := sols[i][k.Var]
+				tj, jok := sols[j][k.Var]
+				var c int
+				switch {
+				case !iok && !jok:
+					c = 0
+				case !iok:
+					c = -1
+				case !jok:
+					c = 1
+				default:
+					c = compareOrder(ti, tj)
+				}
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	// Project.
+	projected := make([]Binding, 0, len(sols))
+	for _, s := range sols {
+		row := make(Binding, len(res.Vars))
+		for _, v := range res.Vars {
+			if t, ok := s[v]; ok {
+				row[v] = t
+			}
+		}
+		projected = append(projected, row)
+	}
+
+	if q.Distinct {
+		projected = dedupe(res.Vars, projected)
+	}
+
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+	res.Solutions = projected
+	return res, nil
+}
+
+// compareOrder orders terms numerically when both parse as numbers, else
+// by rdf.Compare.
+func compareOrder(a, b rdf.Term) int {
+	fa, erra := a.Float()
+	fb, errb := b.Float()
+	if erra == nil && errb == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return rdf.Compare(a, b)
+}
+
+func dedupe(vars []string, sols []Binding) []Binding {
+	seen := map[string]bool{}
+	out := sols[:0:0]
+	for _, s := range sols {
+		var key strings.Builder
+		for _, v := range vars {
+			if t, ok := s[v]; ok {
+				key.WriteString(t.String())
+			}
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// evalGroup evaluates a group graph pattern: join the patterns in
+// sequence, then apply the group's filters.
+func evalGroup(ctx evalCtx, g *Group, input []Binding) ([]Binding, error) {
+	sols := input
+	for _, pat := range orderPatterns(g.Patterns) {
+		var err error
+		sols, err = evalPattern(ctx, pat, sols)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
+			break
+		}
+	}
+	for _, f := range g.Filters {
+		kept := sols[:0:0]
+		for _, s := range sols {
+			v, err := f.Eval(s)
+			if err != nil {
+				continue // error => effective false
+			}
+			ok, err := v.AsBool()
+			if err != nil || !ok {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		sols = kept
+	}
+	return sols, nil
+}
+
+// orderPatterns places triple patterns before OPTIONALs so left joins see
+// the full base solution set, preserving relative order otherwise.
+func orderPatterns(ps []Pattern) []Pattern {
+	var base, opts []Pattern
+	for _, p := range ps {
+		if _, ok := p.(Optional); ok {
+			opts = append(opts, p)
+		} else {
+			base = append(base, p)
+		}
+	}
+	return append(base, opts...)
+}
+
+func evalPattern(ctx evalCtx, pat Pattern, input []Binding) ([]Binding, error) {
+	switch p := pat.(type) {
+	case TriplePattern:
+		return evalTriple(ctx, p, input), nil
+	case Optional:
+		return evalOptional(ctx, p, input)
+	case Union:
+		var out []Binding
+		for _, branch := range p.Branches {
+			bs, err := evalGroup(ctx, branch, input)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bs...)
+		}
+		return out, nil
+	case GraphPattern:
+		return evalGraphPattern(ctx, p, input)
+	default:
+		return nil, fmt.Errorf("sparql: unknown pattern type %T", pat)
+	}
+}
+
+func evalTriple(ctx evalCtx, tp TriplePattern, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		s := resolve(tp.S, b)
+		p := resolve(tp.P, b)
+		o := resolve(tp.O, b)
+		for _, t := range ctx.active.Match(s, p, o) {
+			nb := b
+			cloned := false
+			bind := func(n Node, v rdf.Term) bool {
+				if !n.IsVar() {
+					return true
+				}
+				if cur, ok := nb[n.Var]; ok {
+					return cur == v
+				}
+				if !cloned {
+					nb = nb.Clone()
+					cloned = true
+				}
+				nb[n.Var] = v
+				return true
+			}
+			if bind(tp.S, t.S) && bind(tp.P, t.P) && bind(tp.O, t.O) {
+				if !cloned {
+					nb = b.Clone()
+				}
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// resolve substitutes a bound variable into the match pattern, or Any.
+func resolve(n Node, b Binding) rdf.Term {
+	if !n.IsVar() {
+		return n.Term
+	}
+	if t, ok := b[n.Var]; ok {
+		return t
+	}
+	return rdf.Any
+}
+
+func evalOptional(ctx evalCtx, opt Optional, input []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range input {
+		ext, err := evalGroup(ctx, opt.Group, []Binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(ext) == 0 {
+			out = append(out, b) // left-join: keep unextended
+		} else {
+			out = append(out, ext...)
+		}
+	}
+	return out, nil
+}
+
+func evalGraphPattern(ctx evalCtx, gp GraphPattern, input []Binding) ([]Binding, error) {
+	if !gp.Name.IsVar() {
+		g, ok := ctx.ds.Lookup(gp.Name.Term)
+		if !ok {
+			return nil, nil // empty graph => no solutions
+		}
+		sub := evalCtx{ds: ctx.ds, active: g}
+		return evalGroup(sub, gp.Group, input)
+	}
+	// Variable graph name: iterate all named graphs.
+	var out []Binding
+	for _, name := range ctx.ds.GraphNames() {
+		g, _ := ctx.ds.Lookup(name)
+		sub := evalCtx{ds: ctx.ds, active: g}
+		// Restrict input to bindings compatible with this graph name.
+		var compat []Binding
+		for _, b := range input {
+			if cur, ok := b[gp.Name.Var]; ok {
+				if cur != name {
+					continue
+				}
+				compat = append(compat, b)
+			} else {
+				nb := b.Clone()
+				nb[gp.Name.Var] = name
+				compat = append(compat, nb)
+			}
+		}
+		if len(compat) == 0 {
+			continue
+		}
+		bs, err := evalGroup(sub, gp.Group, compat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs...)
+	}
+	return out, nil
+}
+
+// MustParse parses a query and panics on error; for fixtures and tests.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Run parses and evaluates src against ds in one step.
+func Run(ds *rdf.Dataset, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(ds, q)
+}

@@ -1,0 +1,279 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"mdm/internal/rdf"
+)
+
+// Expr is a FILTER expression. Evaluation follows a pragmatic subset of
+// SPARQL semantics: type errors make the enclosing FILTER reject the
+// solution (error ⇒ effective boolean value false).
+type Expr interface {
+	// Eval computes the expression value under the binding.
+	Eval(b Binding) (Value, error)
+	// Vars records the variables the expression mentions.
+	Vars(dst map[string]bool)
+	String() string
+}
+
+// Value is an expression result: a term or an evaluation error sentinel.
+type Value struct {
+	Term rdf.Term
+}
+
+// AsBool converts the value to an effective boolean value.
+func (v Value) AsBool() (bool, error) {
+	t := v.Term
+	if !t.IsLiteral() {
+		return false, fmt.Errorf("sparql: non-literal %s has no boolean value", t)
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return strconv.ParseBool(t.Value)
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f != 0, err
+	default:
+		return t.Value != "", nil
+	}
+}
+
+// numeric returns the value as float64 if it is a numeric literal.
+func (v Value) numeric() (float64, bool) {
+	t := v.Term
+	if !t.IsLiteral() {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// Eval implements Expr.
+func (e VarExpr) Eval(b Binding) (Value, error) {
+	t, ok := b[e.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("sparql: unbound variable ?%s", e.Name)
+	}
+	return Value{Term: t}, nil
+}
+
+// Vars implements Expr.
+func (e VarExpr) Vars(dst map[string]bool) { dst[e.Name] = true }
+
+func (e VarExpr) String() string { return "?" + e.Name }
+
+// ConstExpr is a literal or IRI constant.
+type ConstExpr struct{ Term rdf.Term }
+
+// Eval implements Expr.
+func (e ConstExpr) Eval(Binding) (Value, error) { return Value{Term: e.Term}, nil }
+
+// Vars implements Expr.
+func (e ConstExpr) Vars(map[string]bool) {}
+
+func (e ConstExpr) String() string { return e.Term.String() }
+
+// CmpExpr is a binary comparison: = != < <= > >=.
+type CmpExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e CmpExpr) Eval(b Binding) (Value, error) {
+	lv, err := e.L.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := e.R.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	var res bool
+	lf, lok := lv.numeric()
+	rf, rok := rv.numeric()
+	if lok && rok {
+		switch e.Op {
+		case "=":
+			res = lf == rf
+		case "!=":
+			res = lf != rf
+		case "<":
+			res = lf < rf
+		case "<=":
+			res = lf <= rf
+		case ">":
+			res = lf > rf
+		case ">=":
+			res = lf >= rf
+		default:
+			return Value{}, fmt.Errorf("sparql: unknown operator %q", e.Op)
+		}
+		return Value{Term: rdf.BoolLit(res)}, nil
+	}
+	// Term comparison: equality on exact term, ordering on lexical value.
+	switch e.Op {
+	case "=":
+		res = lv.Term == rv.Term
+	case "!=":
+		res = lv.Term != rv.Term
+	case "<":
+		res = lv.Term.Value < rv.Term.Value
+	case "<=":
+		res = lv.Term.Value <= rv.Term.Value
+	case ">":
+		res = lv.Term.Value > rv.Term.Value
+	case ">=":
+		res = lv.Term.Value >= rv.Term.Value
+	default:
+		return Value{}, fmt.Errorf("sparql: unknown operator %q", e.Op)
+	}
+	return Value{Term: rdf.BoolLit(res)}, nil
+}
+
+// Vars implements Expr.
+func (e CmpExpr) Vars(dst map[string]bool) { e.L.Vars(dst); e.R.Vars(dst) }
+
+func (e CmpExpr) String() string { return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R) }
+
+// LogicExpr is && or ||.
+type LogicExpr struct {
+	Op   string // "&&" or "||"
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e LogicExpr) Eval(b Binding) (Value, error) {
+	lv, err := e.L.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	lb, err := lv.AsBool()
+	if err != nil {
+		return Value{}, err
+	}
+	if e.Op == "&&" && !lb {
+		return Value{Term: rdf.BoolLit(false)}, nil
+	}
+	if e.Op == "||" && lb {
+		return Value{Term: rdf.BoolLit(true)}, nil
+	}
+	rv, err := e.R.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	rb, err := rv.AsBool()
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Term: rdf.BoolLit(rb)}, nil
+}
+
+// Vars implements Expr.
+func (e LogicExpr) Vars(dst map[string]bool) { e.L.Vars(dst); e.R.Vars(dst) }
+
+func (e LogicExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+// NotExpr negates its operand.
+type NotExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (e NotExpr) Eval(b Binding) (Value, error) {
+	v, err := e.X.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	bv, err := v.AsBool()
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Term: rdf.BoolLit(!bv)}, nil
+}
+
+// Vars implements Expr.
+func (e NotExpr) Vars(dst map[string]bool) { e.X.Vars(dst) }
+
+func (e NotExpr) String() string { return "!" + e.X.String() }
+
+// BoundExpr is BOUND(?v).
+type BoundExpr struct{ Name string }
+
+// Eval implements Expr.
+func (e BoundExpr) Eval(b Binding) (Value, error) {
+	_, ok := b[e.Name]
+	return Value{Term: rdf.BoolLit(ok)}, nil
+}
+
+// Vars implements Expr.
+func (e BoundExpr) Vars(dst map[string]bool) { dst[e.Name] = true }
+
+func (e BoundExpr) String() string { return fmt.Sprintf("BOUND(?%s)", e.Name) }
+
+// RegexExpr is REGEX(str-expr, pattern [, flags]).
+type RegexExpr struct {
+	X       Expr
+	Pattern string
+	Flags   string
+	re      *regexp.Regexp
+}
+
+// NewRegexExpr compiles the pattern eagerly so syntax errors surface at
+// parse time.
+func NewRegexExpr(x Expr, pattern, flags string) (*RegexExpr, error) {
+	p := pattern
+	if strings.Contains(flags, "i") {
+		p = "(?i)" + p
+	}
+	re, err := regexp.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("sparql: bad regex %q: %w", pattern, err)
+	}
+	return &RegexExpr{X: x, Pattern: pattern, Flags: flags, re: re}, nil
+}
+
+// Eval implements Expr.
+func (e *RegexExpr) Eval(b Binding) (Value, error) {
+	v, err := e.X.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Term: rdf.BoolLit(e.re.MatchString(v.Term.Value))}, nil
+}
+
+// Vars implements Expr.
+func (e *RegexExpr) Vars(dst map[string]bool) { e.X.Vars(dst) }
+
+func (e *RegexExpr) String() string {
+	if e.Flags != "" {
+		return fmt.Sprintf("REGEX(%s, %q, %q)", e.X, e.Pattern, e.Flags)
+	}
+	return fmt.Sprintf("REGEX(%s, %q)", e.X, e.Pattern)
+}
+
+// StrExpr is STR(expr): the lexical form of a term.
+type StrExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (e StrExpr) Eval(b Binding) (Value, error) {
+	v, err := e.X.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Term: rdf.Lit(v.Term.Value)}, nil
+}
+
+// Vars implements Expr.
+func (e StrExpr) Vars(dst map[string]bool) { e.X.Vars(dst) }
+
+func (e StrExpr) String() string { return fmt.Sprintf("STR(%s)", e.X) }

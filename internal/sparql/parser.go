@@ -1,0 +1,628 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"mdm/internal/rdf"
+)
+
+// Parse parses a SPARQL query string.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: newLexer(src), prefixes: rdf.NewPrefixMap()}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	lx       *lexer
+	tok      token
+	prefixes *rdf.PrefixMap
+}
+
+func (p *parser) bump() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: line %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokKeyword || p.tok.text != kw {
+		return p.errf("expected %s, got %q", kw, p.tok.text)
+	}
+	return p.bump()
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Prefixes: p.prefixes, Limit: -1}
+
+	// Prologue: PREFIX declarations.
+	for p.tok.kind == tokKeyword && p.tok.text == "PREFIX" {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokPName || !strings.HasSuffix(p.tok.text, ":") {
+			return nil, p.errf("expected prefix declaration like ex:, got %q", p.tok.text)
+		}
+		prefix := strings.TrimSuffix(p.tok.text, ":")
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIRI {
+			return nil, p.errf("expected IRI after PREFIX %s:", prefix)
+		}
+		p.prefixes.Bind(prefix, p.tok.text)
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+	}
+
+	switch {
+	case p.tok.kind == tokKeyword && p.tok.text == "SELECT":
+		q.Form = FormSelect
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokKeyword && (p.tok.text == "DISTINCT" || p.tok.text == "REDUCED") {
+			q.Distinct = true
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind == tokStar {
+			q.Star = true
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		} else {
+			for p.tok.kind == tokVar {
+				q.Variables = append(q.Variables, p.tok.text)
+				if err := p.bump(); err != nil {
+					return nil, err
+				}
+			}
+			if len(q.Variables) == 0 {
+				return nil, p.errf("SELECT needs * or at least one variable")
+			}
+		}
+		// WHERE keyword is optional in SPARQL.
+		if p.tok.kind == tokKeyword && p.tok.text == "WHERE" {
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+	case p.tok.kind == tokKeyword && p.tok.text == "ASK":
+		q.Form = FormAsk
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokKeyword && p.tok.text == "WHERE" {
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, p.errf("expected SELECT or ASK, got %q", p.tok.text)
+	}
+
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+
+	// Solution modifiers.
+	for p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "ORDER":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			for {
+				key, ok, err := p.parseOrderKey()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				q.OrderBy = append(q.OrderBy, key)
+			}
+			if len(q.OrderBy) == 0 {
+				return nil, p.errf("ORDER BY needs at least one key")
+			}
+		case "LIMIT":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			n, err := p.parseNonNegInt("LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			q.Limit = n
+		case "OFFSET":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			n, err := p.parseNonNegInt("OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = n
+		default:
+			return nil, p.errf("unexpected keyword %q after WHERE clause", p.tok.text)
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.tok.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseOrderKey() (OrderKey, bool, error) {
+	switch {
+	case p.tok.kind == tokVar:
+		k := OrderKey{Var: p.tok.text}
+		return k, true, p.bump()
+	case p.tok.kind == tokKeyword && (p.tok.text == "ASC" || p.tok.text == "DESC"):
+		desc := p.tok.text == "DESC"
+		if err := p.bump(); err != nil {
+			return OrderKey{}, false, err
+		}
+		if p.tok.kind != tokLParen {
+			return OrderKey{}, false, p.errf("expected ( after ASC/DESC")
+		}
+		if err := p.bump(); err != nil {
+			return OrderKey{}, false, err
+		}
+		if p.tok.kind != tokVar {
+			return OrderKey{}, false, p.errf("expected variable in ORDER BY")
+		}
+		k := OrderKey{Var: p.tok.text, Desc: desc}
+		if err := p.bump(); err != nil {
+			return OrderKey{}, false, err
+		}
+		if p.tok.kind != tokRParen {
+			return OrderKey{}, false, p.errf("expected ) in ORDER BY")
+		}
+		return k, true, p.bump()
+	default:
+		return OrderKey{}, false, nil
+	}
+}
+
+func (p *parser) parseNonNegInt(ctx string) (int, error) {
+	if p.tok.kind != tokNumber {
+		return 0, p.errf("expected number after %s", ctx)
+	}
+	var n int
+	if _, err := fmt.Sscanf(p.tok.text, "%d", &n); err != nil || n < 0 {
+		return 0, p.errf("bad %s value %q", ctx, p.tok.text)
+	}
+	return n, p.bump()
+}
+
+func (p *parser) parseGroup() (*Group, error) {
+	if p.tok.kind != tokLBrace {
+		return nil, p.errf("expected {, got %q", p.tok.text)
+	}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		switch {
+		case p.tok.kind == tokRBrace:
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			return g, nil
+		case p.tok.kind == tokEOF:
+			return nil, p.errf("unterminated group pattern")
+		case p.tok.kind == tokKeyword && p.tok.text == "FILTER":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+		case p.tok.kind == tokKeyword && p.tok.text == "OPTIONAL":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Patterns = append(g.Patterns, Optional{Group: sub})
+		case p.tok.kind == tokKeyword && p.tok.text == "GRAPH":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			name, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Patterns = append(g.Patterns, GraphPattern{Name: name, Group: sub})
+		case p.tok.kind == tokLBrace:
+			// Sub-group: either the start of a UNION chain or a plain
+			// nested group (treated as inlined join).
+			first, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokKeyword && p.tok.text == "UNION" {
+				branches := []*Group{first}
+				for p.tok.kind == tokKeyword && p.tok.text == "UNION" {
+					if err := p.bump(); err != nil {
+						return nil, err
+					}
+					b, err := p.parseGroup()
+					if err != nil {
+						return nil, err
+					}
+					branches = append(branches, b)
+				}
+				g.Patterns = append(g.Patterns, Union{Branches: branches})
+			} else {
+				g.Patterns = append(g.Patterns, first.Patterns...)
+				g.Filters = append(g.Filters, first.Filters...)
+			}
+		case p.tok.kind == tokDot:
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.parseTriplesBlock(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseTriplesBlock parses subject predicate-object lists with ';' and
+// ',' abbreviations, appending TriplePatterns to g.
+func (p *parser) parseTriplesBlock(g *Group) error {
+	subj, err := p.parseNode()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseNode()
+			if err != nil {
+				return err
+			}
+			g.Patterns = append(g.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+			if p.tok.kind == tokComma {
+				if err := p.bump(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if p.tok.kind == tokSemi {
+			if err := p.bump(); err != nil {
+				return err
+			}
+			// allow trailing ';'
+			if p.tok.kind == tokDot || p.tok.kind == tokRBrace {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind == tokDot {
+		return p.bump()
+	}
+	if p.tok.kind == tokRBrace || p.tok.kind == tokEOF ||
+		(p.tok.kind == tokKeyword && (p.tok.text == "FILTER" || p.tok.text == "OPTIONAL" || p.tok.text == "GRAPH")) {
+		return nil
+	}
+	return p.errf("expected '.' after triple pattern, got %q", p.tok.text)
+}
+
+func (p *parser) parseVerb() (Node, error) {
+	if p.tok.kind == tokA {
+		if err := p.bump(); err != nil {
+			return Node{}, err
+		}
+		return N(rdf.IRI(rdf.RDFType)), nil
+	}
+	return p.parseNode()
+}
+
+// parseNode parses a variable, IRI, prefixed name or literal.
+func (p *parser) parseNode() (Node, error) {
+	switch p.tok.kind {
+	case tokVar:
+		n := V(p.tok.text)
+		return n, p.bump()
+	case tokIRI:
+		n := N(rdf.IRI(p.tok.text))
+		return n, p.bump()
+	case tokPName:
+		iri, ok := p.prefixes.Expand(p.tok.text)
+		if !ok {
+			return Node{}, p.errf("unknown prefix in %q", p.tok.text)
+		}
+		n := N(rdf.IRI(iri))
+		return n, p.bump()
+	case tokString:
+		lex := p.tok.text
+		if err := p.bump(); err != nil {
+			return Node{}, err
+		}
+		switch p.tok.kind {
+		case tokLangTag:
+			n := N(rdf.LangLit(lex, p.tok.text))
+			return n, p.bump()
+		case tokDatatype:
+			if err := p.bump(); err != nil {
+				return Node{}, err
+			}
+			dt, err := p.parseNode()
+			if err != nil {
+				return Node{}, err
+			}
+			if dt.IsVar() || !dt.Term.IsIRI() {
+				return Node{}, p.errf("datatype must be an IRI")
+			}
+			return N(rdf.TypedLit(lex, dt.Term.Value)), nil
+		default:
+			return N(rdf.Lit(lex)), nil
+		}
+	case tokNumber:
+		n := N(numberTerm(p.tok.text))
+		return n, p.bump()
+	case tokBoolean:
+		n := N(rdf.BoolLit(p.tok.text == "true"))
+		return n, p.bump()
+	default:
+		return Node{}, p.errf("expected term, got %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+func numberTerm(lex string) rdf.Term {
+	if strings.ContainsAny(lex, ".eE") {
+		return rdf.TypedLit(lex, rdf.XSDDouble)
+	}
+	return rdf.TypedLit(lex, rdf.XSDInteger)
+}
+
+// --- FILTER expression parsing (precedence: || < && < cmp < unary) ---
+
+func (p *parser) parseExpr() (Expr, error) {
+	if p.tok.kind != tokLParen && !p.isExprStart() {
+		return nil, p.errf("expected expression, got %q", p.tok.text)
+	}
+	return p.parseOr()
+}
+
+func (p *parser) isExprStart() bool {
+	switch p.tok.kind {
+	case tokVar, tokString, tokNumber, tokBoolean, tokIRI, tokPName, tokLParen:
+		return true
+	case tokOp:
+		return p.tok.text == "!"
+	case tokKeyword:
+		return p.tok.text == "BOUND" || p.tok.text == "REGEX" || p.tok.text == "STR"
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "||" {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = LogicExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "&&" {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = LogicExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			op := p.tok.text
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return CmpExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && p.tok.text == "!" {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokLParen:
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected )")
+		}
+		return e, p.bump()
+	case p.tok.kind == tokVar:
+		e := VarExpr{Name: p.tok.text}
+		return e, p.bump()
+	case p.tok.kind == tokKeyword && p.tok.text == "BOUND":
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return nil, p.errf("expected ( after BOUND")
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokVar {
+			return nil, p.errf("BOUND takes a variable")
+		}
+		name := p.tok.text
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ) after BOUND variable")
+		}
+		return BoundExpr{Name: name}, p.bump()
+	case p.tok.kind == tokKeyword && p.tok.text == "STR":
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return nil, p.errf("expected ( after STR")
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ) after STR argument")
+		}
+		return StrExpr{X: x}, p.bump()
+	case p.tok.kind == tokKeyword && p.tok.text == "REGEX":
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return nil, p.errf("expected ( after REGEX")
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokComma {
+			return nil, p.errf("REGEX needs a pattern argument")
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, p.errf("REGEX pattern must be a string")
+		}
+		pattern := p.tok.text
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		flags := ""
+		if p.tok.kind == tokComma {
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokString {
+				return nil, p.errf("REGEX flags must be a string")
+			}
+			flags = p.tok.text
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ) after REGEX")
+		}
+		re, err := NewRegexExpr(x, pattern, flags)
+		if err != nil {
+			return nil, err
+		}
+		return re, p.bump()
+	default:
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if n.IsVar() {
+			return VarExpr{Name: n.Var}, nil
+		}
+		return ConstExpr{Term: n.Term}, nil
+	}
+}

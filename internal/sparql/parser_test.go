@@ -1,0 +1,254 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"mdm/internal/rdf"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse(`
+PREFIX ex: <http://ex.org/>
+SELECT ?name ?team WHERE {
+  ?p a ex:Player .
+  ?p ex:name ?name .
+  ?p ex:team ?team .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != FormSelect {
+		t.Error("form != SELECT")
+	}
+	if len(q.Variables) != 2 || q.Variables[0] != "name" || q.Variables[1] != "team" {
+		t.Errorf("Variables = %v", q.Variables)
+	}
+	if len(q.Where.Patterns) != 3 {
+		t.Fatalf("patterns = %d", len(q.Where.Patterns))
+	}
+	tp, ok := q.Where.Patterns[0].(TriplePattern)
+	if !ok {
+		t.Fatalf("pattern[0] is %T", q.Where.Patterns[0])
+	}
+	if !tp.S.IsVar() || tp.S.Var != "p" {
+		t.Errorf("subject = %v", tp.S)
+	}
+	if tp.P.Term.Value != rdf.RDFType {
+		t.Errorf("'a' not expanded: %v", tp.P)
+	}
+	if tp.O.Term.Value != "http://ex.org/Player" {
+		t.Errorf("prefixed object = %v", tp.O)
+	}
+}
+
+func TestParseSemicolonCommaAbbreviations(t *testing.T) {
+	q, err := Parse(`
+PREFIX ex: <http://ex.org/>
+SELECT * WHERE {
+  ?p a ex:Player ; ex:knows ?q , ?r ; ex:name ?n .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Where.Patterns); got != 4 {
+		t.Fatalf("patterns = %d, want 4", got)
+	}
+	for _, p := range q.Where.Patterns {
+		tp := p.(TriplePattern)
+		if !tp.S.IsVar() || tp.S.Var != "p" {
+			t.Errorf("subject not shared: %v", tp)
+		}
+	}
+	if !q.Star {
+		t.Error("SELECT * not recognized")
+	}
+}
+
+func TestParseDistinctOrderLimitOffset(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?x WHERE { ?x <http://p> ?y . }
+ORDER BY DESC(?y) ?x LIMIT 10 OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("DISTINCT missing")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[0].Var != "y" || q.OrderBy[1].Var != "x" {
+		t.Errorf("OrderBy = %v", q.OrderBy)
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q, err := Parse(`ASK { <http://s> <http://p> "v" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != FormAsk {
+		t.Error("form != ASK")
+	}
+}
+
+func TestParseOptionalFilterUnionGraph(t *testing.T) {
+	q, err := Parse(`
+PREFIX ex: <http://ex.org/>
+SELECT ?n ?h WHERE {
+  ?p ex:name ?n .
+  OPTIONAL { ?p ex:height ?h . }
+  FILTER (?h > 170 && ?n != "X")
+  { ?p a ex:Player . } UNION { ?p a ex:Coach . }
+  GRAPH ex:g1 { ?p ex:active true . }
+  GRAPH ?g { ?p ex:src ?s . }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveOpt, haveUnion, haveGraphIRI, haveGraphVar bool
+	for _, p := range q.Where.Patterns {
+		switch pp := p.(type) {
+		case Optional:
+			haveOpt = true
+		case Union:
+			haveUnion = len(pp.Branches) == 2
+		case GraphPattern:
+			if pp.Name.IsVar() {
+				haveGraphVar = true
+			} else {
+				haveGraphIRI = true
+			}
+		}
+	}
+	if !haveOpt || !haveUnion || !haveGraphIRI || !haveGraphVar {
+		t.Errorf("missing structures: opt=%v union=%v giri=%v gvar=%v",
+			haveOpt, haveUnion, haveGraphIRI, haveGraphVar)
+	}
+	if len(q.Where.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Where.Filters))
+	}
+}
+
+func TestParseLiteralForms(t *testing.T) {
+	q, err := Parse(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT * WHERE {
+  ?s <http://p1> "plain" .
+  ?s <http://p2> "hola"@es .
+  ?s <http://p3> "5"^^xsd:integer .
+  ?s <http://p4> 42 .
+  ?s <http://p5> 3.14 .
+  ?s <http://p6> true .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rdf.Term{
+		rdf.Lit("plain"),
+		rdf.LangLit("hola", "es"),
+		rdf.TypedLit("5", rdf.XSDInteger),
+		rdf.TypedLit("42", rdf.XSDInteger),
+		rdf.TypedLit("3.14", rdf.XSDDouble),
+		rdf.BoolLit(true),
+	}
+	for i, p := range q.Where.Patterns {
+		tp := p.(TriplePattern)
+		if tp.O.Term != want[i] {
+			t.Errorf("pattern %d object = %v, want %v", i, tp.O.Term, want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no form", `WHERE { ?s ?p ?o . }`},
+		{"unknown prefix", `SELECT * WHERE { ?s ex:p ?o . }`},
+		{"no vars", `SELECT WHERE { ?s ?p ?o . }`},
+		{"unterminated group", `SELECT * WHERE { ?s ?p ?o .`},
+		{"trailing input", `SELECT * WHERE { ?s ?p ?o . } garbage:x`},
+		{"bad limit", `SELECT * WHERE { ?s ?p ?o . } LIMIT x`},
+		{"empty order by", `SELECT * WHERE { ?s ?p ?o . } ORDER BY`},
+		{"unterminated iri", `SELECT * WHERE { ?s <http://p ?o . }`},
+		{"unterminated string", `SELECT * WHERE { ?s <http://p> "abc . }`},
+		{"bad regex", `SELECT * WHERE { ?s <http://p> ?o . FILTER REGEX(?o, "[") }`},
+		{"bound non-var", `SELECT * WHERE { ?s <http://p> ?o . FILTER BOUND("x") }`},
+		{"empty var", `SELECT ? WHERE { ?s <http://p> ?o . }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("no error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestParseFilterExpressions(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+  ?s <http://p> ?o .
+  FILTER (!(?o < 10) || ?o >= 100 && BOUND(?s))
+  FILTER REGEX(STR(?o), "^a.*b$", "i")
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where.Filters) != 2 {
+		t.Fatalf("filters = %d", len(q.Where.Filters))
+	}
+	// || binds looser than &&.
+	or, ok := q.Where.Filters[0].(LogicExpr)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top expr = %T %v", q.Where.Filters[0], q.Where.Filters[0])
+	}
+	if _, ok := or.L.(NotExpr); !ok {
+		t.Errorf("left = %T, want NotExpr", or.L)
+	}
+	and, ok := or.R.(LogicExpr)
+	if !ok || and.Op != "&&" {
+		t.Errorf("right = %T %v", or.R, or.R)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	src := `PREFIX ex: <http://ex.org/>
+SELECT DISTINCT ?n WHERE { ?p a ex:Player . ?p ex:name ?n . OPTIONAL { ?p ex:h ?h . } FILTER (?h > 170) } ORDER BY ?n LIMIT 3`
+	q1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := q1.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse of %q failed: %v", rendered, err)
+	}
+	if q2.String() != rendered {
+		t.Errorf("String not stable:\n%s\n---\n%s", rendered, q2.String())
+	}
+	if !strings.Contains(rendered, "PREFIX ex:") {
+		t.Error("prefixes lost in rendering")
+	}
+}
+
+func TestParseVariableDollarSyntax(t *testing.T) {
+	q, err := Parse(`SELECT $x WHERE { $x <http://p> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Variables[0] != "x" {
+		t.Errorf("dollar variable = %v", q.Variables)
+	}
+}
+
+func TestGroupAllVarsSorted(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?z <http://p> ?a . OPTIONAL { ?z <http://q> ?m . } FILTER (?k = 1) }`)
+	vars := q.Where.AllVars()
+	want := []string{"a", "k", "m", "z"}
+	if len(vars) != len(want) {
+		t.Fatalf("AllVars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("AllVars = %v, want %v", vars, want)
+		}
+	}
+}

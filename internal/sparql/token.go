@@ -1,0 +1,372 @@
+// Package sparql implements the fragment of the SPARQL 1.1 query
+// language that MDM generates and evaluates: SELECT and ASK queries with
+// PREFIX directives, basic graph patterns, FILTER, OPTIONAL, UNION, named
+// GRAPH blocks, DISTINCT, ORDER BY, LIMIT and OFFSET.
+//
+// The original MDM translates graphically drawn "walks" over the global
+// graph into SPARQL; this package provides both that target language and
+// a general evaluator over rdf.Dataset so analysts (and tests) can
+// inspect intermediate artifacts exactly as Figure 8 of the paper shows.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar      // ?name or $name
+	tokIRI      // <...>
+	tokPName    // prefix:local or prefix:
+	tokString   // "..."
+	tokNumber   // 12, 4.5, -2e3
+	tokBoolean  // true/false
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLParen   // (
+	tokRParen   // )
+	tokDot      // .
+	tokSemi     // ;
+	tokComma    // ,
+	tokStar     // *
+	tokA        // the keyword 'a'
+	tokOp       // = != < <= > >= && || !
+	tokLangTag  // @en
+	tokDatatype // ^^
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "EOF", tokKeyword: "keyword", tokVar: "variable", tokIRI: "IRI",
+		tokPName: "prefixed name", tokString: "string", tokNumber: "number",
+		tokBoolean: "boolean", tokLBrace: "{", tokRBrace: "}", tokLParen: "(",
+		tokRParen: ")", tokDot: ".", tokSemi: ";", tokComma: ",", tokStar: "*",
+		tokA: "a", tokOp: "operator", tokLangTag: "language tag", tokDatatype: "^^",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind      tokenKind
+	text      string
+	line, col int
+}
+
+// keywords recognized case-insensitively (canonical uppercase forms).
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "WHERE": true, "PREFIX": true, "FILTER": true,
+	"OPTIONAL": true, "UNION": true, "GRAPH": true, "DISTINCT": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "BOUND": true, "REGEX": true, "STR": true, "BASE": true,
+	"REDUCED": true,
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: line %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *lexer) peek() byte {
+	if l.eof() {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipWS() {
+	for !l.eof() {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for !l.eof() && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipWS()
+	line, col := l.line, l.col
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	if l.eof() {
+		return mk(tokEOF, ""), nil
+	}
+	c := l.peek()
+	switch {
+	case c == '{':
+		l.advance()
+		return mk(tokLBrace, "{"), nil
+	case c == '}':
+		l.advance()
+		return mk(tokRBrace, "}"), nil
+	case c == '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case c == ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case c == '.':
+		// distinguish '.' terminator from decimal handled in number scan
+		l.advance()
+		return mk(tokDot, "."), nil
+	case c == ';':
+		l.advance()
+		return mk(tokSemi, ";"), nil
+	case c == ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	case c == '*':
+		l.advance()
+		return mk(tokStar, "*"), nil
+	case c == '?' || c == '$':
+		l.advance()
+		start := l.pos
+		for !l.eof() && isNameByte(l.peek()) {
+			l.advance()
+		}
+		if l.pos == start {
+			return token{}, l.errf("empty variable name")
+		}
+		return mk(tokVar, l.src[start:l.pos]), nil
+	case c == '<':
+		// '<' is ambiguous: IRI opener or less-than. IRIs never start
+		// with whitespace, '=', a variable marker, a digit or a quote —
+		// in those cases lex a comparison operator instead.
+		if n := l.peekAt(1); n == ' ' || n == '\t' || n == '\n' || n == '=' ||
+			n == '?' || n == '$' || n == '"' || (n >= '0' && n <= '9') || n == '-' || n == '+' {
+			l.advance()
+			if !l.eof() && l.peek() == '=' {
+				l.advance()
+				return mk(tokOp, "<="), nil
+			}
+			return mk(tokOp, "<"), nil
+		}
+		l.advance()
+		start := l.pos
+		for !l.eof() && l.peek() != '>' {
+			if l.peek() == '\n' {
+				return token{}, l.errf("newline in IRI")
+			}
+			l.advance()
+		}
+		if l.eof() {
+			return token{}, l.errf("unterminated IRI")
+		}
+		iri := l.src[start:l.pos]
+		l.advance() // consume '>'
+		return mk(tokIRI, iri), nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.eof() {
+				return token{}, l.errf("unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.eof() {
+					return token{}, l.errf("dangling escape")
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case '"', '\\':
+					sb.WriteByte(e)
+				default:
+					return token{}, l.errf("unsupported escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return mk(tokString, sb.String()), nil
+	case c == '@':
+		l.advance()
+		start := l.pos
+		for !l.eof() && (isAlnumByte(l.peek()) || l.peek() == '-') {
+			l.advance()
+		}
+		if l.pos == start {
+			return token{}, l.errf("empty language tag")
+		}
+		return mk(tokLangTag, l.src[start:l.pos]), nil
+	case c == '^':
+		if l.peekAt(1) == '^' {
+			l.advance()
+			l.advance()
+			return mk(tokDatatype, "^^"), nil
+		}
+		return token{}, l.errf("unexpected '^'")
+	case c == '=':
+		l.advance()
+		return mk(tokOp, "="), nil
+	case c == '!':
+		l.advance()
+		if !l.eof() && l.peek() == '=' {
+			l.advance()
+			return mk(tokOp, "!="), nil
+		}
+		return mk(tokOp, "!"), nil
+	case c == '>':
+		l.advance()
+		if !l.eof() && l.peek() == '=' {
+			l.advance()
+			return mk(tokOp, ">="), nil
+		}
+		return mk(tokOp, ">"), nil
+	case c == '&':
+		if l.peekAt(1) == '&' {
+			l.advance()
+			l.advance()
+			return mk(tokOp, "&&"), nil
+		}
+		return token{}, l.errf("unexpected '&'")
+	case c == '|':
+		if l.peekAt(1) == '|' {
+			l.advance()
+			l.advance()
+			return mk(tokOp, "||"), nil
+		}
+		return token{}, l.errf("unexpected '|'")
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		return l.lexNumber(mk)
+	default:
+		return l.lexWord(mk)
+	}
+}
+
+func (l *lexer) lexNumber(mk func(tokenKind, string) token) (token, error) {
+	start := l.pos
+	if l.peek() == '+' || l.peek() == '-' {
+		l.advance()
+	}
+	seen := false
+	for !l.eof() {
+		c := l.peek()
+		if c >= '0' && c <= '9' {
+			seen = true
+			l.advance()
+			continue
+		}
+		if c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+			l.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && seen {
+			l.advance()
+			if !l.eof() && (l.peek() == '+' || l.peek() == '-') {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	if !seen {
+		return token{}, l.errf("malformed number")
+	}
+	return mk(tokNumber, l.src[start:l.pos]), nil
+}
+
+func (l *lexer) lexWord(mk func(tokenKind, string) token) (token, error) {
+	start := l.pos
+	hasColon := false
+	for !l.eof() {
+		c := l.peek()
+		if isNameByte(c) {
+			l.advance()
+			continue
+		}
+		if c == ':' {
+			hasColon = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	word := l.src[start:l.pos]
+	if word == "" {
+		return token{}, l.errf("unexpected character %q", string(l.peek()))
+	}
+	// PrefixedName local parts may end in '.' only when followed by a name
+	// char; a trailing '.' is the triple terminator.
+	for strings.HasSuffix(word, ".") {
+		word = word[:len(word)-1]
+		l.pos--
+		l.col--
+	}
+	if hasColon {
+		return mk(tokPName, word), nil
+	}
+	switch word {
+	case "a":
+		return mk(tokA, "a"), nil
+	case "true", "false":
+		return mk(tokBoolean, word), nil
+	}
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		return mk(tokKeyword, up), nil
+	}
+	return token{}, l.errf("unexpected word %q", word)
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c >= 0x80
+}
+
+func isAlnumByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInsertGetFind(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := s.Insert("sources", Doc{"name": "players-api", "format": "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s.Insert("sources", Doc{"name": "teams-api", "format": "xml"})
+	if id1 == id2 {
+		t.Fatal("ids not unique")
+	}
+	d, ok := s.Get("sources", id1)
+	if !ok || d["name"] != "players-api" {
+		t.Fatalf("Get = %v, %v", d, ok)
+	}
+	if _, ok := s.Get("sources", 999); ok {
+		t.Error("Get on missing id")
+	}
+	if _, ok := s.Get("ghost", 1); ok {
+		t.Error("Get on missing collection")
+	}
+	all := s.Find("sources", nil)
+	if len(all) != 2 || all[0].ID() != id1 {
+		t.Fatalf("Find all = %v", all)
+	}
+	jsonOnly := s.Find("sources", Doc{"format": "json"})
+	if len(jsonOnly) != 1 || jsonOnly[0]["name"] != "players-api" {
+		t.Fatalf("Find by example = %v", jsonOnly)
+	}
+	if got := s.Find("sources", Doc{"format": "csv"}); len(got) != 0 {
+		t.Fatalf("Find no match = %v", got)
+	}
+	one, ok := s.FindOne("sources", Doc{"format": "xml"})
+	if !ok || one["name"] != "teams-api" {
+		t.Fatalf("FindOne = %v, %v", one, ok)
+	}
+	if _, ok := s.FindOne("sources", Doc{"format": "csv"}); ok {
+		t.Error("FindOne no match should be false")
+	}
+}
+
+func TestInsertDoesNotAliasCallerDoc(t *testing.T) {
+	s, _ := Open("")
+	d := Doc{"k": "v"}
+	id, _ := s.Insert("c", d)
+	d["k"] = "mutated"
+	got, _ := s.Get("c", id)
+	if got["k"] != "v" {
+		t.Error("stored doc aliases caller map")
+	}
+	if _, ok := d["_id"]; ok {
+		t.Error("caller doc mutated with _id")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	s, _ := Open("")
+	id, _ := s.Insert("c", Doc{"v": 1})
+	ok, err := s.Update("c", id, Doc{"v": 2, "w": "x"})
+	if err != nil || !ok {
+		t.Fatalf("Update = %v, %v", ok, err)
+	}
+	d, _ := s.Get("c", id)
+	if d["v"] != 2 || d["w"] != "x" || d.ID() != id {
+		t.Fatalf("after update = %v", d)
+	}
+	if ok, _ := s.Update("c", 999, Doc{}); ok {
+		t.Error("Update missing id")
+	}
+	if ok, _ := s.Update("ghost", 1, Doc{}); ok {
+		t.Error("Update missing collection")
+	}
+	if ok, _ := s.Delete("c", id); !ok {
+		t.Error("Delete = false")
+	}
+	if ok, _ := s.Delete("c", id); ok {
+		t.Error("double Delete = true")
+	}
+	if s.Count("c") != 0 {
+		t.Error("Count after delete")
+	}
+}
+
+func TestNumericCoercionInFind(t *testing.T) {
+	s, _ := Open("")
+	s.Insert("c", Doc{"n": int64(5)})
+	if got := s.Find("c", Doc{"n": 5}); len(got) != 1 {
+		t.Error("int vs int64 should match")
+	}
+	if got := s.Find("c", Doc{"n": 5.0}); len(got) != 1 {
+		t.Error("float vs int64 should match")
+	}
+	if got := s.Find("c", Doc{"n": "5"}); len(got) != 0 {
+		t.Error("string should not match number")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Insert("releases", Doc{"wrapper": "w1", "breaking": true, "n": 3})
+	s.Insert("releases", Doc{"wrapper": "w2"})
+	s.Insert("other", Doc{"x": "y"})
+	s.Delete("releases", id)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count("releases") != 1 || s2.Count("other") != 1 {
+		t.Fatalf("counts after reopen = %d/%d", s2.Count("releases"), s2.Count("other"))
+	}
+	d, ok := s2.FindOne("releases", Doc{"wrapper": "w2"})
+	if !ok {
+		t.Fatal("doc lost")
+	}
+	// New inserts must not collide with pre-restart ids.
+	id3, _ := s2.Insert("releases", Doc{"wrapper": "w3"})
+	if id3 <= d.ID() {
+		t.Errorf("id reuse after reopen: %d <= %d", id3, d.ID())
+	}
+	cols := s2.Collections()
+	if len(cols) != 2 || cols[0] != "other" {
+		t.Errorf("Collections = %v", cols)
+	}
+}
+
+func TestCorruptCollectionReported(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{nope"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt collection accepted")
+	}
+}
+
+func TestBoolAndNestedValuesSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Insert("c", Doc{"flags": []any{"a", "b"}, "meta": map[string]any{"k": "v"}, "on": true})
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s2.FindOne("c", Doc{"on": true})
+	if !ok {
+		t.Fatal("bool query failed after round trip")
+	}
+	meta, ok := d["meta"].(map[string]any)
+	if !ok || meta["k"] != "v" {
+		t.Errorf("nested map = %v", d["meta"])
+	}
+}

@@ -1,0 +1,340 @@
+// Package tdb provides durable storage for an rdf.Dataset, replacing the
+// Jena TDB persistence engine used by the original MDM implementation.
+//
+// The design is a classic snapshot + write-ahead log:
+//
+//   - snapshot.trig holds a full TriG serialization of the dataset taken
+//     at the last checkpoint;
+//   - wal.jsonl holds one JSON record per mutation since that checkpoint.
+//
+// Open replays the snapshot and then the WAL, so a crash between appends
+// loses at most the record being written (truncated trailing lines are
+// ignored). Compact writes a fresh snapshot and resets the WAL.
+package tdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mdm/internal/rdf"
+	"mdm/internal/rdf/turtle"
+)
+
+const (
+	snapshotFile = "snapshot.trig"
+	walFile      = "wal.jsonl"
+)
+
+// Store is a durable rdf.Dataset. All mutations must go through the
+// Store's methods so they hit the WAL; reads can use the Dataset
+// directly. Store is safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	ds     *rdf.Dataset
+	wal    *os.File
+	walBuf *bufio.Writer
+	closed bool
+	// walRecords counts records appended since the last compaction; used
+	// by AutoCompact.
+	walRecords int
+}
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	Op     string    `json:"op"` // add | remove | drop | prefix
+	Quad   *jsonQuad `json:"quad,omitempty"`
+	Graph  *jsonTerm `json:"graph,omitempty"`
+	Prefix string    `json:"prefix,omitempty"`
+	NS     string    `json:"ns,omitempty"`
+}
+
+// jsonTerm is the WAL encoding of an rdf.Term.
+type jsonTerm struct {
+	K  uint8  `json:"k"`
+	V  string `json:"v"`
+	DT string `json:"dt,omitempty"`
+	LG string `json:"lg,omitempty"`
+}
+
+// jsonQuad serializes as a compact JSON array of 3 or 4 terms via the
+// custom (Un)MarshalJSON methods below.
+type jsonQuad struct {
+	S, P, O jsonTerm
+	G       *jsonTerm
+}
+
+func encTerm(t rdf.Term) jsonTerm {
+	return jsonTerm{K: uint8(t.Kind), V: t.Value, DT: t.Datatype, LG: t.Lang}
+}
+
+func decTerm(j jsonTerm) rdf.Term {
+	return rdf.Term{Kind: rdf.TermKind(j.K), Value: j.V, Datatype: j.DT, Lang: j.LG}
+}
+
+func encQuad(q rdf.Quad) *jsonQuad {
+	jq := &jsonQuad{S: encTerm(q.S), P: encTerm(q.P), O: encTerm(q.O)}
+	if !q.Graph.IsZero() {
+		g := encTerm(q.Graph)
+		jq.G = &g
+	}
+	return jq
+}
+
+func (jq *jsonQuad) quad() rdf.Quad {
+	q := rdf.Quad{Triple: rdf.T(decTerm(jq.S), decTerm(jq.P), decTerm(jq.O))}
+	if jq.G != nil {
+		q.Graph = decTerm(*jq.G)
+	}
+	return q
+}
+
+// MarshalJSON flattens the quad to a compact array-of-terms form.
+func (jq *jsonQuad) MarshalJSON() ([]byte, error) {
+	arr := []jsonTerm{jq.S, jq.P, jq.O}
+	if jq.G != nil {
+		arr = append(arr, *jq.G)
+	}
+	return json.Marshal(arr)
+}
+
+// UnmarshalJSON reverses MarshalJSON.
+func (jq *jsonQuad) UnmarshalJSON(b []byte) error {
+	var arr []jsonTerm
+	if err := json.Unmarshal(b, &arr); err != nil {
+		return err
+	}
+	if len(arr) != 3 && len(arr) != 4 {
+		return fmt.Errorf("tdb: quad record has %d terms", len(arr))
+	}
+	jq.S, jq.P, jq.O = arr[0], arr[1], arr[2]
+	if len(arr) == 4 {
+		g := arr[3]
+		jq.G = &g
+	}
+	return nil
+}
+
+// Open loads (or creates) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tdb: create dir: %w", err)
+	}
+	ds := rdf.NewDataset()
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		loaded, perr := turtle.ParseDataset(string(data))
+		if perr != nil {
+			return nil, fmt.Errorf("tdb: corrupt snapshot: %w", perr)
+		}
+		ds = loaded
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("tdb: read snapshot: %w", err)
+	}
+
+	s := &Store{dir: dir, ds: ds}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: open wal: %w", err)
+	}
+	s.wal = wal
+	s.walBuf = bufio.NewWriter(wal)
+	return s, nil
+}
+
+func (s *Store) replayWAL() error {
+	f, err := os.Open(filepath.Join(s.dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tdb: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final record from a crash is tolerated; anything
+			// else would also appear torn, so stop replay here.
+			break
+		}
+		s.applyLocked(rec)
+		s.walRecords++
+	}
+	return sc.Err()
+}
+
+func (s *Store) applyLocked(rec walRecord) {
+	switch rec.Op {
+	case "add":
+		if rec.Quad != nil {
+			q := rec.Quad.quad()
+			_, _ = s.ds.AddQuad(q)
+		}
+	case "remove":
+		if rec.Quad != nil {
+			q := rec.Quad.quad()
+			s.ds.Graph(q.Graph).Remove(q.Triple)
+		}
+	case "drop":
+		if rec.Graph != nil {
+			s.ds.DropGraph(decTerm(*rec.Graph))
+		}
+	case "prefix":
+		s.ds.Prefixes().Bind(rec.Prefix, rec.NS)
+	}
+}
+
+func (s *Store) append(rec walRecord) error {
+	if s.closed {
+		return errors.New("tdb: store is closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("tdb: encode wal record: %w", err)
+	}
+	if _, err := s.walBuf.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("tdb: append wal: %w", err)
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		return fmt.Errorf("tdb: flush wal: %w", err)
+	}
+	s.walRecords++
+	return nil
+}
+
+// Dataset returns the live dataset. Mutate only through Store methods.
+func (s *Store) Dataset() *rdf.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds
+}
+
+// AddQuad durably inserts a quad.
+func (s *Store) AddQuad(q rdf.Quad) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !q.Triple.Valid() {
+		return fmt.Errorf("tdb: invalid quad %s", q)
+	}
+	added, err := s.ds.AddQuad(q)
+	if err != nil {
+		return err
+	}
+	if !added {
+		return nil // no-op, nothing to log
+	}
+	return s.append(walRecord{Op: "add", Quad: encQuad(q)})
+}
+
+// AddTriple durably inserts a triple into the default graph.
+func (s *Store) AddTriple(t rdf.Triple) error {
+	return s.AddQuad(rdf.Quad{Triple: t})
+}
+
+// RemoveQuad durably removes a quad, reporting whether it was present.
+func (s *Store) RemoveQuad(q rdf.Quad) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ds.Graph(q.Graph).Remove(q.Triple) {
+		return false, nil
+	}
+	return true, s.append(walRecord{Op: "remove", Quad: encQuad(q)})
+}
+
+// DropGraph durably removes an entire named graph.
+func (s *Store) DropGraph(name rdf.Term) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ds.DropGraph(name) {
+		return nil
+	}
+	g := encTerm(name)
+	return s.append(walRecord{Op: "drop", Graph: &g})
+}
+
+// BindPrefix durably registers a prefix binding.
+func (s *Store) BindPrefix(prefix, ns string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ds.Prefixes().Bind(prefix, ns)
+	return s.append(walRecord{Op: "prefix", Prefix: prefix, NS: ns})
+}
+
+// WALRecords returns the number of WAL records since the last compaction
+// (including records replayed at Open).
+func (s *Store) WALRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords
+}
+
+// Compact writes a fresh snapshot of the dataset and truncates the WAL.
+// The snapshot is written to a temp file and renamed, so a crash during
+// compaction leaves the previous snapshot + WAL intact.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("tdb: store is closed")
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(turtle.WriteDataset(s.ds)), 0o644); err != nil {
+		return fmt.Errorf("tdb: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("tdb: publish snapshot: %w", err)
+	}
+	// Reset the WAL only after the snapshot is durable.
+	if err := s.walBuf.Flush(); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("tdb: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	s.walBuf.Reset(s.wal)
+	s.walRecords = 0
+	return nil
+}
+
+// AutoCompact compacts when the WAL has accumulated at least threshold
+// records. It reports whether a compaction ran.
+func (s *Store) AutoCompact(threshold int) (bool, error) {
+	if s.WALRecords() < threshold {
+		return false, nil
+	}
+	return true, s.Compact()
+}
+
+// Close flushes and closes the WAL. The store cannot be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.walBuf.Flush(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}

@@ -1,0 +1,270 @@
+package tdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdm/internal/rdf"
+)
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenEmptyAndBasicAdd(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+
+	if err := s.AddTriple(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.Lit("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddQuad(rdf.Q(rdf.IRI("s"), rdf.IRI("p"), rdf.Lit("n"), rdf.IRI("g"))); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dataset().Len() != 2 {
+		t.Fatalf("Len = %d", s.Dataset().Len())
+	}
+	if s.WALRecords() != 2 {
+		t.Fatalf("WALRecords = %d", s.WALRecords())
+	}
+}
+
+func TestAddInvalidQuadRejected(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	if err := s.AddTriple(rdf.T(rdf.Lit("bad"), rdf.IRI("p"), rdf.Lit("v"))); err == nil {
+		t.Fatal("invalid triple accepted")
+	}
+	if s.WALRecords() != 0 {
+		t.Fatal("invalid triple reached the WAL")
+	}
+}
+
+func TestDuplicateAddNotLogged(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	tr := rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.Lit("v"))
+	if err := s.AddTriple(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTriple(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALRecords() != 1 {
+		t.Fatalf("duplicate add was logged: WALRecords = %d", s.WALRecords())
+	}
+}
+
+func TestReopenReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	tr := rdf.T(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/p"), rdf.TypedLit("7", rdf.XSDInteger))
+	if err := s.AddTriple(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddQuad(rdf.Q(rdf.IRI("a"), rdf.IRI("b"), rdf.LangLit("x", "en"), rdf.IRI("g1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindPrefix("ex", "http://ex/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if !s2.Dataset().Default().Has(tr) {
+		t.Error("default-graph triple lost across reopen")
+	}
+	g, ok := s2.Dataset().Lookup(rdf.IRI("g1"))
+	if !ok || !g.Has(rdf.T(rdf.IRI("a"), rdf.IRI("b"), rdf.LangLit("x", "en"))) {
+		t.Error("named-graph quad lost across reopen")
+	}
+	if iri, ok := s2.Dataset().Prefixes().Expand("ex:s"); !ok || iri != "http://ex/s" {
+		t.Error("prefix binding lost across reopen")
+	}
+}
+
+func TestRemoveAndDropSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	keep := rdf.T(rdf.IRI("keep"), rdf.IRI("p"), rdf.Lit("v"))
+	gone := rdf.T(rdf.IRI("gone"), rdf.IRI("p"), rdf.Lit("v"))
+	if err := s.AddTriple(keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTriple(gone); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.RemoveQuad(rdf.Quad{Triple: gone})
+	if err != nil || !removed {
+		t.Fatalf("RemoveQuad = %v, %v", removed, err)
+	}
+	if removed, _ := s.RemoveQuad(rdf.Quad{Triple: gone}); removed {
+		t.Fatal("double remove reported true")
+	}
+	if err := s.AddQuad(rdf.Q(rdf.IRI("x"), rdf.IRI("y"), rdf.Lit("z"), rdf.IRI("dropme"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropGraph(rdf.IRI("dropme")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if !s2.Dataset().Default().Has(keep) {
+		t.Error("kept triple missing")
+	}
+	if s2.Dataset().Default().Has(gone) {
+		t.Error("removed triple resurrected")
+	}
+	if _, ok := s2.Dataset().Lookup(rdf.IRI("dropme")); ok {
+		t.Error("dropped graph resurrected")
+	}
+}
+
+func TestCompactThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.BindPrefix("ex", "http://ex/")
+	for i := 0; i < 20; i++ {
+		if err := s.AddTriple(rdf.T(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALRecords() != 0 {
+		t.Fatalf("WALRecords after compact = %d", s.WALRecords())
+	}
+	// Post-compaction writes land in the fresh WAL.
+	if err := s.AddTriple(rdf.T(rdf.IRI("post"), rdf.IRI("p"), rdf.Lit("v"))); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Snapshot file must exist and parse.
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := s2.Dataset().Default().Len(); got != 21 {
+		t.Fatalf("triples after compact+reopen = %d, want 21", got)
+	}
+	if iri, ok := s2.Dataset().Prefixes().Expand("ex:a"); !ok || iri != "http://ex/a" {
+		t.Error("prefix lost through snapshot")
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.AddTriple(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.IntLit(int64(i))))
+	}
+	ran, err := s.AutoCompact(10)
+	if err != nil || ran {
+		t.Fatalf("AutoCompact below threshold = %v, %v", ran, err)
+	}
+	ran, err = s.AutoCompact(5)
+	if err != nil || !ran {
+		t.Fatalf("AutoCompact at threshold = %v, %v", ran, err)
+	}
+	if s.WALRecords() != 0 {
+		t.Fatal("WAL not reset by AutoCompact")
+	}
+}
+
+func TestTornWALRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.AddTriple(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.Lit("v")))
+	s.Close()
+
+	// Simulate a crash mid-append: truncated JSON on the last line.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"add","quad":[{"k":0,"v":"torn`)
+	f.Close()
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := s2.Dataset().Default().Len(); got != 1 {
+		t.Fatalf("Len after torn WAL = %d, want 1", got)
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	s := openT(t, t.TempDir())
+	s.Close()
+	if err := s.AddTriple(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.Lit("v"))); err == nil {
+		t.Error("write after Close should fail")
+	}
+	if err := s.Compact(); err == nil {
+		t.Error("Compact after Close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close should be nil, got %v", err)
+	}
+}
+
+func TestCorruptSnapshotReported(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("not turtle <"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt snapshot") {
+		t.Fatalf("Open on corrupt snapshot = %v", err)
+	}
+}
+
+func TestLiteralFidelityThroughWALAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	terms := []rdf.Term{
+		rdf.Lit("plain"),
+		rdf.LangLit("hola", "es"),
+		rdf.TypedLit("170.18", rdf.XSDDouble),
+		rdf.IntLit(-42),
+		rdf.BoolLit(false),
+		rdf.Lit("esc \"quotes\" and\nnewline"),
+	}
+	for i, o := range terms {
+		if err := s.AddTriple(rdf.T(rdf.IRI("s"), rdf.IRI("p"), o)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	s.Close()
+	// Reopen (WAL replay), verify, compact (snapshot), reopen again.
+	s2 := openT(t, dir)
+	for _, o := range terms {
+		if !s2.Dataset().Default().Has(rdf.T(rdf.IRI("s"), rdf.IRI("p"), o)) {
+			t.Errorf("term %s lost in WAL replay", o)
+		}
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openT(t, dir)
+	defer s3.Close()
+	for _, o := range terms {
+		if !s3.Dataset().Default().Has(rdf.T(rdf.IRI("s"), rdf.IRI("p"), o)) {
+			t.Errorf("term %s lost in snapshot round trip", o)
+		}
+	}
+}

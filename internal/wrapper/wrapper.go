@@ -1,0 +1,414 @@
+// Package wrapper implements the wrapper side of the mediator/wrapper
+// architecture MDM builds on (paper §1, §2.2). A wrapper is the access
+// mechanism for one schema version of one data source — "an API request
+// or a database query" — exposing a flat relation with a fixed signature
+// w(a1..an).
+//
+// Wrappers implement relalg.RowSource, so rewritten queries execute
+// directly over them. The package provides HTTP-backed wrappers (REST
+// APIs delivering JSON/XML/CSV), in-memory wrappers, file wrappers and
+// function wrappers, plus a Registry that groups wrappers by data
+// source, mirroring the S:DataSource 1—* S:Wrapper metamodel.
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mdm/internal/relalg"
+	"mdm/internal/schema"
+)
+
+// Wrapper is a named, signed row source attached to a data source.
+type Wrapper interface {
+	relalg.RowSource
+	// Signature returns the wrapper's declared signature w(a1..an).
+	Signature() schema.Signature
+	// SourceID identifies the owning data source.
+	SourceID() string
+	// CurrentSignature re-extracts the signature from the source's
+	// current payload; the release manager diffs it against Signature
+	// to detect schema evolution.
+	CurrentSignature(ctx context.Context) (schema.Signature, error)
+}
+
+// base carries the common wrapper state.
+type base struct {
+	name     string
+	sourceID string
+	sig      schema.Signature
+}
+
+func (b *base) Name() string                { return b.name }
+func (b *base) SourceID() string            { return b.sourceID }
+func (b *base) Signature() schema.Signature { return b.sig }
+func (b *base) Columns() []string           { return b.sig.AttributeNames() }
+
+// toRelation converts docs to the declared signature, applying renames
+// first. Fields absent from the signature are dropped; signed attributes
+// absent from a doc become NULL.
+func toRelation(sig schema.Signature, renames map[string]string, docs []schema.Doc) *relalg.Relation {
+	if len(renames) > 0 {
+		renamed := make([]schema.Doc, len(docs))
+		for i, d := range docs {
+			nd := make(schema.Doc, len(d))
+			for k, v := range d {
+				if to, ok := renames[k]; ok {
+					k = to
+				}
+				nd[k] = v
+			}
+			renamed[i] = nd
+		}
+		docs = renamed
+	}
+	return schema.ToRelation(docs, sig.Attributes)
+}
+
+// --- HTTP wrapper ---
+
+// HTTP is a wrapper over a REST endpoint. The wrapper definition (which
+// URL, which renames) is the steward-provided "query contained in the
+// wrapper" from the paper: it may rename payload fields (foot for
+// preferred_foot) and therefore decouples attribute names from raw
+// payload keys.
+type HTTP struct {
+	base
+	url     string
+	format  schema.Format
+	renames map[string]string
+	client  *http.Client
+}
+
+// HTTPOption configures an HTTP wrapper.
+type HTTPOption func(*HTTP)
+
+// WithFormat forces the payload format instead of auto-detection.
+func WithFormat(f schema.Format) HTTPOption { return func(w *HTTP) { w.format = f } }
+
+// WithRename maps a flattened payload field to a signature attribute.
+func WithRename(from, to string) HTTPOption {
+	return func(w *HTTP) { w.renames[from] = to }
+}
+
+// WithClient sets the HTTP client (timeouts, test transports).
+func WithClient(c *http.Client) HTTPOption { return func(w *HTTP) { w.client = c } }
+
+// NewHTTP registers an HTTP wrapper by fetching a sample payload and
+// extracting its signature (the automated part of paper §2.2). The
+// returned wrapper's signature reflects the payload after renames.
+func NewHTTP(ctx context.Context, name, sourceID, url string, opts ...HTTPOption) (*HTTP, error) {
+	w := &HTTP{
+		base:    base{name: name, sourceID: sourceID},
+		url:     url,
+		renames: map[string]string{},
+		client:  &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	sig, err := w.CurrentSignature(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: extract signature: %w", name, err)
+	}
+	w.sig = sig
+	return w, nil
+}
+
+// fetchDocs GETs the endpoint and flattens the payload.
+func (w *HTTP) fetchDocs(ctx context.Context) ([]schema.Doc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", w.url, resp.StatusCode)
+	}
+	format := w.format
+	if format == "" {
+		format = schema.DetectFormat(resp.Header.Get("Content-Type"), body)
+	}
+	return schema.Flatten(format, body)
+}
+
+// CurrentSignature implements Wrapper.
+func (w *HTTP) CurrentSignature(ctx context.Context) (schema.Signature, error) {
+	docs, err := w.fetchDocs(ctx)
+	if err != nil {
+		return schema.Signature{}, err
+	}
+	renamed := toRelationDocs(w.renames, docs)
+	return schema.Signature{Wrapper: w.name, Attributes: schema.Infer(renamed)}, nil
+}
+
+func toRelationDocs(renames map[string]string, docs []schema.Doc) []schema.Doc {
+	if len(renames) == 0 {
+		return docs
+	}
+	out := make([]schema.Doc, len(docs))
+	for i, d := range docs {
+		nd := make(schema.Doc, len(d))
+		for k, v := range d {
+			if to, ok := renames[k]; ok {
+				k = to
+			}
+			nd[k] = v
+		}
+		out[i] = nd
+	}
+	return out
+}
+
+// Fetch implements relalg.RowSource.
+func (w *HTTP) Fetch(ctx context.Context) (*relalg.Relation, error) {
+	docs, err := w.fetchDocs(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.name, err)
+	}
+	return toRelation(w.sig, w.renames, docs), nil
+}
+
+// --- In-memory wrapper ---
+
+// Mem is a wrapper over in-memory documents; used in tests, examples and
+// the paper's demo fixtures.
+type Mem struct {
+	base
+	mu   sync.RWMutex
+	docs []schema.Doc
+}
+
+// NewMem builds an in-memory wrapper. The signature is inferred from the
+// initial documents unless attrs is non-nil.
+func NewMem(name, sourceID string, docs []schema.Doc, attrs []schema.Attribute) *Mem {
+	if attrs == nil {
+		attrs = schema.Infer(docs)
+	}
+	return &Mem{
+		base: base{name: name, sourceID: sourceID, sig: schema.Signature{Wrapper: name, Attributes: attrs}},
+		docs: docs,
+	}
+}
+
+// Fetch implements relalg.RowSource.
+func (w *Mem) Fetch(context.Context) (*relalg.Relation, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return schema.ToRelation(w.docs, w.sig.Attributes), nil
+}
+
+// CurrentSignature implements Wrapper.
+func (w *Mem) CurrentSignature(context.Context) (schema.Signature, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return schema.Signature{Wrapper: w.name, Attributes: schema.Infer(w.docs)}, nil
+}
+
+// SetDocs replaces the wrapper's documents (simulating source-side data
+// or schema change).
+func (w *Mem) SetDocs(docs []schema.Doc) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.docs = docs
+}
+
+// --- File wrapper ---
+
+// File is a wrapper over a local file (CSV/JSON/XML exports).
+type File struct {
+	base
+	path   string
+	format schema.Format
+}
+
+// NewFile builds a file wrapper, extracting the signature from the
+// file's current contents.
+func NewFile(name, sourceID, path string, format schema.Format) (*File, error) {
+	w := &File{base: base{name: name, sourceID: sourceID}, path: path, format: format}
+	sig, err := w.CurrentSignature(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: extract signature: %w", name, err)
+	}
+	w.sig = sig
+	return w, nil
+}
+
+func (w *File) readDocs() ([]schema.Doc, error) {
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, err
+	}
+	format := w.format
+	if format == "" {
+		format = schema.DetectFormat("", data)
+	}
+	return schema.Flatten(format, data)
+}
+
+// Fetch implements relalg.RowSource.
+func (w *File) Fetch(context.Context) (*relalg.Relation, error) {
+	docs, err := w.readDocs()
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.name, err)
+	}
+	return schema.ToRelation(docs, w.sig.Attributes), nil
+}
+
+// CurrentSignature implements Wrapper.
+func (w *File) CurrentSignature(context.Context) (schema.Signature, error) {
+	docs, err := w.readDocs()
+	if err != nil {
+		return schema.Signature{}, err
+	}
+	return schema.Signature{Wrapper: w.name, Attributes: schema.Infer(docs)}, nil
+}
+
+// --- Function wrapper ---
+
+// Func adapts an arbitrary Go function as a wrapper (Spark jobs, Mongo
+// queries and other steward-defined access mechanisms from the paper are
+// all "some code that yields rows").
+type Func struct {
+	base
+	fn func(ctx context.Context) ([]schema.Doc, error)
+}
+
+// NewFunc builds a function wrapper with a declared signature.
+func NewFunc(name, sourceID string, attrs []schema.Attribute, fn func(ctx context.Context) ([]schema.Doc, error)) *Func {
+	return &Func{
+		base: base{name: name, sourceID: sourceID, sig: schema.Signature{Wrapper: name, Attributes: attrs}},
+		fn:   fn,
+	}
+}
+
+// Fetch implements relalg.RowSource.
+func (w *Func) Fetch(ctx context.Context) (*relalg.Relation, error) {
+	docs, err := w.fn(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.name, err)
+	}
+	return schema.ToRelation(docs, w.sig.Attributes), nil
+}
+
+// CurrentSignature implements Wrapper.
+func (w *Func) CurrentSignature(ctx context.Context) (schema.Signature, error) {
+	docs, err := w.fn(ctx)
+	if err != nil {
+		return schema.Signature{}, err
+	}
+	return schema.Signature{Wrapper: w.name, Attributes: schema.Infer(docs)}, nil
+}
+
+// --- Registry ---
+
+// Registry indexes wrappers by name and groups them by data source. It
+// is the runtime companion of the source graph: one S:DataSource node
+// per source ID, one S:Wrapper node per registered wrapper.
+type Registry struct {
+	mu       sync.RWMutex
+	byName   map[string]Wrapper
+	bySource map[string][]string // source ID -> wrapper names in order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Wrapper{}, bySource: map[string][]string{}}
+}
+
+// Register adds a wrapper; wrapper names are globally unique.
+func (r *Registry) Register(w Wrapper) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[w.Name()]; dup {
+		return fmt.Errorf("wrapper: duplicate wrapper name %q", w.Name())
+	}
+	r.byName[w.Name()] = w
+	r.bySource[w.SourceID()] = append(r.bySource[w.SourceID()], w.Name())
+	return nil
+}
+
+// Get returns a wrapper by name.
+func (r *Registry) Get(name string) (Wrapper, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	w, ok := r.byName[name]
+	return w, ok
+}
+
+// Remove deletes a wrapper, reporting whether it existed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.byName[name]
+	if !ok {
+		return false
+	}
+	delete(r.byName, name)
+	names := r.bySource[w.SourceID()]
+	for i, n := range names {
+		if n == name {
+			r.bySource[w.SourceID()] = append(names[:i], names[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// BySource returns the wrappers registered for a data source, in
+// registration order (i.e. release order).
+func (r *Registry) BySource(sourceID string) []Wrapper {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := r.bySource[sourceID]
+	out := make([]Wrapper, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// Sources returns all known data source IDs, sorted.
+func (r *Registry) Sources() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.bySource))
+	for s := range r.bySource {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Names returns all wrapper names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered wrappers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}

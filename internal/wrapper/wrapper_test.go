@@ -1,0 +1,282 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mdm/internal/relalg"
+	"mdm/internal/schema"
+)
+
+func playerDocs() []schema.Doc {
+	return []schema.Doc{
+		{"id": relalg.Int(6176), "pName": relalg.String("Lionel Messi"), "teamId": relalg.Int(25)},
+		{"id": relalg.Int(8123), "pName": relalg.String("Zlatan Ibrahimovic"), "teamId": relalg.Int(31)},
+	}
+}
+
+func TestMemWrapperBasics(t *testing.T) {
+	w := NewMem("w1", "players-api", playerDocs(), nil)
+	if w.Name() != "w1" || w.SourceID() != "players-api" {
+		t.Errorf("identity = %s/%s", w.Name(), w.SourceID())
+	}
+	sig := w.Signature()
+	if len(sig.Attributes) != 3 {
+		t.Fatalf("signature = %s", sig)
+	}
+	rel, err := w.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || len(rel.Cols) != 3 {
+		t.Fatalf("fetched %dx%d", rel.Len(), len(rel.Cols))
+	}
+	cur, err := w.CurrentSignature(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.String() != sig.String() {
+		t.Errorf("current sig %s != declared %s", cur, sig)
+	}
+}
+
+func TestMemWrapperSetDocsSimulatesEvolution(t *testing.T) {
+	w := NewMem("w1", "players-api", playerDocs(), nil)
+	// New version renames pName -> fullName.
+	w.SetDocs([]schema.Doc{
+		{"id": relalg.Int(1), "fullName": relalg.String("X"), "teamId": relalg.Int(2)},
+	})
+	cur, err := w.CurrentSignature(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := cur.AttributeNames()
+	found := false
+	for _, n := range names {
+		if n == "fullName" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("evolved signature = %v", names)
+	}
+	// Declared signature is immutable: Fetch fills missing pName as NULL.
+	rel, err := w.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := rel.ColIndex("pName")
+	if pi < 0 || !rel.Rows[0][pi].IsNull() {
+		t.Errorf("declared attribute should surface as NULL after drift: %v", rel.Rows)
+	}
+}
+
+func TestHTTPWrapperJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`[
+			{"id":6176,"name":"Lionel Messi","preferred_foot":"left","team_id":25},
+			{"id":8123,"name":"Zlatan Ibrahimovic","preferred_foot":"right","team_id":31}
+		]`))
+	}))
+	defer srv.Close()
+
+	w, err := NewHTTP(context.Background(), "w1", "players-api", srv.URL,
+		WithRename("preferred_foot", "foot"),
+		WithRename("name", "pName"),
+		WithRename("team_id", "teamId"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := w.Columns()
+	want := map[string]bool{"id": true, "pName": true, "foot": true, "teamId": true}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+	rel, err := w.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	fi := rel.ColIndex("foot")
+	if fi < 0 || rel.Rows[0][fi] != relalg.String("left") {
+		t.Errorf("rename not applied: %v", rel.Rows[0])
+	}
+}
+
+func TestHTTPWrapperXML(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/xml")
+		w.Write([]byte(`<teams>
+  <team><id>25</id><name>FC Barcelona</name><shortName>FCB</shortName></team>
+  <team><id>31</id><name>Manchester United</name><shortName>MU</shortName></team>
+</teams>`))
+	}))
+	defer srv.Close()
+
+	w, err := NewHTTP(context.Background(), "w2", "teams-api", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := w.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || len(rel.Cols) != 3 {
+		t.Fatalf("xml fetch = %dx%d", rel.Len(), len(rel.Cols))
+	}
+}
+
+func TestHTTPWrapperErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusGone)
+	}))
+	defer srv.Close()
+	if _, err := NewHTTP(context.Background(), "w1", "s", srv.URL); err == nil {
+		t.Error("registration against failing endpoint should error")
+	}
+}
+
+func TestHTTPWrapperFetchFailsAfterServerDies(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`[{"a":1}]`))
+	}))
+	w, err := NewHTTP(context.Background(), "w1", "s", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := w.Fetch(context.Background()); err == nil {
+		t.Error("fetch against dead server should error")
+	}
+}
+
+func TestFileWrapperCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "leagues.csv")
+	os.WriteFile(path, []byte("id,league,countryId\n1,La Liga,34\n2,Premier League,826\n"), 0o644)
+	w, err := NewFile("w3", "leagues-api", path, schema.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := w.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if w.Signature().String() == "" {
+		t.Error("empty signature")
+	}
+	// Missing file.
+	if _, err := NewFile("w4", "s", filepath.Join(dir, "absent.csv"), schema.FormatCSV); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFileWrapperFormatAutodetect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	os.WriteFile(path, []byte(`[{"x":1}]`), 0o644)
+	w, err := NewFile("w5", "s", path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := w.Fetch(context.Background())
+	if err != nil || rel.Len() != 1 {
+		t.Errorf("autodetect fetch = %v, %v", rel, err)
+	}
+}
+
+func TestFuncWrapper(t *testing.T) {
+	attrs := []schema.Attribute{{Name: "id", Type: relalg.TypeInt}, {Name: "v", Type: relalg.TypeString}}
+	calls := 0
+	w := NewFunc("wf", "src", attrs, func(ctx context.Context) ([]schema.Doc, error) {
+		calls++
+		return []schema.Doc{{"id": relalg.Int(1), "v": relalg.String("a")}}, nil
+	})
+	rel, err := w.Fetch(context.Background())
+	if err != nil || rel.Len() != 1 {
+		t.Fatalf("func fetch = %v, %v", rel, err)
+	}
+	if _, err := w.CurrentSignature(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d", calls)
+	}
+	failing := NewFunc("wf2", "src", attrs, func(ctx context.Context) ([]schema.Doc, error) {
+		return nil, errors.New("backend down")
+	})
+	if _, err := failing.Fetch(context.Background()); err == nil {
+		t.Error("func error swallowed")
+	}
+	if _, err := failing.CurrentSignature(context.Background()); err == nil {
+		t.Error("func error swallowed in CurrentSignature")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	w1 := NewMem("w1", "players-api", playerDocs(), nil)
+	w2 := NewMem("w2", "teams-api", nil, []schema.Attribute{{Name: "id", Type: relalg.TypeInt}})
+	w1b := NewMem("w1b", "players-api", playerDocs(), nil)
+
+	for _, w := range []Wrapper{w1, w2, w1b} {
+		if err := r.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Register(NewMem("w1", "other", nil, []schema.Attribute{{Name: "x"}})); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if got, ok := r.Get("w2"); !ok || got.Name() != "w2" {
+		t.Error("Get failed")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("Get returned missing wrapper")
+	}
+	ws := r.BySource("players-api")
+	if len(ws) != 2 || ws[0].Name() != "w1" || ws[1].Name() != "w1b" {
+		t.Errorf("BySource = %v", ws)
+	}
+	if src := r.Sources(); len(src) != 2 || src[0] != "players-api" {
+		t.Errorf("Sources = %v", src)
+	}
+	if names := r.Names(); len(names) != 3 || names[0] != "w1" {
+		t.Errorf("Names = %v", names)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Remove("w1b") {
+		t.Error("Remove = false")
+	}
+	if r.Remove("w1b") {
+		t.Error("double Remove = true")
+	}
+	if ws := r.BySource("players-api"); len(ws) != 1 {
+		t.Errorf("BySource after remove = %v", ws)
+	}
+}
+
+func TestWrapperIsRowSource(t *testing.T) {
+	// Wrappers must plug directly into relalg plans.
+	var _ relalg.RowSource = NewMem("w", "s", nil, []schema.Attribute{{Name: "id"}})
+	w := NewMem("w1", "players-api", playerDocs(), nil)
+	plan := relalg.NewProject(relalg.NewScan(w), "pName")
+	rel, err := plan.Execute(context.Background())
+	if err != nil || rel.Len() != 2 {
+		t.Fatalf("plan over wrapper = %v, %v", rel, err)
+	}
+}

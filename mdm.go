@@ -1,0 +1,349 @@
+// Package mdm is a Go implementation of MDM, the Metadata Management
+// System for governing evolution in Big Data ecosystems (Nadal, Abelló,
+// Romero, Vansummeren, Vassiliadis — EDBT 2018).
+//
+// MDM assists two roles across the Big Data integration lifecycle:
+//
+//   - DATA STEWARDS define a global graph of domain concepts and
+//     features, register data sources and wrappers (one per schema
+//     version of a source), and link wrappers to the global graph with
+//     local-as-view (LAV) mappings;
+//   - DATA ANALYSTS pose ontology-mediated queries as walks over the
+//     global graph; a rewriting algorithm resolves the LAV mappings into
+//     a union of conjunctive queries over the wrappers — transparently
+//     spanning all registered schema versions of every source.
+//
+// A minimal end-to-end session:
+//
+//	sys := mdm.New()
+//	sys.BindPrefix("ex", "http://ex.org/")
+//	sys.AddConcept("ex:Player", "Player")
+//	sys.AddFeature("ex:playerId", "playerId")
+//	sys.AttachFeature("ex:Player", "ex:playerId")
+//	sys.MarkIdentifier("ex:playerId")
+//	... register sources, wrappers and mappings ...
+//	walk := mdm.NewWalk().Select(sys.IRI("ex:Player"), sys.IRI("ex:playerId"))
+//	rel, res, err := sys.Query(ctx, walk)
+//
+// See examples/ for complete programs, DESIGN.md for the architecture
+// and EXPERIMENTS.md for the paper-artifact reproductions.
+package mdm
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"mdm/internal/bdi"
+	"mdm/internal/rdf"
+	"mdm/internal/rdf/turtle"
+	"mdm/internal/relalg"
+	"mdm/internal/release"
+	"mdm/internal/rewrite"
+	"mdm/internal/sparql"
+	"mdm/internal/store"
+	"mdm/internal/tdb"
+	"mdm/internal/wrapper"
+)
+
+// Re-exported building blocks so most users only import mdm.
+type (
+	// Walk is an ontology-mediated query: a subgraph of the global graph
+	// plus the features to project.
+	Walk = rewrite.Walk
+	// RewriteResult carries the plan, SPARQL text and per-CQ algebra.
+	RewriteResult = rewrite.Result
+	// Relation is a materialized query answer.
+	Relation = relalg.Relation
+	// Mapping is a LAV mapping: a wrapper's global subgraph + sameAs links.
+	Mapping = bdi.Mapping
+	// Release is one release-log entry.
+	Release = release.Release
+	// Change is one detected schema change.
+	Change = release.Change
+	// Violation is one integrity-constraint breach.
+	Violation = bdi.Violation
+	// Wrapper is the source-access interface.
+	Wrapper = wrapper.Wrapper
+	// Term is an RDF term.
+	Term = rdf.Term
+	// Triple is an RDF triple.
+	Triple = rdf.Triple
+)
+
+// NewWalk starts an empty walk.
+func NewWalk() *Walk { return rewrite.NewWalk() }
+
+// T builds a triple (for mapping subgraphs).
+func T(s, p, o Term) Triple { return rdf.T(s, p, o) }
+
+// System is an MDM instance: ontology, wrapper registry, release log and
+// metadata store behind one facade.
+type System struct {
+	ont      *bdi.Ontology
+	reg      *wrapper.Registry
+	releases *release.Manager
+	meta     *store.Store
+	rewriter *rewrite.Rewriter
+	// tdbStore is non-nil for persistent systems created with Open.
+	tdbStore *tdb.Store
+}
+
+// New creates an in-memory MDM system.
+func New() *System {
+	ont := bdi.New()
+	reg := wrapper.NewRegistry()
+	meta, _ := store.Open("") // in-memory store never fails
+	return &System{
+		ont:      ont,
+		reg:      reg,
+		releases: release.NewManager(ont, reg),
+		meta:     meta,
+		rewriter: rewrite.New(ont, reg),
+	}
+}
+
+// Open loads (or creates) a persistent MDM system rooted at dir. The
+// ontology dataset lives in a tdb store (snapshot + write-ahead log
+// replay at open); system metadata lives in a JSON document store next
+// to it. Call Checkpoint to snapshot the current state and Close when
+// done. Wrappers are live code and must be re-registered after reopen.
+func Open(dir string) (*System, error) {
+	ts, err := tdb.Open(filepath.Join(dir, "ontology"))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := store.Open(filepath.Join(dir, "meta"))
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	ont := bdi.FromDataset(ts.Dataset())
+	reg := wrapper.NewRegistry()
+	return &System{
+		ont:      ont,
+		reg:      reg,
+		releases: release.NewManager(ont, reg),
+		meta:     meta,
+		rewriter: rewrite.New(ont, reg),
+		tdbStore: ts,
+	}, nil
+}
+
+// Checkpoint snapshots a persistent system's ontology dataset to disk
+// (atomic rename). It is a no-op for in-memory systems.
+func (s *System) Checkpoint() error {
+	if s.tdbStore == nil {
+		return nil
+	}
+	return s.tdbStore.Compact()
+}
+
+// Close checkpoints and releases a persistent system's resources. It is
+// a no-op for in-memory systems.
+func (s *System) Close() error {
+	if s.tdbStore == nil {
+		return nil
+	}
+	if err := s.tdbStore.Compact(); err != nil {
+		s.tdbStore.Close()
+		return err
+	}
+	return s.tdbStore.Close()
+}
+
+// FromParts assembles a System around an existing ontology and wrapper
+// registry (e.g. a prebuilt fixture).
+func FromParts(ont *bdi.Ontology, reg *wrapper.Registry) *System {
+	meta, _ := store.Open("")
+	return &System{
+		ont:      ont,
+		reg:      reg,
+		releases: release.NewManager(ont, reg),
+		meta:     meta,
+		rewriter: rewrite.New(ont, reg),
+	}
+}
+
+// Ontology exposes the underlying BDI ontology for advanced use.
+func (s *System) Ontology() *bdi.Ontology { return s.ont }
+
+// Wrappers exposes the wrapper registry.
+func (s *System) Wrappers() *wrapper.Registry { return s.reg }
+
+// Metadata exposes the system metadata store.
+func (s *System) Metadata() *store.Store { return s.meta }
+
+// Releases exposes the release manager.
+func (s *System) Releases() *release.Manager { return s.releases }
+
+// --- Prefixes and IRIs ---
+
+// BindPrefix registers a namespace prefix for CURIE expansion.
+func (s *System) BindPrefix(prefix, namespace string) {
+	s.ont.Dataset().Prefixes().Bind(prefix, namespace)
+}
+
+// IRI resolves a CURIE ("ex:Player") or absolute IRI to a Term.
+func (s *System) IRI(curieOrIRI string) Term {
+	if iri, ok := s.ont.Dataset().Prefixes().Expand(curieOrIRI); ok {
+		return rdf.IRI(iri)
+	}
+	return rdf.IRI(curieOrIRI)
+}
+
+// --- Steward API: global graph (paper §2.1) ---
+
+// AddConcept declares a concept (CURIE or IRI) with a label.
+func (s *System) AddConcept(concept, label string) error {
+	return s.ont.AddConcept(s.IRI(concept), label)
+}
+
+// AddFeature declares a feature.
+func (s *System) AddFeature(feature, label string) error {
+	return s.ont.AddFeature(s.IRI(feature), label)
+}
+
+// AttachFeature links a feature to its (single) concept.
+func (s *System) AttachFeature(concept, feature string) error {
+	return s.ont.AttachFeature(s.IRI(concept), s.IRI(feature))
+}
+
+// MarkIdentifier declares a feature as a concept identifier.
+func (s *System) MarkIdentifier(feature string) error {
+	return s.ont.MarkIdentifier(s.IRI(feature))
+}
+
+// RelateConcepts adds a user-defined relation between concepts.
+func (s *System) RelateConcepts(from, prop, to string) error {
+	return s.ont.RelateConcepts(s.IRI(from), s.IRI(prop), s.IRI(to))
+}
+
+// AddSubClass records a taxonomy edge.
+func (s *System) AddSubClass(sub, super string) error {
+	return s.ont.AddSubClass(s.IRI(sub), s.IRI(super))
+}
+
+// --- Steward API: sources, wrappers, releases (paper §2.2) ---
+
+// AddSource declares a data source.
+func (s *System) AddSource(sourceID, label string) error {
+	_, err := s.meta.Insert("sources", store.Doc{"source": sourceID, "label": label})
+	if err != nil {
+		return err
+	}
+	return s.ont.AddDataSource(sourceID, label)
+}
+
+// RegisterWrapper releases a wrapper: registry + source graph + release
+// log, with schema diffing against the source's previous wrapper.
+func (s *System) RegisterWrapper(w Wrapper) (Release, error) {
+	rel, err := s.releases.Register(w)
+	if err != nil {
+		return Release{}, err
+	}
+	_, _ = s.meta.Insert("releases", store.Doc{
+		"seq": int64(rel.Seq), "kind": string(rel.Kind), "source": rel.SourceID,
+		"wrapper": rel.Wrapper, "breaking": rel.Breaking, "signature": rel.Signature,
+	})
+	return rel, nil
+}
+
+// DefineMapping validates and stores a LAV mapping.
+func (s *System) DefineMapping(m Mapping) error { return s.ont.DefineMapping(m) }
+
+// SuggestMapping derives a candidate mapping for a new wrapper version
+// from its predecessor's mapping (steward reviews before defining).
+func (s *System) SuggestMapping(prevWrapper, newWrapper string) (Mapping, []Change, error) {
+	return s.releases.SuggestMapping(prevWrapper, newWrapper)
+}
+
+// DetectDrift diffs a wrapper's live payload schema against its declared
+// signature.
+func (s *System) DetectDrift(ctx context.Context, wrapperName string) ([]Change, error) {
+	return s.releases.DetectDrift(ctx, wrapperName)
+}
+
+// Validate checks all BDI integrity constraints.
+func (s *System) Validate() []Violation { return s.ont.Validate() }
+
+// --- Analyst API: querying (paper §2.4) ---
+
+// Rewrite resolves a walk into a federated plan without executing it.
+func (s *System) Rewrite(w *Walk) (*RewriteResult, error) {
+	return s.rewriter.Rewrite(w)
+}
+
+// Query rewrites and executes a walk, returning the answer relation and
+// the rewriting artifacts (SPARQL, algebra) for inspection.
+func (s *System) Query(ctx context.Context, w *Walk) (*Relation, *RewriteResult, error) {
+	res, err := s.rewriter.Rewrite(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, err := res.Plan.Execute(ctx)
+	if err != nil {
+		return nil, res, fmt.Errorf("mdm: execute rewritten query: %w", err)
+	}
+	return rel, res, nil
+}
+
+// QuerySPARQL accepts an ontology-mediated query written directly in
+// SPARQL (the fragment MDM itself generates for walks), translates it to
+// a walk, rewrites it over the LAV mappings and executes it federated.
+func (s *System) QuerySPARQL(ctx context.Context, query string) (*Relation, *RewriteResult, error) {
+	walk, err := rewrite.WalkFromSPARQL(s.ont, query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Query(ctx, walk)
+}
+
+// SPARQL runs a SPARQL query over the ontology dataset itself (global
+// graph, source graph and mapping named graphs) — the metadata
+// inspection surface of the original tool.
+func (s *System) SPARQL(query string) (*sparql.Result, error) {
+	return sparql.Run(s.ont.Dataset(), query)
+}
+
+// --- Introspection & rendering (Figures 5-7) ---
+
+// RenderGlobalGraph renders the global graph (Figure 5 style).
+func (s *System) RenderGlobalGraph() string { return s.ont.RenderGlobal() }
+
+// RenderSourceGraph renders the source graph (Figure 6 style).
+func (s *System) RenderSourceGraph() string { return s.ont.RenderSource() }
+
+// RenderMappings renders all LAV mappings (Figure 7 style).
+func (s *System) RenderMappings() string { return s.ont.RenderMappings() }
+
+// Stats summarizes ontology sizes.
+func (s *System) Stats() bdi.Stats { return s.ont.Stats() }
+
+// ReleaseLog returns all releases in order.
+func (s *System) ReleaseLog() []Release { return s.releases.Log() }
+
+// ExportTriG serializes the full ontology dataset as TriG.
+func (s *System) ExportTriG() string {
+	return turtle.WriteDataset(s.ont.Dataset())
+}
+
+// ImportTriG loads a TriG document produced by ExportTriG into a fresh
+// system (wrappers must be re-registered by the caller; they are live
+// code, not data).
+func ImportTriG(doc string) (*System, error) {
+	ds, err := turtle.ParseDataset(doc)
+	if err != nil {
+		return nil, err
+	}
+	ont := bdi.FromDataset(ds)
+	reg := wrapper.NewRegistry()
+	meta, _ := store.Open("")
+	return &System{
+		ont:      ont,
+		reg:      reg,
+		releases: release.NewManager(ont, reg),
+		meta:     meta,
+		rewriter: rewrite.New(ont, reg),
+	}, nil
+}

@@ -1,0 +1,329 @@
+package mdm_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mdm"
+	"mdm/internal/relalg"
+	"mdm/internal/schema"
+	"mdm/internal/usecase"
+	"mdm/internal/wrapper"
+)
+
+// buildSystem assembles the football use case through the PUBLIC facade
+// only, exercising the same steps a downstream user would write.
+func buildSystem(t *testing.T) *mdm.System {
+	t.Helper()
+	sys := mdm.New()
+	sys.BindPrefix("ex", "http://ex.org/")
+	sys.BindPrefix("sc", "http://schema.org/")
+
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(sys.AddConcept("ex:Player", "Player"))
+	check(sys.AddConcept("sc:SportsTeam", "SportsTeam"))
+	for f, c := range map[string]string{
+		"ex:playerId": "ex:Player", "ex:playerName": "ex:Player",
+		"ex:teamId": "sc:SportsTeam", "ex:teamName": "sc:SportsTeam",
+	} {
+		check(sys.AddFeature(f, ""))
+		check(sys.AttachFeature(c, f))
+	}
+	check(sys.MarkIdentifier("ex:playerId"))
+	check(sys.MarkIdentifier("ex:teamId"))
+	check(sys.RelateConcepts("ex:Player", "ex:playsIn", "sc:SportsTeam"))
+	check(sys.AddSource("players-api", "Players API"))
+	check(sys.AddSource("teams-api", "Teams API"))
+
+	w1 := wrapper.NewMem("w1", "players-api", []schema.Doc{
+		{"id": relalg.Int(1), "pName": relalg.String("Alice"), "teamId": relalg.Int(10)},
+		{"id": relalg.Int(2), "pName": relalg.String("Bob"), "teamId": relalg.Int(11)},
+	}, nil)
+	w2 := wrapper.NewMem("w2", "teams-api", []schema.Doc{
+		{"id": relalg.Int(10), "name": relalg.String("Reds")},
+		{"id": relalg.Int(11), "name": relalg.String("Blues")},
+	}, nil)
+	if _, err := sys.RegisterWrapper(w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterWrapper(w2); err != nil {
+		t.Fatal(err)
+	}
+	check(sys.DefineMapping(mdm.Mapping{
+		Wrapper: "w1",
+		Subgraph: []mdm.Triple{
+			mdm.T(sys.IRI("ex:Player"), sys.IRI("rdf:type"), sys.IRI("G:Concept")),
+			mdm.T(sys.IRI("ex:Player"), sys.IRI("G:hasFeature"), sys.IRI("ex:playerId")),
+			mdm.T(sys.IRI("ex:Player"), sys.IRI("G:hasFeature"), sys.IRI("ex:playerName")),
+			mdm.T(sys.IRI("ex:Player"), sys.IRI("ex:playsIn"), sys.IRI("sc:SportsTeam")),
+			mdm.T(sys.IRI("sc:SportsTeam"), sys.IRI("rdf:type"), sys.IRI("G:Concept")),
+			mdm.T(sys.IRI("sc:SportsTeam"), sys.IRI("G:hasFeature"), sys.IRI("ex:teamId")),
+		},
+		SameAs: map[string]mdm.Term{
+			"id": sys.IRI("ex:playerId"), "pName": sys.IRI("ex:playerName"),
+			"teamId": sys.IRI("ex:teamId"),
+		},
+	}))
+	check(sys.DefineMapping(mdm.Mapping{
+		Wrapper: "w2",
+		Subgraph: []mdm.Triple{
+			mdm.T(sys.IRI("sc:SportsTeam"), sys.IRI("rdf:type"), sys.IRI("G:Concept")),
+			mdm.T(sys.IRI("sc:SportsTeam"), sys.IRI("G:hasFeature"), sys.IRI("ex:teamId")),
+			mdm.T(sys.IRI("sc:SportsTeam"), sys.IRI("G:hasFeature"), sys.IRI("ex:teamName")),
+		},
+		SameAs: map[string]mdm.Term{"id": sys.IRI("ex:teamId"), "name": sys.IRI("ex:teamName")},
+	}))
+	return sys
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := buildSystem(t)
+	if v := sys.Validate(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	walk := mdm.NewWalk().
+		SelectAs(sys.IRI("sc:SportsTeam"), sys.IRI("ex:teamName"), "team").
+		SelectAs(sys.IRI("ex:Player"), sys.IRI("ex:playerName"), "player").
+		Relate(sys.IRI("ex:Player"), sys.IRI("ex:playsIn"), sys.IRI("sc:SportsTeam"))
+	rel, res, err := sys.Query(context.Background(), walk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || len(res.CQs) != 1 {
+		t.Fatalf("rows=%d cqs=%d", rel.Len(), len(res.CQs))
+	}
+	if res.OutputColumns[0] != "team" || res.OutputColumns[1] != "player" {
+		t.Errorf("columns = %v", res.OutputColumns)
+	}
+}
+
+func TestFacadeIRIExpansion(t *testing.T) {
+	sys := mdm.New()
+	sys.BindPrefix("ex", "http://ex.org/")
+	if got := sys.IRI("ex:Player").Value; got != "http://ex.org/Player" {
+		t.Errorf("CURIE expansion = %q", got)
+	}
+	if got := sys.IRI("http://direct.org/x").Value; got != "http://direct.org/x" {
+		t.Errorf("absolute IRI mangled: %q", got)
+	}
+}
+
+func TestFacadeSPARQLOverMetadata(t *testing.T) {
+	sys := buildSystem(t)
+	res, err := sys.SPARQL(`
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> {
+    ?c rdf:type G:Concept .
+  }
+} ORDER BY ?c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("concepts via SPARQL = %d", len(res.Solutions))
+	}
+}
+
+func TestFacadeExportImportTriG(t *testing.T) {
+	sys := buildSystem(t)
+	doc := sys.ExportTriG()
+	if !strings.Contains(doc, "@prefix") {
+		t.Fatalf("export = %.100s", doc)
+	}
+	sys2, err := mdm.ImportTriG(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, st2 := sys.Stats(), sys2.Stats()
+	if st1.Concepts != st2.Concepts || st1.Mappings != st2.Mappings || st1.SameAs != st2.SameAs {
+		t.Errorf("stats differ: %+v vs %+v", st1, st2)
+	}
+	// The re-imported system validates (wrapper registry empty is fine:
+	// mappings reference source-graph wrappers, which ARE in the data).
+	if v := sys2.Validate(); len(v) != 0 {
+		t.Errorf("violations after reimport: %v", v)
+	}
+	if _, err := mdm.ImportTriG("not trig <"); err == nil {
+		t.Error("bad TriG accepted")
+	}
+}
+
+func TestFacadeReleaseAndDrift(t *testing.T) {
+	sys := buildSystem(t)
+	w, _ := sys.Wrappers().Get("w1")
+	mem := w.(*wrapper.Mem)
+	changes, err := sys.DetectDrift(context.Background(), "w1")
+	if err != nil || len(changes) != 0 {
+		t.Fatalf("drift = %v, %v", changes, err)
+	}
+	mem.SetDocs([]schema.Doc{{"id": relalg.Int(1), "fullName": relalg.String("X"), "teamId": relalg.Int(10)}})
+	changes, err = sys.DetectDrift(context.Background(), "w1")
+	if err != nil || len(changes) == 0 {
+		t.Fatalf("drift after change = %v, %v", changes, err)
+	}
+	// Release a v2 wrapper and suggest its mapping.
+	w1v2 := wrapper.NewMem("w1v2", "players-api", []schema.Doc{
+		{"id": relalg.Int(1), "fullName": relalg.String("X"), "teamId": relalg.Int(10)},
+	}, nil)
+	rel, err := sys.RegisterWrapper(w1v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Kind != "new-version" || !rel.Breaking {
+		t.Fatalf("release = %+v", rel)
+	}
+	suggested, ch, err := sys.SuggestMapping("w1", "w1v2")
+	if err != nil || len(ch) == 0 {
+		t.Fatalf("suggest = %v, %v", ch, err)
+	}
+	if err := sys.DefineMapping(suggested); err != nil {
+		t.Fatal(err)
+	}
+	// Log in metadata store.
+	if sys.Metadata().Count("releases") != 3 {
+		t.Errorf("releases in store = %d", sys.Metadata().Count("releases"))
+	}
+	if got := len(sys.ReleaseLog()); got != 3 {
+		t.Errorf("release log = %d", got)
+	}
+}
+
+func TestFacadeRenderings(t *testing.T) {
+	sys := buildSystem(t)
+	if !strings.Contains(sys.RenderGlobalGraph(), "concept ex:Player") {
+		t.Error("global render")
+	}
+	if !strings.Contains(sys.RenderSourceGraph(), "wrapper w1") {
+		t.Error("source render")
+	}
+	if !strings.Contains(sys.RenderMappings(), "owl:sameAs") {
+		t.Error("mappings render")
+	}
+	st := sys.Stats()
+	if st.Concepts != 2 || st.Wrappers != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFacadeFromPartsWithFixture(t *testing.T) {
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	rel, _, err := sys.Query(context.Background(), usecase.Fig8Walk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 5 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+}
+
+func TestPersistentOpenCheckpointReopen(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := mdm.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.BindPrefix("ex", "http://ex.org/")
+	if err := sys.AddConcept("ex:Player", "Player"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFeature("ex:playerId", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachFeature("ex:Player", "ex:playerId"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddSource("players-api", "Players API"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := mdm.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	st := sys2.Stats()
+	if st.Concepts != 1 || st.Features != 1 || st.Sources != 1 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+	// Metadata store persisted too.
+	if sys2.Metadata().Count("sources") != 1 {
+		t.Errorf("metadata sources = %d", sys2.Metadata().Count("sources"))
+	}
+	// In-memory systems: Checkpoint/Close are no-ops.
+	mem := mdm.New()
+	if err := mem.Checkpoint(); err != nil {
+		t.Error(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+// failingWrapper fails at Fetch time; used for failure-injection tests.
+type failingWrapper struct{ mdm.Wrapper }
+
+func (failingWrapper) Fetch(context.Context) (*mdm.Relation, error) {
+	return nil, fmt.Errorf("players-api: connection refused")
+}
+
+func TestQueryErrorNamesFailingWrapper(t *testing.T) {
+	f := usecase.MustNew()
+	// Replace w2 with a failing variant in a fresh registry.
+	reg := wrapper.NewRegistry()
+	for _, name := range []string{"w1", "w3", "w4", "w5", "w6"} {
+		w, _ := f.Reg.Get(name)
+		if err := reg.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2, _ := f.Reg.Get("w2")
+	if err := reg.Register(failingWrapper{w2}); err != nil {
+		t.Fatal(err)
+	}
+	sys := mdm.FromParts(f.Ont, reg)
+	_, _, err := sys.Query(context.Background(), usecase.Fig8Walk())
+	if err == nil {
+		t.Fatal("query over failing wrapper succeeded")
+	}
+	if !strings.Contains(err.Error(), "w2") || !strings.Contains(err.Error(), "connection refused") {
+		t.Errorf("error should name the wrapper and cause: %v", err)
+	}
+}
+
+func TestQuerySPARQLFacade(t *testing.T) {
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	rel, res, err := sys.QuerySPARQL(context.Background(), `
+PREFIX ex: <http://www.example.org/football/>
+PREFIX sc: <http://schema.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?playerName WHERE {
+  ?p rdf:type ex:Player .
+  ?p ex:playerName ?playerName .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 5 || len(res.CQs) != 1 {
+		t.Fatalf("rows=%d cqs=%d", rel.Len(), len(res.CQs))
+	}
+	if _, _, err := sys.QuerySPARQL(context.Background(), "garbage"); err == nil {
+		t.Error("bad SPARQL accepted")
+	}
+}
