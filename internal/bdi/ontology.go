@@ -187,11 +187,16 @@ func (o *Ontology) AttachFeature(concept, feature rdf.Term) error {
 	if !g.Has(rdf.T(feature, rdf.IRI(rdf.RDFType), ClassFeature)) {
 		return fmt.Errorf("%w: %s", ErrUnknownFeature, feature)
 	}
-	owners := g.Subjects(PropHasFeature, feature)
-	for _, owner := range owners {
-		if owner != concept {
-			return fmt.Errorf("%w: %s owned by %s", ErrFeatureOwned, feature, owner)
+	var owner rdf.Term
+	g.EachMatch(rdf.Any, PropHasFeature, feature, func(t rdf.Triple) bool {
+		if t.S != concept {
+			owner = t.S
+			return false
 		}
+		return true
+	})
+	if !owner.IsZero() {
+		return fmt.Errorf("%w: %s owned by %s", ErrFeatureOwned, feature, owner)
 	}
 	g.MustAdd(rdf.T(concept, PropHasFeature, feature))
 	return nil
@@ -260,11 +265,11 @@ func (o *Ontology) FeaturesOf(concept rdf.Term) []rdf.Term {
 func (o *Ontology) ConceptOf(feature rdf.Term) (rdf.Term, bool) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	owners := o.Global().Subjects(PropHasFeature, feature)
-	if len(owners) == 0 {
+	t, ok := o.Global().MatchFirst(rdf.Any, PropHasFeature, feature)
+	if !ok {
 		return rdf.Term{}, false
 	}
-	return owners[0], true
+	return t.S, true
 }
 
 // IsIdentifier reports whether the feature is a (transitive) subclass of
@@ -338,15 +343,16 @@ func (o *Ontology) conceptRelationsLocked() []rdf.Triple {
 		rdf.RDFSLabel:        true,
 		PropHasFeature.Value: true,
 	}
+	// Stream the graph and sort only the few surviving relation edges,
+	// rather than sorting every triple up front.
 	var out []rdf.Triple
-	for _, t := range g.Triples() {
-		if skip[t.P.Value] {
-			continue
-		}
-		if concepts[t.S] && concepts[t.O] {
+	g.EachMatch(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+		if !skip[t.P.Value] && concepts[t.S] && concepts[t.O] {
 			out = append(out, t)
 		}
-	}
+		return true
+	})
+	rdf.SortTriples(out)
 	return out
 }
 
@@ -430,11 +436,11 @@ func (o *Ontology) AttributeName(attr rdf.Term) (string, bool) {
 func (o *Ontology) SourceOfWrapper(wrapperName string) (rdf.Term, bool) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	subs := o.Source().Subjects(PropHasWrapper, WrapperIRI(wrapperName))
-	if len(subs) == 0 {
+	t, ok := o.Source().MatchFirst(rdf.Any, PropHasWrapper, WrapperIRI(wrapperName))
+	if !ok {
 		return rdf.Term{}, false
 	}
-	return subs[0], true
+	return t.S, true
 }
 
 // --- LAV mappings (paper §2.3) ---
@@ -514,14 +520,24 @@ func (o *Ontology) MappingOf(wrapperName string) (Mapping, bool) {
 		return Mapping{}, false
 	}
 	m := Mapping{Wrapper: wrapperName, SameAs: map[string]rdf.Term{}}
-	for _, t := range g.Triples() {
+	var sameAs []rdf.Triple
+	g.EachMatch(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
 		if t.P.Value == rdf.OWLSameAs {
-			if label, ok := o.Source().Object(t.S, rdf.IRI(rdf.RDFSLabel)); ok {
-				m.SameAs[label.Value] = t.O
-			}
-			continue
+			sameAs = append(sameAs, t)
+		} else {
+			m.Subgraph = append(m.Subgraph, t)
 		}
-		m.Subgraph = append(m.Subgraph, t)
+		return true
+	})
+	rdf.SortTriples(m.Subgraph)
+	// Sorted so that when one attribute maps to several features the
+	// surviving SameAs entry is deterministic (matching the pre-iterator
+	// sorted-Triples behavior).
+	rdf.SortTriples(sameAs)
+	for _, t := range sameAs {
+		if label, ok := o.Source().Object(t.S, rdf.IRI(rdf.RDFSLabel)); ok {
+			m.SameAs[label.Value] = t.O
+		}
 	}
 	return m, true
 }
@@ -590,7 +606,7 @@ func (o *Ontology) WrapperProvidesFeature(wrapperName string, concept, feature r
 	if !covered {
 		return false
 	}
-	return len(g.Subjects(rdf.IRI(rdf.OWLSameAs), feature)) > 0
+	return g.Count(rdf.Any, rdf.IRI(rdf.OWLSameAs), feature) > 0
 }
 
 // AttributeForFeature returns the wrapper attribute name that populates

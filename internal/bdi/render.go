@@ -38,11 +38,13 @@ func (o *Ontology) RenderGlobal() string {
 		}
 	}
 	var taxo []rdf.Triple
-	for _, t := range g.Match(rdf.Any, rdf.IRI(rdf.RDFSSubClassOf), rdf.Any) {
+	g.EachMatch(rdf.Any, rdf.IRI(rdf.RDFSSubClassOf), rdf.Any, func(t rdf.Triple) bool {
 		if t.O != Identifier {
 			taxo = append(taxo, t)
 		}
-	}
+		return true
+	})
+	rdf.SortTriples(taxo)
 	if len(taxo) > 0 {
 		sb.WriteString("taxonomy\n")
 		for _, t := range taxo {
@@ -125,14 +127,15 @@ type Stats struct {
 // Stats computes the ontology's statistics.
 func (o *Ontology) Stats() Stats {
 	o.mu.RLock()
+	typ := rdf.IRI(rdf.RDFType)
 	st := Stats{
-		Concepts:  len(o.Global().Subjects(rdf.IRI(rdf.RDFType), ClassConcept)),
-		Features:  len(o.Global().Subjects(rdf.IRI(rdf.RDFType), ClassFeature)),
+		Concepts:  o.Global().Count(rdf.Any, typ, ClassConcept),
+		Features:  o.Global().Count(rdf.Any, typ, ClassFeature),
 		Relations: len(o.conceptRelationsLocked()),
-		Sources:   len(o.Source().Subjects(rdf.IRI(rdf.RDFType), ClassDataSource)),
-		Wrappers:  len(o.Source().Subjects(rdf.IRI(rdf.RDFType), ClassWrapper)),
+		Sources:   o.Source().Count(rdf.Any, typ, ClassDataSource),
+		Wrappers:  o.Source().Count(rdf.Any, typ, ClassWrapper),
 	}
-	st.Attributes = len(o.Source().Subjects(rdf.IRI(rdf.RDFType), ClassAttribute))
+	st.Attributes = o.Source().Count(rdf.Any, typ, ClassAttribute)
 	o.mu.RUnlock()
 
 	for _, w := range o.MappedWrappers() {

@@ -51,36 +51,34 @@ func (o *Ontology) Validate() []Violation {
 		}
 	}
 	for _, f := range global.Subjects(rdf.IRI(rdf.RDFType), ClassFeature) {
-		owners := global.Subjects(PropHasFeature, f)
-		if len(owners) > 1 {
+		if n := global.Count(rdf.Any, PropHasFeature, f); n > 1 {
 			out = append(out, Violation{"feature-single-owner",
-				fmt.Sprintf("feature %s owned by %d concepts", f, len(owners))})
+				fmt.Sprintf("feature %s owned by %d concepts", f, n)})
 		}
 	}
 
 	// wrapper-owned.
 	for _, w := range src.Subjects(rdf.IRI(rdf.RDFType), ClassWrapper) {
-		owners := src.Subjects(PropHasWrapper, w)
-		if len(owners) != 1 {
+		if n := src.Count(rdf.Any, PropHasWrapper, w); n != 1 {
 			out = append(out, Violation{"wrapper-owned",
-				fmt.Sprintf("wrapper %s owned by %d sources", w, len(owners))})
+				fmt.Sprintf("wrapper %s owned by %d sources", w, n)})
 		}
 	}
 
 	// attribute-scope: attribute IRIs embed their source; check every
 	// wrapper referencing them belongs to that source.
 	for _, t := range src.Match(rdf.Any, PropHasAttribute, rdf.Any) {
-		wOwners := src.Subjects(PropHasWrapper, t.S)
-		if len(wOwners) != 1 {
+		if src.Count(rdf.Any, PropHasWrapper, t.S) != 1 {
 			continue // already reported by wrapper-owned
 		}
+		wOwner, _ := src.MatchFirst(rdf.Any, PropHasWrapper, t.S)
 		attrNS := t.O.Value
-		srcIRI := wOwners[0].Value
+		srcIRI := wOwner.S.Value
 		// attribute/<src>/<name> must match dataSource/<src>.
 		wantPrefix := NSSource + "attribute/" + srcIRI[len(NSSource+"dataSource/"):] + "/"
 		if len(attrNS) < len(wantPrefix) || attrNS[:len(wantPrefix)] != wantPrefix {
 			out = append(out, Violation{"attribute-scope",
-				fmt.Sprintf("attribute %s referenced by wrapper of %s", t.O, wOwners[0])})
+				fmt.Sprintf("attribute %s referenced by wrapper of %s", t.O, wOwner.S)})
 		}
 	}
 

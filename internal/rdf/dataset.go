@@ -91,7 +91,7 @@ func (d *Dataset) AddQuad(q Quad) (bool, error) {
 // Quads returns every quad in the dataset (default graph first, then
 // named graphs in name order) in deterministic order.
 func (d *Dataset) Quads() []Quad {
-	var out []Quad
+	out := make([]Quad, 0, d.Len())
 	for _, t := range d.Default().Triples() {
 		out = append(out, Quad{Triple: t})
 	}
@@ -106,9 +106,10 @@ func (d *Dataset) Quads() []Quad {
 
 // Len returns the total number of quads across all graphs.
 func (d *Dataset) Len() int {
-	n := d.Default().Len()
-	for _, name := range d.GraphNames() {
-		g, _ := d.Lookup(name)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := d.def.Len()
+	for _, g := range d.named {
 		n += g.Len()
 	}
 	return n

@@ -1,0 +1,74 @@
+package rdf
+
+// TermID is a dense dictionary code for an interned Term. IDs are
+// assigned sequentially from 0 in first-seen order and are stable for
+// the lifetime of the Dict (terms are never evicted), so a TermID can be
+// used as a compact map key or array index in place of the 4-field Term
+// struct.
+type TermID uint32
+
+// AnyID is the wildcard pattern at the ID level: it matches every term
+// in Graph.EachMatchIDs, mirroring the Any term at the Term level. It is
+// never assigned to a real term.
+const AnyID TermID = ^TermID(0)
+
+// Dict interns Terms to dense TermIDs with reverse lookup. A Dict is an
+// append-only bijection: Intern assigns the next free ID to an unseen
+// term and returns the existing ID otherwise.
+//
+// Dict performs no locking of its own; Graph guards its dictionary with
+// the graph mutex. Use a separate Dict (or external synchronization)
+// when sharing one across goroutines.
+type Dict struct {
+	ids   map[Term]TermID
+	terms []Term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[Term]TermID)}
+}
+
+// Intern returns the ID of t, assigning the next free ID if t has not
+// been seen before.
+func (d *Dict) Intern(t Term) TermID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// ID returns the ID of t without interning; ok is false when t has never
+// been interned.
+func (d *Dict) ID(t Term) (TermID, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Term returns the term for an ID; ok is false for IDs that were never
+// assigned (including AnyID).
+func (d *Dict) Term(id TermID) (Term, bool) {
+	// Compare in uint64 so AnyID cannot wrap negative on 32-bit ints.
+	if uint64(id) >= uint64(len(d.terms)) {
+		return Term{}, false
+	}
+	return d.terms[id], true
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// clone returns a deep copy of the dictionary.
+func (d *Dict) clone() *Dict {
+	out := &Dict{
+		ids:   make(map[Term]TermID, len(d.ids)),
+		terms: append([]Term(nil), d.terms...),
+	}
+	for t, id := range d.ids {
+		out.ids[t] = id
+	}
+	return out
+}

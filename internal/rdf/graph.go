@@ -6,32 +6,34 @@ import (
 	"sync"
 )
 
-// Graph is a set of triples indexed by subject, predicate and object so
-// that every single- or double-bound pattern is answered from a hash
-// lookup. Graph is safe for concurrent use.
+// Graph is a set of triples, dictionary-encoded and indexed by subject,
+// predicate and object so that every single- or double-bound pattern is
+// answered from a hash lookup over dense uint32 IDs. Graph is safe for
+// concurrent use.
 //
 // The zero value is not ready to use; call NewGraph.
 type Graph struct {
-	mu  sync.RWMutex
-	spo index
-	pos index
-	osp index
-	n   int
+	mu   sync.RWMutex
+	dict *Dict
+	spo  idIndex
+	pos  idIndex
+	osp  idIndex
+	n    int
 }
 
-// index is a three-level hash index over triples. The meaning of the
-// levels depends on the permutation (spo, pos, osp).
-type index map[Term]map[Term]map[Term]struct{}
+// idIndex is a three-level hash index over dictionary-encoded triples.
+// The meaning of the levels depends on the permutation (spo, pos, osp).
+type idIndex map[TermID]map[TermID]map[TermID]struct{}
 
-func (ix index) add(a, b, c Term) bool {
+func (ix idIndex) add(a, b, c TermID) bool {
 	m2, ok := ix[a]
 	if !ok {
-		m2 = make(map[Term]map[Term]struct{})
+		m2 = make(map[TermID]map[TermID]struct{})
 		ix[a] = m2
 	}
 	m3, ok := m2[b]
 	if !ok {
-		m3 = make(map[Term]struct{})
+		m3 = make(map[TermID]struct{})
 		m2[b] = m3
 	}
 	if _, dup := m3[c]; dup {
@@ -41,7 +43,7 @@ func (ix index) add(a, b, c Term) bool {
 	return true
 }
 
-func (ix index) remove(a, b, c Term) bool {
+func (ix idIndex) remove(a, b, c TermID) bool {
 	m2, ok := ix[a]
 	if !ok {
 		return false
@@ -63,12 +65,29 @@ func (ix index) remove(a, b, c Term) bool {
 	return true
 }
 
+func (ix idIndex) clone() idIndex {
+	out := make(idIndex, len(ix))
+	for a, m2 := range ix {
+		n2 := make(map[TermID]map[TermID]struct{}, len(m2))
+		for b, m3 := range m2 {
+			n3 := make(map[TermID]struct{}, len(m3))
+			for c := range m3 {
+				n3[c] = struct{}{}
+			}
+			n2[b] = n3
+		}
+		out[a] = n2
+	}
+	return out
+}
+
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		spo: make(index),
-		pos: make(index),
-		osp: make(index),
+		dict: NewDict(),
+		spo:  make(idIndex),
+		pos:  make(idIndex),
+		osp:  make(idIndex),
 	}
 }
 
@@ -81,13 +100,20 @@ func (g *Graph) Add(t Triple) (bool, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !g.spo.add(t.S, t.P, t.O) {
-		return false, nil
+	return g.addLocked(t), nil
+}
+
+func (g *Graph) addLocked(t Triple) bool {
+	s := g.dict.Intern(t.S)
+	p := g.dict.Intern(t.P)
+	o := g.dict.Intern(t.O)
+	if !g.spo.add(s, p, o) {
+		return false
 	}
-	g.pos.add(t.P, t.O, t.S)
-	g.osp.add(t.O, t.S, t.P)
+	g.pos.add(p, o, s)
+	g.osp.add(o, s, p)
 	g.n++
-	return true, nil
+	return true
 }
 
 // MustAdd inserts a triple and panics on structural invalidity. It is a
@@ -109,15 +135,28 @@ func (g *Graph) AddAll(ts []Triple) error {
 	return nil
 }
 
-// Remove deletes a triple, reporting whether it was present.
+// Remove deletes a triple, reporting whether it was present. Dictionary
+// entries are never reclaimed; removed terms keep their IDs.
 func (g *Graph) Remove(t Triple) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !g.spo.remove(t.S, t.P, t.O) {
+	s, ok := g.dict.ID(t.S)
+	if !ok {
 		return false
 	}
-	g.pos.remove(t.P, t.O, t.S)
-	g.osp.remove(t.O, t.S, t.P)
+	p, ok := g.dict.ID(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.dict.ID(t.O)
+	if !ok {
+		return false
+	}
+	if !g.spo.remove(s, p, o) {
+		return false
+	}
+	g.pos.remove(p, o, s)
+	g.osp.remove(o, s, p)
 	g.n--
 	return true
 }
@@ -126,15 +165,27 @@ func (g *Graph) Remove(t Triple) bool {
 func (g *Graph) Has(t Triple) bool {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	m2, ok := g.spo[t.S]
+	s, ok := g.dict.ID(t.S)
 	if !ok {
 		return false
 	}
-	m3, ok := m2[t.P]
+	p, ok := g.dict.ID(t.P)
 	if !ok {
 		return false
 	}
-	_, ok = m3[t.O]
+	o, ok := g.dict.ID(t.O)
+	if !ok {
+		return false
+	}
+	m2, ok := g.spo[s]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[p]
+	if !ok {
+		return false
+	}
+	_, ok = m3[o]
 	return ok
 }
 
@@ -145,125 +196,318 @@ func (g *Graph) Len() int {
 	return g.n
 }
 
-// Match returns all triples matching the pattern, where each of s, p, o
-// is either a concrete term or the Any wildcard. Results are returned in
-// a deterministic (sorted) order.
-func (g *Graph) Match(s, p, o Term) []Triple {
-	g.mu.RLock()
-	out := g.matchLocked(s, p, o)
-	g.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return CompareTriples(out[i], out[j]) < 0 })
-	return out
-}
-
-// MatchFirst returns an arbitrary triple matching the pattern, or ok =
-// false if none does. It avoids materializing and sorting the full match
-// set.
-func (g *Graph) MatchFirst(s, p, o Term) (Triple, bool) {
+// IDOf returns the dictionary ID of a term; ok is false when the term
+// has never been stored in the graph.
+func (g *Graph) IDOf(t Term) (TermID, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	res := g.matchLocked(s, p, o)
-	if len(res) == 0 {
-		return Triple{}, false
+	return g.dict.ID(t)
+}
+
+// TermOf returns the term for a dictionary ID previously obtained from
+// IDOf or EachMatchIDs.
+func (g *Graph) TermOf(id TermID) (Term, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.dict.Term(id)
+}
+
+// patIDLocked resolves a pattern term to an ID-level pattern component.
+// ok is false when the term is concrete but unknown to the dictionary,
+// in which case no triple can match.
+func (g *Graph) patIDLocked(t Term) (TermID, bool) {
+	if t.IsAny() {
+		return AnyID, true
 	}
-	sort.Slice(res, func(i, j int) bool { return CompareTriples(res[i], res[j]) < 0 })
-	return res[0], true
+	return g.dict.ID(t)
 }
 
-// Count returns the number of triples matching the pattern without the
-// sorting cost of Match.
-func (g *Graph) Count(s, p, o Term) int {
+// EachMatch calls fn for every triple matching the pattern, where each
+// of s, p, o is either a concrete term or the Any wildcard. Iteration
+// stops early when fn returns false. Triples are visited in unspecified
+// order; no intermediate slice is materialized and no sorting happens,
+// so a full scan allocates nothing.
+//
+// fn must not mutate g (the graph's read lock is held across the call),
+// and should avoid re-entrant reads of g while a concurrent writer may
+// be blocked.
+func (g *Graph) EachMatch(s, p, o Term, fn func(Triple) bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.matchLocked(s, p, o))
+	g.eachMatchTermsLocked(s, p, o, fn)
 }
 
-func (g *Graph) matchLocked(s, p, o Term) []Triple {
-	var out []Triple
-	sAny, pAny, oAny := s.IsAny(), p.IsAny(), o.IsAny()
+// EachMatchIDs is the ID-level variant of EachMatch: pattern components
+// are dictionary IDs (AnyID as wildcard) and fn receives raw IDs,
+// skipping term reconstruction entirely. The same locking contract as
+// EachMatch applies.
+func (g *Graph) EachMatchIDs(s, p, o TermID, fn func(s, p, o TermID) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.eachMatchIDsLocked(s, p, o, fn)
+}
+
+func (g *Graph) eachMatchTermsLocked(s, p, o Term, fn func(Triple) bool) bool {
+	sid, ok := g.patIDLocked(s)
+	if !ok {
+		return true
+	}
+	pid, ok := g.patIDLocked(p)
+	if !ok {
+		return true
+	}
+	oid, ok := g.patIDLocked(o)
+	if !ok {
+		return true
+	}
+	terms := g.dict.terms
+	return g.eachMatchIDsLocked(sid, pid, oid, func(a, b, c TermID) bool {
+		return fn(T(terms[a], terms[b], terms[c]))
+	})
+}
+
+// eachMatchIDsLocked walks the cheapest index for the pattern shape. It
+// reports false when fn stopped the iteration.
+func (g *Graph) eachMatchIDsLocked(s, p, o TermID, fn func(s, p, o TermID) bool) bool {
+	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
 	switch {
 	case !sAny && !pAny && !oAny:
 		if m2, ok := g.spo[s]; ok {
 			if m3, ok := m2[p]; ok {
 				if _, ok := m3[o]; ok {
-					out = append(out, T(s, p, o))
+					return fn(s, p, o)
 				}
 			}
 		}
 	case !sAny && !pAny: // s p ?
 		if m2, ok := g.spo[s]; ok {
 			for obj := range m2[p] {
-				out = append(out, T(s, p, obj))
+				if !fn(s, p, obj) {
+					return false
+				}
 			}
 		}
 	case !sAny && !oAny: // s ? o
 		if m2, ok := g.osp[o]; ok {
 			for pred := range m2[s] {
-				out = append(out, T(s, pred, o))
+				if !fn(s, pred, o) {
+					return false
+				}
 			}
 		}
 	case !pAny && !oAny: // ? p o
 		if m2, ok := g.pos[p]; ok {
 			for subj := range m2[o] {
-				out = append(out, T(subj, p, o))
+				if !fn(subj, p, o) {
+					return false
+				}
 			}
 		}
 	case !sAny: // s ? ?
 		for pred, m3 := range g.spo[s] {
 			for obj := range m3 {
-				out = append(out, T(s, pred, obj))
+				if !fn(s, pred, obj) {
+					return false
+				}
 			}
 		}
 	case !pAny: // ? p ?
 		for obj, m3 := range g.pos[p] {
 			for subj := range m3 {
-				out = append(out, T(subj, p, obj))
+				if !fn(subj, p, obj) {
+					return false
+				}
 			}
 		}
 	case !oAny: // ? ? o
 		for subj, m3 := range g.osp[o] {
 			for pred := range m3 {
-				out = append(out, T(subj, pred, o))
+				if !fn(subj, pred, o) {
+					return false
+				}
 			}
 		}
 	default: // ? ? ?
 		for subj, m2 := range g.spo {
 			for pred, m3 := range m2 {
 				for obj := range m3 {
-					out = append(out, T(subj, pred, obj))
+					if !fn(subj, pred, obj) {
+						return false
+					}
 				}
 			}
 		}
 	}
+	return true
+}
+
+// countIDsLocked computes the match cardinality from index map lengths
+// without materializing triples.
+func (g *Graph) countIDsLocked(s, p, o TermID) int {
+	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
+	switch {
+	case !sAny && !pAny && !oAny:
+		if m2, ok := g.spo[s]; ok {
+			if m3, ok := m2[p]; ok {
+				if _, ok := m3[o]; ok {
+					return 1
+				}
+			}
+		}
+		return 0
+	case !sAny && !pAny: // s p ?
+		return len(g.spo[s][p])
+	case !sAny && !oAny: // s ? o
+		return len(g.osp[o][s])
+	case !pAny && !oAny: // ? p o
+		return len(g.pos[p][o])
+	case !sAny: // s ? ?
+		n := 0
+		for _, m3 := range g.spo[s] {
+			n += len(m3)
+		}
+		return n
+	case !pAny: // ? p ?
+		n := 0
+		for _, m3 := range g.pos[p] {
+			n += len(m3)
+		}
+		return n
+	case !oAny: // ? ? o
+		n := 0
+		for _, m3 := range g.osp[o] {
+			n += len(m3)
+		}
+		return n
+	default:
+		return g.n
+	}
+}
+
+func (g *Graph) countTermsLocked(s, p, o Term) int {
+	sid, ok := g.patIDLocked(s)
+	if !ok {
+		return 0
+	}
+	pid, ok := g.patIDLocked(p)
+	if !ok {
+		return 0
+	}
+	oid, ok := g.patIDLocked(o)
+	if !ok {
+		return 0
+	}
+	return g.countIDsLocked(sid, pid, oid)
+}
+
+// Match returns all triples matching the pattern, where each of s, p, o
+// is either a concrete term or the Any wildcard. Results are returned in
+// a deterministic (sorted) order. Callers that only iterate, count or
+// take one element should prefer EachMatch, Count or MatchFirst, which
+// skip the slice and the sort.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	var out []Triple
+	if n := g.countTermsLocked(s, p, o); n > 0 {
+		out = make([]Triple, 0, n)
+		g.eachMatchTermsLocked(s, p, o, func(t Triple) bool {
+			out = append(out, t)
+			return true
+		})
+	}
+	g.mu.RUnlock()
+	SortTriples(out)
 	return out
+}
+
+// MatchFirst returns the smallest triple (by CompareTriples) matching
+// the pattern, or ok = false if none does. It is a single-pass minimum
+// scan: no match set is materialized or sorted.
+func (g *Graph) MatchFirst(s, p, o Term) (Triple, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var best Triple
+	found := false
+	g.eachMatchTermsLocked(s, p, o, func(t Triple) bool {
+		if !found || CompareTriples(t, best) < 0 {
+			best, found = t, true
+		}
+		return true
+	})
+	return best, found
+}
+
+// Count returns the number of triples matching the pattern. It is
+// computed from index map lengths and allocates nothing.
+func (g *Graph) Count(s, p, o Term) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.countTermsLocked(s, p, o)
 }
 
 // Triples returns all triples in deterministic order.
 func (g *Graph) Triples() []Triple { return g.Match(Any, Any, Any) }
 
-// Subjects returns the distinct subjects of triples matching (Any, p, o).
+// Subjects returns the distinct subjects of triples matching (Any, p, o),
+// sorted.
 func (g *Graph) Subjects(p, o Term) []Term {
-	seen := map[Term]struct{}{}
+	g.mu.RLock()
 	var out []Term
-	for _, t := range g.Match(Any, p, o) {
-		if _, dup := seen[t.S]; !dup {
-			seen[t.S] = struct{}{}
-			out = append(out, t.S)
+	pid, pok := g.patIDLocked(p)
+	oid, ook := g.patIDLocked(o)
+	switch {
+	case !pok || !ook:
+	case pid != AnyID && oid != AnyID:
+		// Fully bound: the third index level is exactly the subject set.
+		if m3 := g.pos[pid][oid]; len(m3) > 0 {
+			out = make([]Term, 0, len(m3))
+			for sid := range m3 {
+				out = append(out, g.dict.terms[sid])
+			}
 		}
+	default:
+		seen := map[TermID]struct{}{}
+		g.eachMatchIDsLocked(AnyID, pid, oid, func(sid, _, _ TermID) bool {
+			if _, dup := seen[sid]; !dup {
+				seen[sid] = struct{}{}
+				out = append(out, g.dict.terms[sid])
+			}
+			return true
+		})
 	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
 	return out
 }
 
-// Objects returns the distinct objects of triples matching (s, p, Any).
+// Objects returns the distinct objects of triples matching (s, p, Any),
+// sorted.
 func (g *Graph) Objects(s, p Term) []Term {
-	seen := map[Term]struct{}{}
+	g.mu.RLock()
 	var out []Term
-	for _, t := range g.Match(s, p, Any) {
-		if _, dup := seen[t.O]; !dup {
-			seen[t.O] = struct{}{}
-			out = append(out, t.O)
+	sid, sok := g.patIDLocked(s)
+	pid, pok := g.patIDLocked(p)
+	switch {
+	case !sok || !pok:
+	case sid != AnyID && pid != AnyID:
+		if m3 := g.spo[sid][pid]; len(m3) > 0 {
+			out = make([]Term, 0, len(m3))
+			for oid := range m3 {
+				out = append(out, g.dict.terms[oid])
+			}
 		}
+	default:
+		seen := map[TermID]struct{}{}
+		g.eachMatchIDsLocked(sid, pid, AnyID, func(_, _, oid TermID) bool {
+			if _, dup := seen[oid]; !dup {
+				seen[oid] = struct{}{}
+				out = append(out, g.dict.terms[oid])
+			}
+			return true
+		})
 	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
 	return out
 }
 
@@ -277,30 +521,65 @@ func (g *Graph) Object(s, p Term) (Term, bool) {
 	return t.O, true
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The dictionary and the three
+// ID indexes are copied directly; no triples are re-sorted or re-hashed
+// through the string representation.
 func (g *Graph) Clone() *Graph {
-	out := NewGraph()
-	for _, t := range g.Triples() {
-		out.MustAdd(t)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return &Graph{
+		dict: g.dict.clone(),
+		spo:  g.spo.clone(),
+		pos:  g.pos.clone(),
+		osp:  g.osp.clone(),
+		n:    g.n,
 	}
-	return out
 }
 
 // Merge adds every triple of other into g.
 func (g *Graph) Merge(other *Graph) {
-	for _, t := range other.Triples() {
-		g.MustAdd(t)
+	if g == other {
+		return
 	}
+	// Collect other's triples without sorting, then insert under a single
+	// write lock.
+	other.mu.RLock()
+	ts := make([]Triple, 0, other.n)
+	terms := other.dict.terms
+	other.eachMatchIDsLocked(AnyID, AnyID, AnyID, func(a, b, c TermID) bool {
+		ts = append(ts, T(terms[a], terms[b], terms[c]))
+		return true
+	})
+	other.mu.RUnlock()
+	g.mu.Lock()
+	for _, t := range ts {
+		g.addLocked(t)
+	}
+	g.mu.Unlock()
 }
 
 // Equal reports whether two graphs contain exactly the same triples.
 // (Blank nodes are compared by label, not by isomorphism; MDM never
 // relies on blank-node renaming.)
 func (g *Graph) Equal(other *Graph) bool {
+	if g == other {
+		return true
+	}
 	if g.Len() != other.Len() {
 		return false
 	}
-	for _, t := range g.Triples() {
+	// Snapshot g's triples first: probing other.Has while holding g's
+	// read lock would nest the two RWMutexes and can deadlock against
+	// concurrent writers (a.Equal(b) racing b.Equal(a)).
+	g.mu.RLock()
+	ts := make([]Triple, 0, g.n)
+	terms := g.dict.terms
+	g.eachMatchIDsLocked(AnyID, AnyID, AnyID, func(a, b, c TermID) bool {
+		ts = append(ts, T(terms[a], terms[b], terms[c]))
+		return true
+	})
+	g.mu.RUnlock()
+	for _, t := range ts {
 		if !other.Has(t) {
 			return false
 		}

@@ -8,10 +8,33 @@
 // exactly the access paths MDM needs: pattern matching over triples,
 // named graphs, prefix management, and lightweight RDFS/OWL helpers
 // (subClassOf closure, sameAs resolution).
+//
+// # Dictionary encoding
+//
+// Each Graph interns its terms in a Dict, a bijection between Term
+// values and dense uint32 TermIDs assigned in first-seen order. The
+// three triple permutation indexes (spo, pos, osp) are built over IDs,
+// so every index probe hashes a single uint32 instead of a 4-field
+// struct holding three strings, index keys are 4 bytes instead of ~56,
+// and triples impose no per-entry GC pressure beyond the one dictionary
+// entry per distinct term. IDs are stable for the life of the graph:
+// Remove deletes index entries but never evicts dictionary entries.
+//
+// # Iterator contract
+//
+// EachMatch (and its ID-level sibling EachMatchIDs) stream matching
+// triples through a callback in unspecified order, holding the graph's
+// read lock for the duration of the scan and allocating nothing. The
+// callback must not mutate the graph. Match and Triples preserve the
+// historical contract — a freshly allocated slice in deterministic
+// CompareTriples order — and are implemented on top of the iterator;
+// Count, MatchFirst, Subjects and Objects answer from the indexes
+// without materializing or sorting the full match set.
 package rdf
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -274,6 +297,12 @@ func CompareTriples(a, b Triple) int {
 		return c
 	}
 	return Compare(a.O, b.O)
+}
+
+// SortTriples sorts a triple slice in place into CompareTriples order —
+// the canonical order used by Match, serializations and renderings.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool { return CompareTriples(ts[i], ts[j]) < 0 })
 }
 
 // Quad is a triple within a named graph. A zero Graph term denotes the

@@ -90,38 +90,85 @@ func (m *Mappings) BindingsReferencing(wrapperName string) int {
 // mappings by freezing, for every feature, the alphabetically first
 // wrapper that provides it. This mirrors how a GAV system would have
 // been configured against the v1 sources.
+//
+// Instead of probing the mapping graphs once per (concept, feature,
+// wrapper) combination, each wrapper's stored mapping is scanned exactly
+// once and the concept superclass closures are computed once per
+// concept.
 func FromLAV(ont *bdi.Ontology) *Mappings {
 	m := NewMappings()
-	wrappers := ont.MappedWrappers()
-	for _, c := range ont.Concepts() {
-		for _, f := range ont.FeaturesOf(c) {
-			for _, w := range wrappers {
-				if ont.WrapperProvidesFeature(w, c, f) {
-					if attr, ok := ont.AttributeForFeature(w, f); ok {
+	wrappers := ont.MappedWrappers() // sorted: first provider wins below
+	concepts := ont.Concepts()
+	relations := ont.ConceptRelations()
+	global := ont.Global()
+	closures := make(map[rdf.Term]map[rdf.Term]bool, len(concepts))
+	featuresOf := make(map[rdf.Term][]rdf.Term, len(concepts))
+	for _, c := range concepts {
+		closures[c] = global.SuperClassClosure(c)
+		featuresOf[c] = ont.FeaturesOf(c)
+	}
+	for _, w := range wrappers {
+		mg, ok := ont.Dataset().Lookup(bdi.WrapperIRI(w))
+		if !ok {
+			continue
+		}
+		// One scan over the wrapper's mapping graph: the covered global
+		// subgraph plus the raw sameAs edges. The edges are read directly
+		// (not via Mapping.SameAs, which is keyed by attribute label and
+		// would collapse an attribute mapped to several features).
+		subgraph := make(map[rdf.Triple]bool, mg.Len())
+		type sameAsEdge struct{ attr, feat rdf.Term }
+		var sameAs []sameAsEdge
+		mg.EachMatch(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+			if t.P.Value == rdf.OWLSameAs {
+				sameAs = append(sameAs, sameAsEdge{t.S, t.O})
+			} else {
+				subgraph[t] = true
+			}
+			return true
+		})
+		// Feature -> attribute name exposed by this wrapper (the smallest
+		// attribute IRI wins when several map to the same feature,
+		// matching the sorted-subject order of Ontology.AttributeForFeature).
+		attrOf := map[rdf.Term]string{}
+		bestAttr := map[rdf.Term]rdf.Term{}
+		for _, e := range sameAs {
+			label, ok := ont.AttributeName(e.attr)
+			if !ok {
+				continue
+			}
+			if cur, seen := bestAttr[e.feat]; !seen || rdf.Compare(e.attr, cur) < 0 {
+				bestAttr[e.feat] = e.attr
+				attrOf[e.feat] = label
+			}
+		}
+		for f, attr := range attrOf {
+			// Freeze identifier columns as the wrapper view's join keys.
+			if ont.IsIdentifier(f) {
+				m.BindKey(w, f, attr)
+			}
+		}
+		for _, c := range concepts {
+			for _, f := range featuresOf[c] {
+				if _, bound := m.features[f]; bound {
+					continue
+				}
+				attr, has := attrOf[f]
+				if !has {
+					continue
+				}
+				// Covered directly or via a superclass in the taxonomy.
+				for super := range closures[c] {
+					if subgraph[rdf.T(super, bdi.PropHasFeature, f)] {
 						m.BindFeature(f, w, attr)
 						break
 					}
 				}
 			}
 		}
-	}
-	for _, rel := range ont.ConceptRelations() {
-		for _, w := range wrappers {
-			if ont.WrapperCoversRelation(w, rel) {
+		for _, rel := range relations {
+			if _, bound := m.relations[rel]; !bound && subgraph[rel] {
 				m.BindRelation(rel, w)
-				break
-			}
-		}
-	}
-	// Freeze each wrapper's identifier columns as its view's join keys.
-	for _, w := range wrappers {
-		lav, ok := ont.MappingOf(w)
-		if !ok {
-			continue
-		}
-		for attr, f := range lav.SameAs {
-			if ont.IsIdentifier(f) {
-				m.BindKey(w, f, attr)
 			}
 		}
 	}

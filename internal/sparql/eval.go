@@ -123,9 +123,34 @@ func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
 		})
 	}
 
-	// Project.
+	// Project. Solutions whose bindings are exactly the projection list
+	// are reused as-is (each solution map is freshly built during
+	// evaluation, so no aliasing can leak hidden variables). The fast
+	// path is disabled when the projection repeats a variable, since the
+	// length comparison below would then undercount.
+	distinctVars := true
+	for i, v := range res.Vars {
+		for _, w := range res.Vars[:i] {
+			if v == w {
+				distinctVars = false
+			}
+		}
+	}
 	projected := make([]Binding, 0, len(sols))
 	for _, s := range sols {
+		if distinctVars && len(s) == len(res.Vars) {
+			all := true
+			for _, v := range res.Vars {
+				if _, ok := s[v]; !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				projected = append(projected, s)
+				continue
+			}
+		}
 		row := make(Binding, len(res.Vars))
 		for _, v := range res.Vars {
 			if t, ok := s[v]; ok {
@@ -137,6 +162,31 @@ func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
 
 	if q.Distinct {
 		projected = dedupe(res.Vars, projected)
+	}
+
+	// Without ORDER BY the BGP iterator yields rows in unspecified
+	// order; sort canonically so results (and LIMIT/OFFSET pages) are
+	// repeatable across evaluations — REST clients and golden-file
+	// consumers see stable output.
+	if len(q.OrderBy) == 0 && len(projected) > 1 {
+		sort.SliceStable(projected, func(i, j int) bool {
+			for _, v := range res.Vars {
+				ti, iok := projected[i][v]
+				tj, jok := projected[j][v]
+				switch {
+				case !iok && !jok:
+					continue
+				case !iok:
+					return true
+				case !jok:
+					return false
+				}
+				if c := rdf.Compare(ti, tj); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
 	}
 
 	// OFFSET / LIMIT.
@@ -195,8 +245,16 @@ func dedupe(vars []string, sols []Binding) []Binding {
 // evalGroup evaluates a group graph pattern: join the patterns in
 // sequence, then apply the group's filters.
 func evalGroup(ctx evalCtx, g *Group, input []Binding) ([]Binding, error) {
+	return evalOrdered(ctx, orderPatterns(ctx.active, g.Patterns), g.Filters, input)
+}
+
+// evalOrdered evaluates an already-planned pattern sequence plus the
+// group's filters. Splitting it from evalGroup lets callers that
+// evaluate the same group once per input binding (OPTIONAL left joins)
+// plan the pattern order a single time.
+func evalOrdered(ctx evalCtx, patterns []Pattern, filters []Expr, input []Binding) ([]Binding, error) {
 	sols := input
-	for _, pat := range orderPatterns(g.Patterns) {
+	for _, pat := range patterns {
 		var err error
 		sols, err = evalPattern(ctx, pat, sols)
 		if err != nil {
@@ -206,7 +264,7 @@ func evalGroup(ctx evalCtx, g *Group, input []Binding) ([]Binding, error) {
 			break
 		}
 	}
-	for _, f := range g.Filters {
+	for _, f := range filters {
 		kept := sols[:0:0]
 		for _, s := range sols {
 			v, err := f.Eval(s)
@@ -224,18 +282,120 @@ func evalGroup(ctx evalCtx, g *Group, input []Binding) ([]Binding, error) {
 	return sols, nil
 }
 
-// orderPatterns places triple patterns before OPTIONALs so left joins see
-// the full base solution set, preserving relative order otherwise.
-func orderPatterns(ps []Pattern) []Pattern {
-	var base, opts []Pattern
+// orderPatterns arranges a group's patterns for evaluation: triple
+// patterns before OPTIONALs so left joins see the full base solution
+// set, preserving the relative order of non-OPTIONAL patterns; then
+// each contiguous run of triple patterns is greedily reordered by
+// estimated selectivity. Runs never cross a UNION or GRAPH boundary:
+// this evaluator threads accumulated bindings into sub-groups, where a
+// branch FILTER can observe them, so only pure triple-join prefixes —
+// whose joins are commutative — are safe to permute.
+func orderPatterns(g *rdf.Graph, ps []Pattern) []Pattern {
+	if len(ps) <= 1 {
+		return ps
+	}
+	out := make([]Pattern, 0, len(ps))
 	for _, p := range ps {
-		if _, ok := p.(Optional); ok {
-			opts = append(opts, p)
-		} else {
-			base = append(base, p)
+		if _, ok := p.(Optional); !ok {
+			out = append(out, p)
 		}
 	}
-	return append(base, opts...)
+	for _, p := range ps {
+		if _, ok := p.(Optional); ok {
+			out = append(out, p)
+		}
+	}
+	for lo := 0; lo < len(out); {
+		if _, ok := out[lo].(TriplePattern); !ok {
+			lo++
+			continue
+		}
+		hi := lo + 1
+		for hi < len(out) {
+			if _, ok := out[hi].(TriplePattern); !ok {
+				break
+			}
+			hi++
+		}
+		orderTriplePrefix(g, out[lo:hi])
+		lo = hi
+	}
+	return out
+}
+
+// orderTriplePrefix greedily orders a BGP (a []Pattern known to hold
+// only TriplePatterns) in place by estimated selectivity: at each step
+// it picks the cheapest remaining pattern among those that share a
+// variable with the already-chosen prefix (avoiding accidental cartesian
+// products), falling back to the globally cheapest when none connects.
+// Estimates are index-cardinality counts from Graph.Count with variables
+// widened to wildcards, so they cost a handful of map-length reads per
+// pattern.
+func orderTriplePrefix(g *rdf.Graph, ps []Pattern) {
+	if len(ps) <= 1 {
+		return
+	}
+	if len(ps) == 2 {
+		// Two-pattern joins need no connectivity analysis: evaluate the
+		// cheaper side first.
+		if patEst(g, ps[1].(TriplePattern)) < patEst(g, ps[0].(TriplePattern)) {
+			ps[0], ps[1] = ps[1], ps[0]
+		}
+		return
+	}
+	est := make([]int, len(ps))
+	for i := range ps {
+		est[i] = patEst(g, ps[i].(TriplePattern))
+	}
+	bound := map[string]bool{}
+	for k := range ps {
+		best := -1
+		bestConn := false
+		for i := k; i < len(ps); i++ {
+			conn := k == 0 || patConnected(ps[i].(TriplePattern), bound)
+			switch {
+			case best == -1:
+			case conn && !bestConn:
+			case conn == bestConn && est[i] < est[best]:
+			default:
+				continue
+			}
+			best, bestConn = i, conn
+		}
+		ps[k], ps[best] = ps[best], ps[k]
+		est[k], est[best] = est[best], est[k]
+		ps[k].(TriplePattern).Vars(bound)
+	}
+}
+
+// patEst estimates a pattern's match cardinality against the active
+// graph.
+func patEst(g *rdf.Graph, tp TriplePattern) int {
+	return g.Count(patTerm(tp.S), patTerm(tp.P), patTerm(tp.O))
+}
+
+// patTerm widens a pattern node to a match term: variables become Any.
+func patTerm(n Node) rdf.Term {
+	if n.IsVar() {
+		return rdf.Any
+	}
+	return n.Term
+}
+
+// patConnected reports whether the pattern shares a variable with the
+// bound set, or has no variables at all (a pure existence check is
+// always safe to evaluate next).
+func patConnected(tp TriplePattern, bound map[string]bool) bool {
+	vars := 0
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.IsVar() {
+			vars++
+			if bound[n.Var] {
+				return true
+			}
+		}
+	}
+	return vars == 0
 }
 
 func evalPattern(ctx evalCtx, pat Pattern, input []Binding) ([]Binding, error) {
@@ -267,32 +427,60 @@ func evalTriple(ctx evalCtx, tp TriplePattern, input []Binding) []Binding {
 		s := resolve(tp.S, b)
 		p := resolve(tp.P, b)
 		o := resolve(tp.O, b)
-		for _, t := range ctx.active.Match(s, p, o) {
-			nb := b
-			cloned := false
-			bind := func(n Node, v rdf.Term) bool {
-				if !n.IsVar() {
-					return true
-				}
-				if cur, ok := nb[n.Var]; ok {
-					return cur == v
-				}
-				if !cloned {
-					nb = nb.Clone()
-					cloned = true
-				}
-				nb[n.Var] = v
-				return true
-			}
-			if bind(tp.S, t.S) && bind(tp.P, t.P) && bind(tp.O, t.O) {
-				if !cloned {
-					nb = b.Clone()
-				}
+		// Stream matches instead of materializing and sorting a []Triple
+		// per input binding; solution order within a BGP is unspecified
+		// (ORDER BY provides determinism when callers need it).
+		ctx.active.EachMatch(s, p, o, func(t rdf.Triple) bool {
+			if nb, ok := extend(b, tp, t); ok {
 				out = append(out, nb)
 			}
-		}
+			return true
+		})
 	}
 	return out
+}
+
+// extend returns a fresh binding extending b with the pattern's
+// variables bound to the matched triple, or ok = false when the triple
+// conflicts with existing bindings or a repeated pattern variable. The
+// consistency checks run before the clone so mismatches allocate
+// nothing.
+func extend(b Binding, tp TriplePattern, t rdf.Triple) (Binding, bool) {
+	if tp.S.IsVar() {
+		if cur, ok := b[tp.S.Var]; ok && cur != t.S {
+			return nil, false
+		}
+		if tp.P.IsVar() && tp.P.Var == tp.S.Var && t.P != t.S {
+			return nil, false
+		}
+		if tp.O.IsVar() && tp.O.Var == tp.S.Var && t.O != t.S {
+			return nil, false
+		}
+	}
+	if tp.P.IsVar() {
+		if cur, ok := b[tp.P.Var]; ok && cur != t.P {
+			return nil, false
+		}
+		if tp.O.IsVar() && tp.O.Var == tp.P.Var && t.O != t.P {
+			return nil, false
+		}
+	}
+	if tp.O.IsVar() {
+		if cur, ok := b[tp.O.Var]; ok && cur != t.O {
+			return nil, false
+		}
+	}
+	nb := b.Clone()
+	if tp.S.IsVar() {
+		nb[tp.S.Var] = t.S
+	}
+	if tp.P.IsVar() {
+		nb[tp.P.Var] = t.P
+	}
+	if tp.O.IsVar() {
+		nb[tp.O.Var] = t.O
+	}
+	return nb, true
 }
 
 // resolve substitutes a bound variable into the match pattern, or Any.
@@ -308,8 +496,11 @@ func resolve(n Node, b Binding) rdf.Term {
 
 func evalOptional(ctx evalCtx, opt Optional, input []Binding) ([]Binding, error) {
 	var out []Binding
+	// Plan the group once; the left join below re-evaluates it per input
+	// binding.
+	ordered := orderPatterns(ctx.active, opt.Group.Patterns)
 	for _, b := range input {
-		ext, err := evalGroup(ctx, opt.Group, []Binding{b})
+		ext, err := evalOrdered(ctx, ordered, opt.Group.Filters, []Binding{b})
 		if err != nil {
 			return nil, err
 		}

@@ -387,6 +387,179 @@ func TestPropSinglePatternMatchesGraphMatch(t *testing.T) {
 	}
 }
 
+// TestBGPReorderProducesIdenticalSolutions evaluates the same BGP under
+// every textual pattern permutation and checks the solution multisets
+// coincide — selectivity reordering must never change semantics.
+func TestBGPReorderProducesIdenticalSolutions(t *testing.T) {
+	ds := footballDataset(t)
+	patterns := []string{
+		"?p ex:name ?playerName .",
+		"?p a ex:Player .",
+		"?p ex:team ?t .",
+		"?t ex:name ?teamName .",
+	}
+	canon := func(res *Result) map[string]int {
+		out := map[string]int{}
+		for _, s := range res.Solutions {
+			key := ""
+			for _, v := range []string{"p", "playerName", "t", "teamName"} {
+				if tm, ok := s[v]; ok {
+					key += tm.String()
+				}
+				key += "|"
+			}
+			out[key]++
+		}
+		return out
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	var want map[string]int
+	for i, perm := range perms {
+		body := ""
+		for _, pi := range perm {
+			body += patterns[pi] + "\n"
+		}
+		res := run(t, ds, "PREFIX ex: <http://ex.org/>\nSELECT * WHERE {\n"+body+"}")
+		if len(res.Solutions) != 3 {
+			t.Fatalf("perm %v: %d solutions, want 3", perm, len(res.Solutions))
+		}
+		got := canon(res)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("perm %v: solution multiset differs", perm)
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Errorf("perm %v: solution %q count = %d, want %d", perm, k, got[k], n)
+			}
+		}
+	}
+}
+
+// TestEvalRepeatedProjectionVarDoesNotLeak: SELECT ?x ?x must not reuse
+// the raw solution map (which would expose non-projected variables).
+func TestEvalRepeatedProjectionVarDoesNotLeak(t *testing.T) {
+	ds := rdf.NewDataset()
+	ds.Default().MustAdd(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.IRI("o")))
+	res := run(t, ds, `SELECT ?x ?x WHERE { ?x <p> ?y . }`)
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	if _, leaked := res.Solutions[0]["y"]; leaked {
+		t.Errorf("non-projected var leaked into solution: %v", res.Solutions[0])
+	}
+	if res.Solutions[0]["x"] != rdf.IRI("s") {
+		t.Errorf("projected var = %v", res.Solutions[0])
+	}
+}
+
+// TestEvalLimitOffsetStableWithoutOrderBy: pagination without ORDER BY
+// must be repeatable and non-overlapping across evaluations even though
+// BGP iteration order is unspecified.
+func TestEvalLimitOffsetStableWithoutOrderBy(t *testing.T) {
+	ds := footballDataset(t)
+	q := `PREFIX ex: <http://ex.org/> SELECT ?n WHERE { ?p ex:name ?n . } LIMIT 3`
+	first := run(t, ds, q)
+	seen := map[string]bool{}
+	for _, s := range first.Solutions {
+		seen[s["n"].Value] = true
+	}
+	for i := 0; i < 5; i++ {
+		again := run(t, ds, q)
+		if len(again.Solutions) != 3 {
+			t.Fatalf("run %d: %d rows", i, len(again.Solutions))
+		}
+		for j, s := range again.Solutions {
+			if s["n"] != first.Solutions[j]["n"] {
+				t.Fatalf("run %d: row %d = %v, want %v", i, j, s["n"], first.Solutions[j]["n"])
+			}
+		}
+	}
+	// Pages must partition the result set.
+	rest := run(t, ds, `PREFIX ex: <http://ex.org/> SELECT ?n WHERE { ?p ex:name ?n . } OFFSET 3`)
+	if len(rest.Solutions) != 4 {
+		t.Fatalf("offset page rows = %d, want 4", len(rest.Solutions))
+	}
+	for _, s := range rest.Solutions {
+		if seen[s["n"].Value] {
+			t.Errorf("row %v appeared on both pages", s["n"])
+		}
+	}
+}
+
+// TestOrderPatternsKeepsUnionPosition: reordering must not move triple
+// patterns across a UNION boundary, where a branch FILTER could observe
+// bindings it would not otherwise see.
+func TestOrderPatternsKeepsUnionPosition(t *testing.T) {
+	ds := footballDataset(t)
+	g := ds.Default()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	u := Union{Branches: []*Group{{Patterns: []Pattern{TriplePattern{S: V("b"), P: N(ex("name")), O: V("m")}}}}}
+	ps := []Pattern{
+		TriplePattern{S: V("a"), P: N(ex("name")), O: V("n")}, // 7 matches
+		u,
+		TriplePattern{S: V("a"), P: N(rdf.IRI(rdf.RDFType)), O: N(ex("Coach"))}, // 1 match
+	}
+	got := orderPatterns(g, ps)
+	if _, ok := got[1].(Union); !ok {
+		t.Fatalf("UNION moved from its position: %v", got)
+	}
+	if _, ok := got[0].(TriplePattern); !ok {
+		t.Fatalf("triple pattern missing before UNION: %v", got)
+	}
+}
+
+// TestOrderTriplePrefixSelectivity checks the greedy planner puts the
+// most selective pattern first and keeps the join connected.
+func TestOrderTriplePrefixSelectivity(t *testing.T) {
+	ds := footballDataset(t)
+	g := ds.Default()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	// ex:name has 7 triples; (Any, rdf:type, ex:Coach) has 1;
+	// ex:team has 3.
+	ps := []Pattern{
+		TriplePattern{S: V("p"), P: N(ex("name")), O: V("n")},
+		TriplePattern{S: V("p"), P: N(rdf.IRI(rdf.RDFType)), O: N(ex("Coach"))},
+		TriplePattern{S: V("p"), P: N(ex("team")), O: V("t")},
+	}
+	got := orderPatterns(g, ps)
+	if len(got) != 3 {
+		t.Fatalf("orderPatterns dropped patterns: %v", got)
+	}
+	first := got[0].(TriplePattern)
+	if !first.P.Term.IsIRI() || first.P.Term != rdf.IRI(rdf.RDFType) {
+		t.Errorf("most selective pattern not first: %v", got)
+	}
+	// Disconnected pattern must be deferred until the connected ones ran,
+	// even though it is cheaper than ex:name.
+	ps = []Pattern{
+		TriplePattern{S: V("a"), P: N(ex("name")), O: V("n")},     // 7 matches, uses ?a
+		TriplePattern{S: V("b"), P: N(ex("active")), O: V("w")},   // 0 matches in default graph, disconnected
+		TriplePattern{S: V("a"), P: N(ex("height")), O: V("h")},   // 3 matches, joins ?a
+	}
+	got = orderPatterns(g, ps)
+	mid := got[1].(TriplePattern)
+	if mid.P.Term != ex("height") {
+		t.Errorf("connected pattern should precede disconnected one: %v", got)
+	}
+
+	// OPTIONAL stays after the basic patterns.
+	ps = []Pattern{
+		Optional{Group: &Group{Patterns: []Pattern{TriplePattern{S: V("a"), P: N(ex("height")), O: V("h")}}}},
+		TriplePattern{S: V("a"), P: N(ex("name")), O: V("n")},
+	}
+	got = orderPatterns(g, ps)
+	if _, ok := got[0].(TriplePattern); !ok {
+		t.Errorf("triple pattern should precede OPTIONAL: %v", got)
+	}
+	if _, ok := got[1].(Optional); !ok {
+		t.Errorf("OPTIONAL should come last: %v", got)
+	}
+}
+
 func TestLexerLessThanVsIRI(t *testing.T) {
 	// '<' as comparison operator must not be mistaken for an IRI opener.
 	ds := rdf.NewDataset()

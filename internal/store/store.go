@@ -137,13 +137,23 @@ func (s *Store) Find(colName string, example Doc) []Doc {
 	return out
 }
 
-// FindOne returns the lowest-id document matching the example.
+// FindOne returns the lowest-id document matching the example. It is a
+// single-pass minimum scan: unlike Find it does not materialize and sort
+// the full match set.
 func (s *Store) FindOne(colName string, example Doc) (Doc, bool) {
-	res := s.Find(colName, example)
-	if len(res) == 0 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.cols[colName]
+	if !ok {
 		return nil, false
 	}
-	return res[0], true
+	var best Doc
+	for _, d := range c.Docs {
+		if matches(d, example) && (best == nil || d.ID() < best.ID()) {
+			best = d
+		}
+	}
+	return best, best != nil
 }
 
 func matches(d, example Doc) bool {

@@ -162,6 +162,9 @@ func (s *Store) replayWAL() error {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	// WAL records cluster by graph (MDM mutates one named graph at a
+	// time), so cache the last graph to skip a dataset lookup per record.
+	var cache graphCache
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -173,27 +176,45 @@ func (s *Store) replayWAL() error {
 			// else would also appear torn, so stop replay here.
 			break
 		}
-		s.applyLocked(rec)
+		s.applyLocked(rec, &cache)
 		s.walRecords++
 	}
 	return sc.Err()
 }
 
-func (s *Store) applyLocked(rec walRecord) {
+// graphCache memoizes the most recent Dataset.Graph resolution during
+// WAL replay.
+type graphCache struct {
+	name  rdf.Term
+	graph *rdf.Graph
+}
+
+func (c *graphCache) get(ds *rdf.Dataset, name rdf.Term) *rdf.Graph {
+	if c.graph == nil || c.name != name {
+		c.graph = ds.Graph(name)
+		c.name = name
+	}
+	return c.graph
+}
+
+func (c *graphCache) invalidate() { c.graph = nil }
+
+func (s *Store) applyLocked(rec walRecord, cache *graphCache) {
 	switch rec.Op {
 	case "add":
 		if rec.Quad != nil {
 			q := rec.Quad.quad()
-			_, _ = s.ds.AddQuad(q)
+			_, _ = cache.get(s.ds, q.Graph).Add(q.Triple)
 		}
 	case "remove":
 		if rec.Quad != nil {
 			q := rec.Quad.quad()
-			s.ds.Graph(q.Graph).Remove(q.Triple)
+			cache.get(s.ds, q.Graph).Remove(q.Triple)
 		}
 	case "drop":
 		if rec.Graph != nil {
 			s.ds.DropGraph(decTerm(*rec.Graph))
+			cache.invalidate()
 		}
 	case "prefix":
 		s.ds.Prefixes().Bind(rec.Prefix, rec.NS)
