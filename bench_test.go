@@ -329,8 +329,45 @@ SELECT ?c ?f WHERE {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Solutions) == 0 {
+		if res.Len() == 0 {
 			b.Fatal("no solutions")
+		}
+	}
+}
+
+// BenchmarkSPARQLJoinRows measures the ID-row join core on a wide
+// 3-pattern BGP over ~10k triples producing ~9k solution rows, the
+// shape where per-solution allocation dominates.
+func BenchmarkSPARQLJoinRows(b *testing.B) {
+	ds := rdf.NewDataset()
+	g := ds.Default()
+	ex := func(p, i int) rdf.Term { return rdf.IRI(fmt.Sprintf("http://ex.org/n%d_%d", p, i)) }
+	p0, p1, p2, p3 := rdf.IRI("http://ex.org/p0"), rdf.IRI("http://ex.org/p1"),
+		rdf.IRI("http://ex.org/p2"), rdf.IRI("http://ex.org/p3")
+	for x := 0; x < 1000; x++ {
+		g.MustAdd(rdf.T(ex(0, x), p0, ex(1, x%100)))
+		g.MustAdd(rdf.T(ex(0, x), p2, rdf.IntLit(int64(x))))
+	}
+	for m := 0; m < 100; m++ {
+		for k := 0; k < 9; k++ {
+			g.MustAdd(rdf.T(ex(1, m), p1, rdf.IntLit(int64(m*9+k))))
+		}
+	}
+	for i := 0; i < 7100; i++ { // background noise triples
+		g.MustAdd(rdf.T(ex(2, i), p3, rdf.IntLit(int64(i))))
+	}
+	q := sparql.MustParse(`
+PREFIX ex: <http://ex.org/>
+SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w }`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.Eval(ds, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != 9000 {
+			b.Fatalf("rows = %d", res.Len())
 		}
 	}
 }

@@ -479,3 +479,53 @@ func TestWrapperIRIEscaping(t *testing.T) {
 		t.Errorf("MappedWrappers with escaping = %v", names)
 	}
 }
+
+// TestOntologyGraphsShareDictionary guards the dataset-wide dictionary
+// invariant the SPARQL ID-row engine relies on: the global graph, the
+// source graph and every LAV-mapping named graph intern terms in the
+// same dictionary, so a concept IRI carries one TermID across all of
+// them (what lets cross-graph metadata queries join at the ID level).
+func TestOntologyGraphsShareDictionary(t *testing.T) {
+	o := New()
+	c := rdf.IRI(ex + "Concept1")
+	f := rdf.IRI(ex + "f1")
+	if err := o.AddConcept(c, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddFeature(f, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AttachFeature(c, f); err != nil {
+		t.Fatal(err)
+	}
+	o.AddDataSource("src", "")
+	o.RegisterWrapper("src", sig("w1", "a"))
+	if err := o.DefineMapping(Mapping{
+		Wrapper: "w1",
+		Subgraph: []rdf.Triple{
+			rdf.T(c, rdf.IRI(rdf.RDFType), ClassConcept),
+			rdf.T(c, PropHasFeature, f),
+		},
+		SameAs: map[string]rdf.Term{"a": f},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ds := o.Dataset()
+	mg, ok := ds.Lookup(WrapperIRI("w1"))
+	if !ok {
+		t.Fatal("mapping graph missing")
+	}
+	for name, g := range map[string]*rdf.Graph{
+		"global": o.Global(), "source": o.Source(), "mapping": mg,
+	} {
+		if g.Dict() != ds.Dict() {
+			t.Errorf("%s graph does not share the dataset dictionary", name)
+		}
+	}
+	gid, gok := o.Global().IDOf(c)
+	mid, mok := mg.IDOf(c)
+	if !gok || !mok || gid != mid {
+		t.Errorf("concept TermID differs across graphs: global %d/%v mapping %d/%v", gid, gok, mid, mok)
+	}
+}

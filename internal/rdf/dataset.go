@@ -11,8 +11,15 @@ import (
 // graphs, together with a prefix registry. MDM stores the global graph,
 // the source graph and one named graph per LAV mapping in a single
 // Dataset. Dataset is safe for concurrent use.
+//
+// All graphs of a dataset share one dictionary (see Dict), so a TermID
+// obtained from any of them identifies the same term in all of them.
+// SPARQL evaluation relies on this to join ID rows across GRAPH blocks
+// without re-encoding. Graph names are interned in the same dictionary
+// when the graph is created.
 type Dataset struct {
 	mu       sync.RWMutex
+	dict     *Dict
 	def      *Graph
 	named    map[Term]*Graph
 	prefixes *PrefixMap
@@ -21,12 +28,18 @@ type Dataset struct {
 // NewDataset returns an empty dataset with the common prefixes (rdf,
 // rdfs, owl, xsd) preregistered.
 func NewDataset() *Dataset {
+	dict := NewDict()
 	return &Dataset{
-		def:      NewGraph(),
+		dict:     dict,
+		def:      NewGraphWith(dict),
 		named:    make(map[Term]*Graph),
 		prefixes: NewPrefixMap(),
 	}
 }
+
+// Dict returns the dataset-wide term dictionary shared by every graph in
+// the dataset.
+func (d *Dataset) Dict() *Dict { return d.dict }
 
 // Default returns the default graph.
 func (d *Dataset) Default() *Graph {
@@ -45,9 +58,39 @@ func (d *Dataset) Graph(name Term) *Graph {
 	defer d.mu.Unlock()
 	g, ok := d.named[name]
 	if !ok {
-		g = NewGraph()
+		g = NewGraphWith(d.dict)
+		d.dict.Intern(name)
 		d.named[name] = g
 	}
+	return g
+}
+
+// Attach registers g as the named graph name, migrating it into the
+// dataset's shared dictionary. A graph already interning in the
+// dataset's dictionary is adopted as-is; a standalone graph (built with
+// NewGraph, for example by a parser that had no dataset at hand) has its
+// triples re-encoded into a fresh shared-dict graph. Attach replaces any
+// existing graph under the same name and returns the graph that now
+// lives in the dataset.
+func (d *Dataset) Attach(name Term, g *Graph) *Graph {
+	if g.Dict() != d.dict {
+		moved := NewGraphWith(d.dict)
+		g.EachMatch(Any, Any, Any, func(t Triple) bool {
+			moved.MustAdd(t)
+			return true
+		})
+		g = moved
+	}
+	if name.IsZero() {
+		d.mu.Lock()
+		d.def = g
+		d.mu.Unlock()
+		return g
+	}
+	d.mu.Lock()
+	d.dict.Intern(name)
+	d.named[name] = g
+	d.mu.Unlock()
 	return g
 }
 
@@ -118,14 +161,20 @@ func (d *Dataset) Len() int {
 // Prefixes returns the dataset's prefix registry.
 func (d *Dataset) Prefixes() *PrefixMap { return d.prefixes }
 
-// Clone returns a deep copy of the dataset including prefixes.
+// Clone returns a deep copy of the dataset including prefixes. The
+// shared dictionary is cloned once and reused by every cloned graph, so
+// the copy preserves both TermIDs and the shared-dict invariant.
 func (d *Dataset) Clone() *Dataset {
 	out := NewDataset()
 	out.prefixes = d.prefixes.Clone()
-	out.def = d.Default().Clone()
+	out.dict = d.dict.clone()
+	out.def = d.Default().cloneWith(out.dict)
 	for _, name := range d.GraphNames() {
-		g, _ := d.Lookup(name)
-		out.named[name] = g.Clone()
+		g, ok := d.Lookup(name)
+		if !ok {
+			continue // dropped concurrently between GraphNames and Lookup
+		}
+		out.named[name] = g.cloneWith(out.dict)
 	}
 	return out
 }

@@ -184,3 +184,101 @@ func TestPrefixMapPairsSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestDatasetSharedDict(t *testing.T) {
+	ds := NewDataset()
+	term := IRI("http://ex.org/shared")
+	ds.Default().MustAdd(T(term, IRI("p"), Lit("v")))
+	g := ds.Graph(IRI("http://ex.org/g"))
+	g.MustAdd(T(term, IRI("q"), Lit("w")))
+
+	if ds.Default().Dict() != ds.Dict() || g.Dict() != ds.Dict() {
+		t.Fatal("graphs do not share the dataset dictionary")
+	}
+	id1, ok1 := ds.Default().IDOf(term)
+	id2, ok2 := g.IDOf(term)
+	if !ok1 || !ok2 || id1 != id2 {
+		t.Fatalf("shared term has IDs %d/%d (ok %v/%v)", id1, id2, ok1, ok2)
+	}
+	// Graph names are interned on creation so SPARQL GRAPH ?g can bind
+	// them at the ID level.
+	if _, ok := ds.Dict().ID(IRI("http://ex.org/g")); !ok {
+		t.Error("graph name not interned in dataset dictionary")
+	}
+}
+
+func TestDatasetAttachMigratesStandaloneGraph(t *testing.T) {
+	ds := NewDataset()
+	ds.Default().MustAdd(T(IRI("a"), IRI("p"), Lit("x")))
+
+	standalone := NewGraph()
+	standalone.MustAdd(T(IRI("b"), IRI("p"), Lit("y")))
+	name := IRI("http://ex.org/attached")
+	got := ds.Attach(name, standalone)
+
+	if got.Dict() != ds.Dict() {
+		t.Fatal("attached graph does not use the dataset dictionary")
+	}
+	if looked, ok := ds.Lookup(name); !ok || looked != got {
+		t.Fatal("attached graph not registered under its name")
+	}
+	if !got.Has(T(IRI("b"), IRI("p"), Lit("y"))) {
+		t.Fatal("attached graph lost its triples during migration")
+	}
+	// A graph already on the dataset dictionary is adopted as-is.
+	native := NewGraphWith(ds.Dict())
+	native.MustAdd(T(IRI("c"), IRI("p"), Lit("z")))
+	if ds.Attach(IRI("http://ex.org/native"), native) != native {
+		t.Fatal("shared-dict graph should be adopted without copying")
+	}
+	// Attaching under the zero name replaces the default graph.
+	def := NewGraph()
+	def.MustAdd(T(IRI("d"), IRI("p"), Lit("w")))
+	ds.Attach(Term{}, def)
+	if !ds.Default().Has(T(IRI("d"), IRI("p"), Lit("w"))) {
+		t.Fatal("zero-name Attach did not replace the default graph")
+	}
+}
+
+func TestDatasetCloneKeepsSharedDictAndIDs(t *testing.T) {
+	ds := NewDataset()
+	term := IRI("http://ex.org/t")
+	ds.Default().MustAdd(T(term, IRI("p"), Lit("v")))
+	ds.Graph(IRI("g")).MustAdd(T(term, IRI("q"), IntLit(4)))
+
+	c := ds.Clone()
+	if c.Default().Dict() != c.Dict() {
+		t.Fatal("cloned default graph lost the shared dictionary")
+	}
+	cg, _ := c.Lookup(IRI("g"))
+	if cg.Dict() != c.Dict() {
+		t.Fatal("cloned named graph lost the shared dictionary")
+	}
+	origID, _ := ds.Default().IDOf(term)
+	cloneID, ok := c.Default().IDOf(term)
+	if !ok || cloneID != origID {
+		t.Fatalf("clone changed TermID: %d -> %d", origID, cloneID)
+	}
+	// Interning in the clone must not leak into the original.
+	before := ds.Dict().Len()
+	c.Default().MustAdd(T(IRI("http://ex.org/new"), IRI("p"), Lit("n")))
+	if ds.Dict().Len() != before {
+		t.Fatal("clone intern leaked into original dictionary")
+	}
+}
+
+func TestGraphMergeSameDictFastPath(t *testing.T) {
+	ds := NewDataset()
+	a := ds.Graph(IRI("a"))
+	b := ds.Graph(IRI("b"))
+	a.MustAdd(T(IRI("s"), IRI("p"), Lit("both")))
+	b.MustAdd(T(IRI("s"), IRI("p"), Lit("both")))
+	b.MustAdd(T(IRI("s2"), IRI("p"), IntLit(1)))
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d, want 2", a.Len())
+	}
+	if !a.Has(T(IRI("s2"), IRI("p"), IntLit(1))) {
+		t.Fatal("merge dropped a triple")
+	}
+}

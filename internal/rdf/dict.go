@@ -1,5 +1,7 @@
 package rdf
 
+import "sync"
+
 // TermID is a dense dictionary code for an interned Term. IDs are
 // assigned sequentially from 0 in first-seen order and are stable for
 // the lifetime of the Dict (terms are never evicted), so a TermID can be
@@ -16,10 +18,16 @@ const AnyID TermID = ^TermID(0)
 // append-only bijection: Intern assigns the next free ID to an unseen
 // term and returns the existing ID otherwise.
 //
-// Dict performs no locking of its own; Graph guards its dictionary with
-// the graph mutex. Use a separate Dict (or external synchronization)
-// when sharing one across goroutines.
+// # Locking contract
+//
+// A Dict synchronizes itself with an internal RWMutex, so one Dict may
+// be shared by every graph of a Dataset (and by SPARQL evaluation
+// running concurrently with writers). The terms slice is append-only:
+// once an ID is handed out, the Term it decodes to never changes, so a
+// slice header captured by Snapshot stays valid forever — readers can
+// index it lock-free for any ID observed before the snapshot was taken.
 type Dict struct {
+	mu    sync.RWMutex
 	ids   map[Term]TermID
 	terms []Term
 }
@@ -32,10 +40,18 @@ func NewDict() *Dict {
 // Intern returns the ID of t, assigning the next free ID if t has not
 // been seen before.
 func (d *Dict) Intern(t Term) TermID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
-	id := TermID(len(d.terms))
+	id = TermID(len(d.terms))
 	d.ids[t] = id
 	d.terms = append(d.terms, t)
 	return id
@@ -44,13 +60,17 @@ func (d *Dict) Intern(t Term) TermID {
 // ID returns the ID of t without interning; ok is false when t has never
 // been interned.
 func (d *Dict) ID(t Term) (TermID, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[t]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Term returns the term for an ID; ok is false for IDs that were never
 // assigned (including AnyID).
 func (d *Dict) Term(id TermID) (Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	// Compare in uint64 so AnyID cannot wrap negative on 32-bit ints.
 	if uint64(id) >= uint64(len(d.terms)) {
 		return Term{}, false
@@ -59,10 +79,26 @@ func (d *Dict) Term(id TermID) (Term, bool) {
 }
 
 // Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// Snapshot returns the current id -> term table. The returned slice is
+// shared and MUST be treated as read-only; because the table is
+// append-only it remains a correct decode for every ID that existed when
+// the snapshot was taken, even while other goroutines keep interning.
+func (d *Dict) Snapshot() []Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms
+}
 
 // clone returns a deep copy of the dictionary.
 func (d *Dict) clone() *Dict {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := &Dict{
 		ids:   make(map[Term]TermID, len(d.ids)),
 		terms: append([]Term(nil), d.terms...),

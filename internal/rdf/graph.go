@@ -11,6 +11,10 @@ import (
 // answered from a hash lookup over dense uint32 IDs. Graph is safe for
 // concurrent use.
 //
+// The graph mutex guards the three permutation indexes; the dictionary
+// synchronizes itself (see Dict), because graphs created through a
+// Dataset share the dataset's dictionary and may intern concurrently.
+//
 // The zero value is not ready to use; call NewGraph.
 type Graph struct {
 	mu   sync.RWMutex
@@ -81,15 +85,29 @@ func (ix idIndex) clone() idIndex {
 	return out
 }
 
-// NewGraph returns an empty graph.
+// NewGraph returns an empty graph with its own private dictionary.
+// Graphs meant to live inside a Dataset should be created through
+// Dataset.Graph (or handed to Dataset.Attach) so they share the
+// dataset-wide dictionary.
 func NewGraph() *Graph {
+	return NewGraphWith(NewDict())
+}
+
+// NewGraphWith returns an empty graph that interns its terms in d.
+// Sharing one dictionary across graphs makes their TermIDs directly
+// comparable, which is what lets SPARQL evaluation join ID rows across
+// GRAPH blocks without re-encoding.
+func NewGraphWith(d *Dict) *Graph {
 	return &Graph{
-		dict: NewDict(),
+		dict: d,
 		spo:  make(idIndex),
 		pos:  make(idIndex),
 		osp:  make(idIndex),
 	}
 }
+
+// Dict returns the dictionary the graph interns its terms in.
+func (g *Graph) Dict() *Dict { return g.dict }
 
 // Add inserts a triple. It reports whether the triple was newly added
 // (false if it was already present) and returns an error for structurally
@@ -260,7 +278,7 @@ func (g *Graph) eachMatchTermsLocked(s, p, o Term, fn func(Triple) bool) bool {
 	if !ok {
 		return true
 	}
-	terms := g.dict.terms
+	terms := g.dict.Snapshot()
 	return g.eachMatchIDsLocked(sid, pid, oid, func(a, b, c TermID) bool {
 		return fn(T(terms[a], terms[b], terms[c]))
 	})
@@ -453,6 +471,7 @@ func (g *Graph) Triples() []Triple { return g.Match(Any, Any, Any) }
 func (g *Graph) Subjects(p, o Term) []Term {
 	g.mu.RLock()
 	var out []Term
+	terms := g.dict.Snapshot()
 	pid, pok := g.patIDLocked(p)
 	oid, ook := g.patIDLocked(o)
 	switch {
@@ -462,7 +481,7 @@ func (g *Graph) Subjects(p, o Term) []Term {
 		if m3 := g.pos[pid][oid]; len(m3) > 0 {
 			out = make([]Term, 0, len(m3))
 			for sid := range m3 {
-				out = append(out, g.dict.terms[sid])
+				out = append(out, terms[sid])
 			}
 		}
 	default:
@@ -470,7 +489,7 @@ func (g *Graph) Subjects(p, o Term) []Term {
 		g.eachMatchIDsLocked(AnyID, pid, oid, func(sid, _, _ TermID) bool {
 			if _, dup := seen[sid]; !dup {
 				seen[sid] = struct{}{}
-				out = append(out, g.dict.terms[sid])
+				out = append(out, terms[sid])
 			}
 			return true
 		})
@@ -485,6 +504,7 @@ func (g *Graph) Subjects(p, o Term) []Term {
 func (g *Graph) Objects(s, p Term) []Term {
 	g.mu.RLock()
 	var out []Term
+	terms := g.dict.Snapshot()
 	sid, sok := g.patIDLocked(s)
 	pid, pok := g.patIDLocked(p)
 	switch {
@@ -493,7 +513,7 @@ func (g *Graph) Objects(s, p Term) []Term {
 		if m3 := g.spo[sid][pid]; len(m3) > 0 {
 			out = make([]Term, 0, len(m3))
 			for oid := range m3 {
-				out = append(out, g.dict.terms[oid])
+				out = append(out, terms[oid])
 			}
 		}
 	default:
@@ -501,7 +521,7 @@ func (g *Graph) Objects(s, p Term) []Term {
 		g.eachMatchIDsLocked(sid, pid, AnyID, func(_, _, oid TermID) bool {
 			if _, dup := seen[oid]; !dup {
 				seen[oid] = struct{}{}
-				out = append(out, g.dict.terms[oid])
+				out = append(out, terms[oid])
 			}
 			return true
 		})
@@ -525,10 +545,19 @@ func (g *Graph) Object(s, p Term) (Term, bool) {
 // ID indexes are copied directly; no triples are re-sorted or re-hashed
 // through the string representation.
 func (g *Graph) Clone() *Graph {
+	return g.cloneWith(g.dict.clone())
+}
+
+// cloneWith returns a deep copy of the graph whose triples decode
+// through d. d must assign the same IDs as the graph's own dictionary —
+// in practice d is either that dictionary itself or a clone of it.
+// Dataset.Clone uses this to copy every graph against a single cloned
+// dictionary.
+func (g *Graph) cloneWith(d *Dict) *Graph {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return &Graph{
-		dict: g.dict.clone(),
+		dict: d,
 		spo:  g.spo.clone(),
 		pos:  g.pos.clone(),
 		osp:  g.osp.clone(),
@@ -541,11 +570,33 @@ func (g *Graph) Merge(other *Graph) {
 	if g == other {
 		return
 	}
+	if g.dict == other.dict {
+		// Same dictionary (both graphs live in one dataset): IDs are
+		// directly transferable, so copy index entries without decoding
+		// any terms.
+		other.mu.RLock()
+		ids := make([][3]TermID, 0, other.n)
+		other.eachMatchIDsLocked(AnyID, AnyID, AnyID, func(a, b, c TermID) bool {
+			ids = append(ids, [3]TermID{a, b, c})
+			return true
+		})
+		other.mu.RUnlock()
+		g.mu.Lock()
+		for _, t := range ids {
+			if g.spo.add(t[0], t[1], t[2]) {
+				g.pos.add(t[1], t[2], t[0])
+				g.osp.add(t[2], t[0], t[1])
+				g.n++
+			}
+		}
+		g.mu.Unlock()
+		return
+	}
 	// Collect other's triples without sorting, then insert under a single
 	// write lock.
 	other.mu.RLock()
 	ts := make([]Triple, 0, other.n)
-	terms := other.dict.terms
+	terms := other.dict.Snapshot()
 	other.eachMatchIDsLocked(AnyID, AnyID, AnyID, func(a, b, c TermID) bool {
 		ts = append(ts, T(terms[a], terms[b], terms[c]))
 		return true
@@ -573,7 +624,7 @@ func (g *Graph) Equal(other *Graph) bool {
 	// concurrent writers (a.Equal(b) racing b.Equal(a)).
 	g.mu.RLock()
 	ts := make([]Triple, 0, g.n)
-	terms := g.dict.terms
+	terms := g.dict.Snapshot()
 	g.eachMatchIDsLocked(AnyID, AnyID, AnyID, func(a, b, c TermID) bool {
 		ts = append(ts, T(terms[a], terms[b], terms[c]))
 		return true

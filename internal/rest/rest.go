@@ -500,11 +500,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ask": res.Bool})
 		return
 	}
-	rows := make([][]string, 0, len(res.Solutions))
-	for _, sol := range res.Solutions {
+	// Unbound (OPTIONAL-miss) variables render as empty cells.
+	rows := make([][]string, 0, res.Len())
+	for si := 0; si < res.Len(); si++ {
 		row := make([]string, len(res.Vars))
-		for i, v := range res.Vars {
-			if t, ok := sol[v]; ok {
+		for i := range res.Vars {
+			if t, ok := res.TermAt(si, i); ok {
 				row[i] = t.Value
 			}
 		}

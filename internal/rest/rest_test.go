@@ -516,3 +516,38 @@ func TestSavedWalksSurviveEvolution(t *testing.T) {
 	}, 422)
 	c.do("POST", "/api/walks/ghost/run", nil, 404)
 }
+
+// TestSPARQLUnboundRendering is a golden test for how the REST SPARQL
+// endpoint renders unbound (OPTIONAL-miss) variables: as empty string
+// cells, byte-identical to this fixture, never as the zero rdf.Term's
+// rendering.
+func TestSPARQLUnboundRendering(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	req, err := json.Marshal(map[string]string{
+		"query": `PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c ?ghost WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> {
+    ?c rdf:type G:Concept .
+    OPTIONAL { ?c G:noSuchProperty ?ghost . }
+  }
+} ORDER BY ?c`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http.Post(c.base+"/api/sparql", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"rows":[["http://ex.org/Player",""],["http://schema.org/SportsTeam",""]],"vars":["c","ghost"]}` + "\n"
+	if got := body.String(); got != golden {
+		t.Errorf("unbound rendering drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}

@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 
 	"mdm/internal/bdi"
 	"mdm/internal/rdf"
@@ -128,8 +129,16 @@ func WalkFromSPARQL(ont *bdi.Ontology, query string) (*Walk, error) {
 
 	// Projection from the SELECT list; variable names become aliases.
 	if q.Star {
-		for v, f := range varFeature {
-			walk.SelectAs(varConcept[v], f, v)
+		// SELECT * has no written projection order; sort variable names
+		// so output columns are deterministic across runs (map iteration
+		// order is not).
+		vars := make([]string, 0, len(varFeature))
+		for v := range varFeature {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			walk.SelectAs(varConcept[v], varFeature[v], v)
 		}
 		return walk, nil
 	}

@@ -2,6 +2,7 @@ package rewrite_test
 
 import (
 	"context"
+	"sort"
 	"strings"
 	"testing"
 
@@ -106,6 +107,44 @@ SELECT * WHERE { ?p rdf:type ex:Player . ?p ex:playerName ?n . }`)
 	}
 	if len(walk.ProjectedFeatures()) != 1 {
 		t.Fatalf("features = %v", walk.ProjectedFeatures())
+	}
+}
+
+// SELECT * has no written projection order, so the translation must
+// impose one: sorted variable names. Guards against map-iteration
+// nondeterminism leaking into output column order.
+func TestWalkFromSPARQLSelectStarDeterministicColumns(t *testing.T) {
+	f := usecase.MustNew()
+	const q = `
+PREFIX ex: <http://www.example.org/football/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT * WHERE {
+  ?p rdf:type ex:Player .
+  ?p ex:playerName ?name .
+  ?p ex:height ?height .
+  ?p ex:playerId ?id .
+}`
+	r := rewrite.New(f.Ont, f.Reg)
+	var first []string
+	for i := 0; i < 8; i++ {
+		walk, err := rewrite.WalkFromSPARQL(f.Ont, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Rewrite(walk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.OutputColumns
+			if !sort.StringsAreSorted(first) {
+				t.Fatalf("SELECT * columns not sorted: %v", first)
+			}
+			continue
+		}
+		if strings.Join(res.OutputColumns, ",") != strings.Join(first, ",") {
+			t.Fatalf("run %d columns %v != %v", i, res.OutputColumns, first)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"mdm/internal/rdf"
 )
@@ -28,6 +29,18 @@ type Query struct {
 	OrderBy   []OrderKey
 	Limit     int // -1 = unset
 	Offset    int
+
+	// layoutOnce/slots cache the compiled variable-slot layout; queries
+	// are evaluated many times (saved walks, benchmarks), so the layout
+	// is computed once and is safe to share across goroutines.
+	layoutOnce sync.Once
+	slots      *slotLayout
+}
+
+// layout returns the query's compiled variable-slot layout.
+func (q *Query) layout() *slotLayout {
+	q.layoutOnce.Do(func() { q.slots = compileLayout(q) })
+	return q.slots
 }
 
 // OrderKey is one ORDER BY criterion.

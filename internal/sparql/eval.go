@@ -4,11 +4,22 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"mdm/internal/rdf"
 )
 
-// Binding maps variable names (without '?') to terms.
+// This file implements the ID-row evaluation engine. Intermediate
+// solutions are fixed-width []rdf.TermID rows over the dataset-shared
+// dictionary; variables are mapped to row columns by a slot layout
+// compiled once per query. Terms are decoded from IDs only at
+// projection time (Result.Solutions / Result.Term) and lazily for
+// FILTER expressions that need lexical forms. The retained map-based
+// reference evaluator lives in oracle_test.go and is used by the
+// randomized equivalence harness in spec_test.go.
+
+// Binding maps variable names (without '?') to terms. It is the decoded
+// form of one solution row.
 type Binding map[string]rdf.Term
 
 // Clone returns a copy of the binding.
@@ -20,19 +31,112 @@ func (b Binding) Clone() Binding {
 	return out
 }
 
-// Result is the outcome of query evaluation.
+// Lookup implements Env.
+func (b Binding) Lookup(name string) (rdf.Term, bool) {
+	t, ok := b[name]
+	return t, ok
+}
+
+// unboundID marks an unbound variable slot in an ID row. It reuses
+// rdf.AnyID, which is never assigned to a real term — and which doubles
+// as the wildcard when an unbound slot is substituted into a match
+// pattern, so resolution needs no separate translation step.
+const unboundID = rdf.AnyID
+
+// slotLayout is a query's compiled variable-to-column mapping: every
+// variable the query can bind, project, order by or filter on gets a
+// fixed column index in the solution rows.
+type slotLayout struct {
+	names []string       // slot -> variable name, sorted
+	index map[string]int // variable name -> slot
+}
+
+func compileLayout(q *Query) *slotLayout {
+	set := map[string]bool{}
+	q.Where.collectVars(set)
+	for _, v := range q.Variables {
+		set[v] = true
+	}
+	for _, k := range q.OrderBy {
+		set[k.Var] = true
+	}
+	names := make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	index := make(map[string]int, len(names))
+	for i, v := range names {
+		index[v] = i
+	}
+	return &slotLayout{names: names, index: index}
+}
+
+// Result is the outcome of query evaluation. Solution rows are kept in
+// dictionary-encoded form; Solutions, Term and Table decode them on
+// demand (decode-at-projection).
 type Result struct {
 	// Vars is the projection list in order.
 	Vars []string
-	// Solutions holds one binding per result row.
-	Solutions []Binding
 	// Bool is the ASK answer when the query form is ASK.
 	Bool bool
 	// Form echoes the query form.
 	Form QueryForm
+
+	rows  [][]rdf.TermID // full-width solution rows
+	slots []int          // row column per Vars entry
+	terms []rdf.Term     // dictionary snapshot covering every row ID
+
+	solsOnce sync.Once
+	sols     []Binding
+}
+
+// Len returns the number of solution rows.
+func (r *Result) Len() int { return len(r.rows) }
+
+// Term returns the term bound to projected variable v in solution row i;
+// ok is false when v is unbound in that row (OPTIONAL miss) or not in
+// the projection.
+func (r *Result) Term(i int, v string) (rdf.Term, bool) {
+	for vi, name := range r.Vars {
+		if name == v {
+			return r.TermAt(i, vi)
+		}
+	}
+	return rdf.Term{}, false
+}
+
+// TermAt is the column-index form of Term: col indexes Vars. Callers
+// iterating whole result tables should prefer it — it skips the
+// per-cell variable-name scan.
+func (r *Result) TermAt(i, col int) (rdf.Term, bool) {
+	if id := r.rows[i][r.slots[col]]; id != unboundID {
+		return r.terms[id], true
+	}
+	return rdf.Term{}, false
+}
+
+// Solutions decodes all rows to Bindings. Unbound variables are absent
+// from their row's map. The decode runs once and is memoized; the
+// returned slice is shared, so callers must not mutate it.
+func (r *Result) Solutions() []Binding {
+	r.solsOnce.Do(func() {
+		r.sols = make([]Binding, len(r.rows))
+		for i, row := range r.rows {
+			b := make(Binding, len(r.Vars))
+			for vi, v := range r.Vars {
+				if id := row[r.slots[vi]]; id != unboundID {
+					b[v] = r.terms[id]
+				}
+			}
+			r.sols[i] = b
+		}
+	})
+	return r.sols
 }
 
 // Table renders the result as an aligned text table (for demos/tests).
+// Unbound cells render empty.
 func (r *Result) Table() string {
 	if r.Form == FormAsk {
 		return fmt.Sprintf("ASK -> %v\n", r.Bool)
@@ -41,12 +145,12 @@ func (r *Result) Table() string {
 	for i, v := range r.Vars {
 		widths[i] = len(v) + 1
 	}
-	cells := make([][]string, len(r.Solutions))
-	for si, s := range r.Solutions {
+	cells := make([][]string, len(r.rows))
+	for si, s := range r.rows {
 		row := make([]string, len(r.Vars))
-		for i, v := range r.Vars {
-			if t, ok := s[v]; ok {
-				row[i] = t.Value
+		for i := range r.Vars {
+			if id := s[r.slots[i]]; id != unboundID {
+				row[i] = r.terms[id].Value
 			}
 			if len(row[i]) > widths[i] {
 				widths[i] = len(row[i])
@@ -68,23 +172,82 @@ func (r *Result) Table() string {
 	return sb.String()
 }
 
-// evalCtx carries the dataset and active graph through evaluation.
-type evalCtx struct {
+// evaluator carries the evaluation state: dataset, active graph, slot
+// layout, a row arena, and a cached dictionary snapshot for decoding.
+type evaluator struct {
 	ds     *rdf.Dataset
+	dict   *rdf.Dict
+	lay    *slotLayout
 	active *rdf.Graph
+	arena  []rdf.TermID // tail of the current allocation chunk
+	terms  []rdf.Term   // lazily refreshed dictionary snapshot
+}
+
+// newRow carves one uninitialized row from the arena, growing it in
+// chunks so row allocation amortizes to a copy.
+func (e *evaluator) newRow() []rdf.TermID {
+	w := len(e.lay.names)
+	if len(e.arena) < w {
+		e.arena = make([]rdf.TermID, 256*w)
+	}
+	r := e.arena[:w:w]
+	e.arena = e.arena[w:]
+	return r
+}
+
+// extend returns a fresh row initialized as a copy of parent.
+func (e *evaluator) extend(parent []rdf.TermID) []rdf.TermID {
+	r := e.newRow()
+	copy(r, parent)
+	return r
+}
+
+// term decodes an ID (must not be unboundID). The snapshot is refreshed
+// when the ID postdates it; the dictionary is append-only, so a refresh
+// covers every ID interned before the call.
+func (e *evaluator) term(id rdf.TermID) rdf.Term {
+	if int(id) >= len(e.terms) {
+		e.terms = e.dict.Snapshot()
+	}
+	return e.terms[id]
+}
+
+// rowEnv adapts an ID row to the filter Env, decoding only the
+// variables the expression actually reads.
+type rowEnv struct {
+	e   *evaluator
+	row []rdf.TermID
+}
+
+// Lookup implements Env.
+func (env *rowEnv) Lookup(name string) (rdf.Term, bool) {
+	slot, ok := env.e.lay.index[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	id := env.row[slot]
+	if id == unboundID {
+		return rdf.Term{}, false
+	}
+	return env.e.term(id), true
 }
 
 // Eval evaluates a query against a dataset. The default graph is the
 // active graph except inside GRAPH blocks.
 func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
-	ctx := evalCtx{ds: ds, active: ds.Default()}
-	sols, err := evalGroup(ctx, q.Where, []Binding{{}})
+	lay := q.layout()
+	e := &evaluator{ds: ds, dict: ds.Dict(), lay: lay, active: ds.Default()}
+	init := e.newRow()
+	for i := range init {
+		init[i] = unboundID
+	}
+	rows, err := e.group(q.Where, [][]rdf.TermID{init})
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Form: q.Form}
 	if q.Form == FormAsk {
-		res.Bool = len(sols) > 0
+		res.Bool = len(rows) > 0
 		return res, nil
 	}
 
@@ -94,23 +257,31 @@ func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
 	} else {
 		res.Vars = q.Variables
 	}
+	projSlots := make([]int, len(res.Vars))
+	for i, v := range res.Vars {
+		projSlots[i] = lay.index[v]
+	}
 
-	// ORDER BY before projection so order keys may be non-projected.
+	// ORDER BY before anything else so order keys may be non-projected.
 	if len(q.OrderBy) > 0 {
-		sort.SliceStable(sols, func(i, j int) bool {
-			for _, k := range q.OrderBy {
-				ti, iok := sols[i][k.Var]
-				tj, jok := sols[j][k.Var]
+		keySlots := make([]int, len(q.OrderBy))
+		for ki, k := range q.OrderBy {
+			keySlots[ki] = lay.index[k.Var]
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for ki, k := range q.OrderBy {
+				slot := keySlots[ki]
+				a, b := rows[i][slot], rows[j][slot]
 				var c int
 				switch {
-				case !iok && !jok:
+				case a == b:
 					c = 0
-				case !iok:
+				case a == unboundID:
 					c = -1
-				case !jok:
+				case b == unboundID:
 					c = 1
 				default:
-					c = compareOrder(ti, tj)
+					c = compareOrder(e.term(a), e.term(b))
 				}
 				if c != 0 {
 					if k.Desc {
@@ -123,65 +294,44 @@ func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
 		})
 	}
 
-	// Project. Solutions whose bindings are exactly the projection list
-	// are reused as-is (each solution map is freshly built during
-	// evaluation, so no aliasing can leak hidden variables). The fast
-	// path is disabled when the projection repeats a variable, since the
-	// length comparison below would then undercount.
-	distinctVars := true
-	for i, v := range res.Vars {
-		for _, w := range res.Vars[:i] {
-			if v == w {
-				distinctVars = false
+	// DISTINCT over the projected columns. The dictionary is a
+	// bijection, so ID equality is term equality and the key is just the
+	// projected IDs' bytes.
+	if q.Distinct && len(rows) > 1 {
+		seen := make(map[string]struct{}, len(rows))
+		key := make([]byte, 0, 4*len(projSlots))
+		out := rows[:0:0]
+		for _, row := range rows {
+			key = key[:0]
+			for _, s := range projSlots {
+				id := row[s]
+				key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			if _, dup := seen[string(key)]; !dup {
+				seen[string(key)] = struct{}{}
+				out = append(out, row)
 			}
 		}
-	}
-	projected := make([]Binding, 0, len(sols))
-	for _, s := range sols {
-		if distinctVars && len(s) == len(res.Vars) {
-			all := true
-			for _, v := range res.Vars {
-				if _, ok := s[v]; !ok {
-					all = false
-					break
-				}
-			}
-			if all {
-				projected = append(projected, s)
-				continue
-			}
-		}
-		row := make(Binding, len(res.Vars))
-		for _, v := range res.Vars {
-			if t, ok := s[v]; ok {
-				row[v] = t
-			}
-		}
-		projected = append(projected, row)
-	}
-
-	if q.Distinct {
-		projected = dedupe(res.Vars, projected)
+		rows = out
 	}
 
 	// Without ORDER BY the BGP iterator yields rows in unspecified
-	// order; sort canonically so results (and LIMIT/OFFSET pages) are
-	// repeatable across evaluations — REST clients and golden-file
-	// consumers see stable output.
-	if len(q.OrderBy) == 0 && len(projected) > 1 {
-		sort.SliceStable(projected, func(i, j int) bool {
-			for _, v := range res.Vars {
-				ti, iok := projected[i][v]
-				tj, jok := projected[j][v]
+	// order; sort canonically over the projected columns so results (and
+	// LIMIT/OFFSET pages) are repeatable across evaluations — REST
+	// clients and golden-file consumers see stable output.
+	if len(q.OrderBy) == 0 && len(rows) > 1 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, slot := range projSlots {
+				a, b := rows[i][slot], rows[j][slot]
 				switch {
-				case !iok && !jok:
+				case a == b:
 					continue
-				case !iok:
+				case a == unboundID:
 					return true
-				case !jok:
+				case b == unboundID:
 					return false
 				}
-				if c := rdf.Compare(ti, tj); c != 0 {
+				if c := rdf.Compare(e.term(a), e.term(b)); c != 0 {
 					return c < 0
 				}
 			}
@@ -191,16 +341,21 @@ func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
 
 	// OFFSET / LIMIT.
 	if q.Offset > 0 {
-		if q.Offset >= len(projected) {
-			projected = nil
+		if q.Offset >= len(rows) {
+			rows = nil
 		} else {
-			projected = projected[q.Offset:]
+			rows = rows[q.Offset:]
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(projected) {
-		projected = projected[:q.Limit]
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
 	}
-	res.Solutions = projected
+
+	res.rows = rows
+	res.slots = projSlots
+	if len(rows) > 0 {
+		res.terms = e.dict.Snapshot()
+	}
 	return res, nil
 }
 
@@ -222,64 +377,51 @@ func compareOrder(a, b rdf.Term) int {
 	return rdf.Compare(a, b)
 }
 
-func dedupe(vars []string, sols []Binding) []Binding {
-	seen := map[string]bool{}
-	out := sols[:0:0]
-	for _, s := range sols {
-		var key strings.Builder
-		for _, v := range vars {
-			if t, ok := s[v]; ok {
-				key.WriteString(t.String())
-			}
-			key.WriteByte('\x00')
-		}
-		k := key.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, s)
-		}
-	}
-	return out
+// group evaluates a group graph pattern: join the patterns in sequence,
+// then apply the group's filters.
+func (e *evaluator) group(g *Group, input [][]rdf.TermID) ([][]rdf.TermID, error) {
+	return e.ordered(orderPatterns(e.active, g.Patterns), g.Filters, input)
 }
 
-// evalGroup evaluates a group graph pattern: join the patterns in
-// sequence, then apply the group's filters.
-func evalGroup(ctx evalCtx, g *Group, input []Binding) ([]Binding, error) {
-	return evalOrdered(ctx, orderPatterns(ctx.active, g.Patterns), g.Filters, input)
-}
-
-// evalOrdered evaluates an already-planned pattern sequence plus the
-// group's filters. Splitting it from evalGroup lets callers that
-// evaluate the same group once per input binding (OPTIONAL left joins)
-// plan the pattern order a single time.
-func evalOrdered(ctx evalCtx, patterns []Pattern, filters []Expr, input []Binding) ([]Binding, error) {
-	sols := input
+// ordered evaluates an already-planned pattern sequence plus the
+// group's filters. Splitting it from group lets callers that evaluate
+// the same group once per input row (OPTIONAL left joins) plan the
+// pattern order a single time.
+func (e *evaluator) ordered(patterns []Pattern, filters []Expr, input [][]rdf.TermID) ([][]rdf.TermID, error) {
+	rows := input
 	for _, pat := range patterns {
 		var err error
-		sols, err = evalPattern(ctx, pat, sols)
+		rows, err = e.pattern(pat, rows)
 		if err != nil {
 			return nil, err
 		}
-		if len(sols) == 0 {
+		if len(rows) == 0 {
 			break
 		}
 	}
-	for _, f := range filters {
-		kept := sols[:0:0]
-		for _, s := range sols {
-			v, err := f.Eval(s)
-			if err != nil {
-				continue // error => effective false
+	if len(filters) > 0 && len(rows) > 0 {
+		env := rowEnv{e: e}
+		for _, f := range filters {
+			kept := rows[:0:0]
+			for _, row := range rows {
+				env.row = row
+				v, err := f.Eval(&env)
+				if err != nil {
+					continue // error => effective false
+				}
+				ok, err := v.AsBool()
+				if err != nil || !ok {
+					continue
+				}
+				kept = append(kept, row)
 			}
-			ok, err := v.AsBool()
-			if err != nil || !ok {
-				continue
+			rows = kept
+			if len(rows) == 0 {
+				break
 			}
-			kept = append(kept, s)
 		}
-		sols = kept
 	}
-	return sols, nil
+	return rows, nil
 }
 
 // orderPatterns arranges a group's patterns for evaluation: triple
@@ -287,7 +429,7 @@ func evalOrdered(ctx evalCtx, patterns []Pattern, filters []Expr, input []Bindin
 // set, preserving the relative order of non-OPTIONAL patterns; then
 // each contiguous run of triple patterns is greedily reordered by
 // estimated selectivity. Runs never cross a UNION or GRAPH boundary:
-// this evaluator threads accumulated bindings into sub-groups, where a
+// this evaluator threads accumulated rows into sub-groups, where a
 // branch FILTER can observe them, so only pure triple-join prefixes —
 // whose joins are commutative — are safe to permute.
 func orderPatterns(g *rdf.Graph, ps []Pattern) []Pattern {
@@ -398,16 +540,16 @@ func patConnected(tp TriplePattern, bound map[string]bool) bool {
 	return vars == 0
 }
 
-func evalPattern(ctx evalCtx, pat Pattern, input []Binding) ([]Binding, error) {
+func (e *evaluator) pattern(pat Pattern, input [][]rdf.TermID) ([][]rdf.TermID, error) {
 	switch p := pat.(type) {
 	case TriplePattern:
-		return evalTriple(ctx, p, input), nil
+		return e.triple(p, input), nil
 	case Optional:
-		return evalOptional(ctx, p, input)
+		return e.optional(p, input)
 	case Union:
-		var out []Binding
+		var out [][]rdf.TermID
 		for _, branch := range p.Branches {
-			bs, err := evalGroup(ctx, branch, input)
+			bs, err := e.group(branch, input)
 			if err != nil {
 				return nil, err
 			}
@@ -415,97 +557,90 @@ func evalPattern(ctx evalCtx, pat Pattern, input []Binding) ([]Binding, error) {
 		}
 		return out, nil
 	case GraphPattern:
-		return evalGraphPattern(ctx, p, input)
+		return e.graphPattern(p, input)
 	default:
 		return nil, fmt.Errorf("sparql: unknown pattern type %T", pat)
 	}
 }
 
-func evalTriple(ctx evalCtx, tp TriplePattern, input []Binding) []Binding {
-	var out []Binding
-	for _, b := range input {
-		s := resolve(tp.S, b)
-		p := resolve(tp.P, b)
-		o := resolve(tp.O, b)
-		// Stream matches instead of materializing and sorting a []Triple
-		// per input binding; solution order within a BGP is unspecified
-		// (ORDER BY provides determinism when callers need it).
-		ctx.active.EachMatch(s, p, o, func(t rdf.Triple) bool {
-			if nb, ok := extend(b, tp, t); ok {
-				out = append(out, nb)
-			}
+// patNode resolves one triple-pattern position for ID-level matching.
+// For a variable it returns its slot (the row value — unboundID acting
+// as the wildcard — is substituted per input row); for a concrete term
+// it returns the term's ID with slot -1. ok is false when the term was
+// never interned in the dataset, in which case nothing can match.
+func (e *evaluator) patNode(n Node) (id rdf.TermID, slot int, ok bool) {
+	if n.IsVar() {
+		return unboundID, e.lay.index[n.Var], true
+	}
+	id, ok = e.dict.ID(n.Term)
+	return id, -1, ok
+}
+
+func (e *evaluator) triple(tp TriplePattern, input [][]rdf.TermID) [][]rdf.TermID {
+	sID, sSlot, sOK := e.patNode(tp.S)
+	pID, pSlot, pOK := e.patNode(tp.P)
+	oID, oSlot, oOK := e.patNode(tp.O)
+	if !sOK || !pOK || !oOK {
+		return nil // constant unknown to the dataset: no matches anywhere
+	}
+	// Repeated pattern variables need an explicit equality check when
+	// unbound (when bound, the substituted concrete ID constrains the
+	// match already; the checks are then vacuously true).
+	spSame := sSlot >= 0 && sSlot == pSlot
+	soSame := sSlot >= 0 && sSlot == oSlot
+	poSame := pSlot >= 0 && pSlot == oSlot
+	var out [][]rdf.TermID
+	var cur []rdf.TermID
+	// One closure for all input rows: matches stream straight into the
+	// arena-backed output rows.
+	emit := func(ms, mp, mo rdf.TermID) bool {
+		if spSame && ms != mp || soSame && ms != mo || poSame && mp != mo {
 			return true
-		})
+		}
+		nr := e.extend(cur)
+		if sSlot >= 0 {
+			nr[sSlot] = ms
+		}
+		if pSlot >= 0 {
+			nr[pSlot] = mp
+		}
+		if oSlot >= 0 {
+			nr[oSlot] = mo
+		}
+		out = append(out, nr)
+		return true
+	}
+	for _, row := range input {
+		cur = row
+		s, p, o := sID, pID, oID
+		if sSlot >= 0 {
+			s = row[sSlot]
+		}
+		if pSlot >= 0 {
+			p = row[pSlot]
+		}
+		if oSlot >= 0 {
+			o = row[oSlot]
+		}
+		e.active.EachMatchIDs(s, p, o, emit)
 	}
 	return out
 }
 
-// extend returns a fresh binding extending b with the pattern's
-// variables bound to the matched triple, or ok = false when the triple
-// conflicts with existing bindings or a repeated pattern variable. The
-// consistency checks run before the clone so mismatches allocate
-// nothing.
-func extend(b Binding, tp TriplePattern, t rdf.Triple) (Binding, bool) {
-	if tp.S.IsVar() {
-		if cur, ok := b[tp.S.Var]; ok && cur != t.S {
-			return nil, false
-		}
-		if tp.P.IsVar() && tp.P.Var == tp.S.Var && t.P != t.S {
-			return nil, false
-		}
-		if tp.O.IsVar() && tp.O.Var == tp.S.Var && t.O != t.S {
-			return nil, false
-		}
-	}
-	if tp.P.IsVar() {
-		if cur, ok := b[tp.P.Var]; ok && cur != t.P {
-			return nil, false
-		}
-		if tp.O.IsVar() && tp.O.Var == tp.P.Var && t.O != t.P {
-			return nil, false
-		}
-	}
-	if tp.O.IsVar() {
-		if cur, ok := b[tp.O.Var]; ok && cur != t.O {
-			return nil, false
-		}
-	}
-	nb := b.Clone()
-	if tp.S.IsVar() {
-		nb[tp.S.Var] = t.S
-	}
-	if tp.P.IsVar() {
-		nb[tp.P.Var] = t.P
-	}
-	if tp.O.IsVar() {
-		nb[tp.O.Var] = t.O
-	}
-	return nb, true
-}
-
-// resolve substitutes a bound variable into the match pattern, or Any.
-func resolve(n Node, b Binding) rdf.Term {
-	if !n.IsVar() {
-		return n.Term
-	}
-	if t, ok := b[n.Var]; ok {
-		return t
-	}
-	return rdf.Any
-}
-
-func evalOptional(ctx evalCtx, opt Optional, input []Binding) ([]Binding, error) {
-	var out []Binding
+func (e *evaluator) optional(opt Optional, input [][]rdf.TermID) ([][]rdf.TermID, error) {
+	var out [][]rdf.TermID
 	// Plan the group once; the left join below re-evaluates it per input
-	// binding.
-	ordered := orderPatterns(ctx.active, opt.Group.Patterns)
-	for _, b := range input {
-		ext, err := evalOrdered(ctx, ordered, opt.Group.Filters, []Binding{b})
+	// row.
+	ordered := orderPatterns(e.active, opt.Group.Patterns)
+	single := make([][]rdf.TermID, 1)
+	for _, row := range input {
+		single[0] = row
+		ext, err := e.ordered(ordered, opt.Group.Filters, single)
 		if err != nil {
 			return nil, err
 		}
 		if len(ext) == 0 {
-			out = append(out, b) // left-join: keep unextended
+			out = append(out, row) // left-join: keep unextended
 		} else {
 			out = append(out, ext...)
 		}
@@ -513,42 +648,53 @@ func evalOptional(ctx evalCtx, opt Optional, input []Binding) ([]Binding, error)
 	return out, nil
 }
 
-func evalGraphPattern(ctx evalCtx, gp GraphPattern, input []Binding) ([]Binding, error) {
+func (e *evaluator) graphPattern(gp GraphPattern, input [][]rdf.TermID) ([][]rdf.TermID, error) {
 	if !gp.Name.IsVar() {
-		g, ok := ctx.ds.Lookup(gp.Name.Term)
+		g, ok := e.ds.Lookup(gp.Name.Term)
 		if !ok {
 			return nil, nil // empty graph => no solutions
 		}
-		sub := evalCtx{ds: ctx.ds, active: g}
-		return evalGroup(sub, gp.Group, input)
+		saved := e.active
+		e.active = g
+		rows, err := e.group(gp.Group, input)
+		e.active = saved
+		return rows, err
 	}
 	// Variable graph name: iterate all named graphs.
-	var out []Binding
-	for _, name := range ctx.ds.GraphNames() {
-		g, _ := ctx.ds.Lookup(name)
-		sub := evalCtx{ds: ctx.ds, active: g}
-		// Restrict input to bindings compatible with this graph name.
-		var compat []Binding
-		for _, b := range input {
-			if cur, ok := b[gp.Name.Var]; ok {
-				if cur != name {
-					continue
-				}
-				compat = append(compat, b)
-			} else {
-				nb := b.Clone()
-				nb[gp.Name.Var] = name
-				compat = append(compat, nb)
+	slot := e.lay.index[gp.Name.Var]
+	var out [][]rdf.TermID
+	for _, name := range e.ds.GraphNames() {
+		g, ok := e.ds.Lookup(name)
+		if !ok {
+			continue // dropped concurrently between GraphNames and Lookup
+		}
+		// Graph names are interned when the graph is created; Intern
+		// covers datasets assembled before that invariant held.
+		nameID := e.dict.Intern(name)
+		// Restrict input to rows compatible with this graph name; the
+		// name is bound before the group runs so its filters can see it.
+		var compat [][]rdf.TermID
+		for _, row := range input {
+			switch row[slot] {
+			case unboundID:
+				nr := e.extend(row)
+				nr[slot] = nameID
+				compat = append(compat, nr)
+			case nameID:
+				compat = append(compat, row)
 			}
 		}
 		if len(compat) == 0 {
 			continue
 		}
-		bs, err := evalGroup(sub, gp.Group, compat)
+		saved := e.active
+		e.active = g
+		rows, err := e.group(gp.Group, compat)
+		e.active = saved
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, bs...)
+		out = append(out, rows...)
 	}
 	return out, nil
 }

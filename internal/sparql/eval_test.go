@@ -56,10 +56,10 @@ SELECT ?playerName ?teamName WHERE {
   ?t a sc:SportsTeam .
   ?t ex:name ?teamName .
 } ORDER BY ?playerName`)
-	if len(res.Solutions) != 3 {
-		t.Fatalf("solutions = %d, want 3\n%s", len(res.Solutions), res.Table())
+	if res.Len() != 3 {
+		t.Fatalf("solutions = %d, want 3\n%s", res.Len(), res.Table())
 	}
-	first := res.Solutions[0]
+	first := res.Solutions()[0]
 	if first["playerName"].Value != "Lionel Messi" || first["teamName"].Value != "FC Barcelona" {
 		t.Errorf("first row = %v", first)
 	}
@@ -71,8 +71,8 @@ func TestEvalSharedVariableSemantics(t *testing.T) {
 	g.MustAdd(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("a"))) // self loop
 	g.MustAdd(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b")))
 	res := run(t, ds, `SELECT ?x WHERE { ?x <p> ?x . }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["x"].Value != "a" {
-		t.Errorf("shared-var solutions = %v", res.Solutions)
+	if res.Len() != 1 || res.Solutions()[0]["x"].Value != "a" {
+		t.Errorf("shared-var solutions = %v", res.Solutions())
 	}
 }
 
@@ -81,11 +81,11 @@ func TestEvalFilterNumeric(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE { ?p ex:name ?n . ?p ex:height ?h . FILTER (?h > 180) } ORDER BY ?n`)
-	if len(res.Solutions) != 2 {
-		t.Fatalf("solutions = %d\n%s", len(res.Solutions), res.Table())
+	if res.Len() != 2 {
+		t.Fatalf("solutions = %d\n%s", res.Len(), res.Table())
 	}
-	if res.Solutions[0]["n"].Value != "Robert Lewandowski" {
-		t.Errorf("row0 = %v", res.Solutions[0])
+	if res.Solutions()[0]["n"].Value != "Robert Lewandowski" {
+		t.Errorf("row0 = %v", res.Solutions()[0])
 	}
 }
 
@@ -97,8 +97,8 @@ SELECT ?n WHERE {
   ?p ex:name ?n .
   FILTER (?n = "Pep Guardiola" || REGEX(?n, "^Lionel"))
 } ORDER BY ?n`)
-	if len(res.Solutions) != 2 {
-		t.Fatalf("solutions = %d\n%s", len(res.Solutions), res.Table())
+	if res.Len() != 2 {
+		t.Fatalf("solutions = %d\n%s", res.Len(), res.Table())
 	}
 }
 
@@ -109,8 +109,8 @@ func TestEvalFilterErrorIsFalse(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:height ?h . } FILTER (?h > 0) }`)
-	if len(res.Solutions) != 3 {
-		t.Fatalf("solutions = %d, want 3 players (coach filtered)", len(res.Solutions))
+	if res.Len() != 3 {
+		t.Fatalf("solutions = %d, want 3 players (coach filtered)", res.Len())
 	}
 }
 
@@ -121,12 +121,12 @@ func TestEvalOptionalLeftJoin(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n ?h WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:height ?h . } } ORDER BY ?n`)
-	if len(res.Solutions) != 7 {
-		t.Fatalf("solutions = %d, want 7", len(res.Solutions))
+	if res.Len() != 7 {
+		t.Fatalf("solutions = %d, want 7", res.Len())
 	}
 	// Coach row must exist with unbound ?h.
 	var coachSeen bool
-	for _, s := range res.Solutions {
+	for _, s := range res.Solutions() {
 		if s["n"].Value == "Pep Guardiola" {
 			coachSeen = true
 			if _, bound := s["h"]; bound {
@@ -145,11 +145,11 @@ func TestEvalBoundFilter(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE { ?p ex:name ?n . OPTIONAL { ?p ex:height ?h . } FILTER (!BOUND(?h)) } ORDER BY ?n`)
-	if len(res.Solutions) != 4 {
-		t.Fatalf("!BOUND result = %v", res.Solutions)
+	if res.Len() != 4 {
+		t.Fatalf("!BOUND result = %v", res.Solutions())
 	}
 	var coachSeen bool
-	for _, s := range res.Solutions {
+	for _, s := range res.Solutions() {
 		if s["n"].Value == "Pep Guardiola" {
 			coachSeen = true
 		}
@@ -169,8 +169,8 @@ PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE {
   { ?p a ex:Player . ?p ex:name ?n . } UNION { ?p a ex:Coach . ?p ex:name ?n . }
 }`)
-	if len(res.Solutions) != 4 {
-		t.Fatalf("union solutions = %d, want 4", len(res.Solutions))
+	if res.Len() != 4 {
+		t.Fatalf("union solutions = %d, want 4", res.Len())
 	}
 }
 
@@ -179,14 +179,14 @@ func TestEvalNamedGraphIRI(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?p WHERE { GRAPH ex:g1 { ?p ex:active true . } }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["p"].Value != "http://ex.org/messi" {
-		t.Errorf("GRAPH iri = %v", res.Solutions)
+	if res.Len() != 1 || res.Solutions()[0]["p"].Value != "http://ex.org/messi" {
+		t.Errorf("GRAPH iri = %v", res.Solutions())
 	}
 	// Missing graph yields empty, not error.
 	res = run(t, ds, `PREFIX ex: <http://ex.org/>
 SELECT ?p WHERE { GRAPH ex:nope { ?p ex:active true . } }`)
-	if len(res.Solutions) != 0 {
-		t.Errorf("missing graph should be empty, got %v", res.Solutions)
+	if res.Len() != 0 {
+		t.Errorf("missing graph should be empty, got %v", res.Solutions())
 	}
 }
 
@@ -195,17 +195,17 @@ func TestEvalNamedGraphVariable(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?g ?p WHERE { GRAPH ?g { ?p ex:active true . } } ORDER BY ?g`)
-	if len(res.Solutions) != 2 {
-		t.Fatalf("graph-var solutions = %d", len(res.Solutions))
+	if res.Len() != 2 {
+		t.Fatalf("graph-var solutions = %d", res.Len())
 	}
-	if res.Solutions[0]["g"].Value != "http://ex.org/g1" {
-		t.Errorf("row0 = %v", res.Solutions[0])
+	if res.Solutions()[0]["g"].Value != "http://ex.org/g1" {
+		t.Errorf("row0 = %v", res.Solutions()[0])
 	}
 	// Default graph triples must NOT leak into GRAPH ?g.
 	res = run(t, ds, `PREFIX ex: <http://ex.org/>
 SELECT ?g WHERE { GRAPH ?g { ?p ex:name ?n . } }`)
-	if len(res.Solutions) != 0 {
-		t.Errorf("default graph leaked into GRAPH ?g: %v", res.Solutions)
+	if res.Len() != 0 {
+		t.Errorf("default graph leaked into GRAPH ?g: %v", res.Solutions())
 	}
 }
 
@@ -215,21 +215,21 @@ func TestEvalDistinctAndLimitOffset(t *testing.T) {
 PREFIX ex: <http://ex.org/>
 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 SELECT DISTINCT ?type WHERE { ?x rdf:type ?type . } ORDER BY ?type`)
-	if len(res.Solutions) != 3 { // Player, Coach, SportsTeam
-		t.Fatalf("distinct types = %d\n%s", len(res.Solutions), res.Table())
+	if res.Len() != 3 { // Player, Coach, SportsTeam
+		t.Fatalf("distinct types = %d\n%s", res.Len(), res.Table())
 	}
 	res = run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE { ?p a ex:Player . ?p ex:name ?n . } ORDER BY ?n LIMIT 1 OFFSET 1`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["n"].Value != "Robert Lewandowski" {
-		t.Errorf("limit/offset = %v", res.Solutions)
+	if res.Len() != 1 || res.Solutions()[0]["n"].Value != "Robert Lewandowski" {
+		t.Errorf("limit/offset = %v", res.Solutions())
 	}
 	// Offset beyond result set.
 	res = run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE { ?p a ex:Player . ?p ex:name ?n . } OFFSET 99`)
-	if len(res.Solutions) != 0 {
-		t.Errorf("offset beyond end = %v", res.Solutions)
+	if res.Len() != 0 {
+		t.Errorf("offset beyond end = %v", res.Solutions())
 	}
 }
 
@@ -238,7 +238,7 @@ func TestEvalOrderByNumericAndDesc(t *testing.T) {
 	res := run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n ?h WHERE { ?p ex:name ?n . ?p ex:height ?h . } ORDER BY DESC(?h)`)
-	if res.Solutions[0]["n"].Value != "Zlatan Ibrahimovic" {
+	if res.Solutions()[0]["n"].Value != "Zlatan Ibrahimovic" {
 		t.Errorf("DESC order wrong: %s", res.Table())
 	}
 	// Numeric, not lexicographic: 170.18 < 184.0 even though "170..." < "184" lexically too;
@@ -248,7 +248,7 @@ SELECT ?n ?h WHERE { ?p ex:name ?n . ?p ex:height ?h . } ORDER BY DESC(?h)`)
 	res = run(t, ds, `
 PREFIX ex: <http://ex.org/>
 SELECT ?n WHERE { ?p ex:name ?n . ?p ex:height ?h . } ORDER BY ?h LIMIT 1`)
-	if res.Solutions[0]["n"].Value != "Kid" {
+	if res.Solutions()[0]["n"].Value != "Kid" {
 		t.Errorf("numeric order wrong: %s", res.Table())
 	}
 }
@@ -274,8 +274,8 @@ SELECT * WHERE { ?p ex:team ?t . }`)
 	if len(res.Vars) != 2 || res.Vars[0] != "p" || res.Vars[1] != "t" {
 		t.Errorf("star vars = %v", res.Vars)
 	}
-	if len(res.Solutions) != 3 {
-		t.Errorf("star solutions = %d", len(res.Solutions))
+	if res.Len() != 3 {
+		t.Errorf("star solutions = %d", res.Len())
 	}
 }
 
@@ -286,8 +286,8 @@ func TestEvalCrossProductWhenDisconnected(t *testing.T) {
 	g.MustAdd(rdf.T(rdf.IRI("a2"), rdf.IRI("p"), rdf.Lit("2")))
 	g.MustAdd(rdf.T(rdf.IRI("b1"), rdf.IRI("q"), rdf.Lit("x")))
 	res := run(t, ds, `SELECT * WHERE { ?a <p> ?v . ?b <q> ?w . }`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("cross product = %d rows, want 2", len(res.Solutions))
+	if res.Len() != 2 {
+		t.Errorf("cross product = %d rows, want 2", res.Len())
 	}
 }
 
@@ -381,8 +381,8 @@ func TestPropSinglePatternMatchesGraphMatch(t *testing.T) {
 			t.Fatalf("mask %d: %v", mask, err)
 		}
 		want := g.Count(s, p, o)
-		if len(res.Solutions) != want {
-			t.Errorf("mask %d: eval %d rows, store %d", mask, len(res.Solutions), want)
+		if res.Len() != want {
+			t.Errorf("mask %d: eval %d rows, store %d", mask, res.Len(), want)
 		}
 	}
 }
@@ -400,7 +400,7 @@ func TestBGPReorderProducesIdenticalSolutions(t *testing.T) {
 	}
 	canon := func(res *Result) map[string]int {
 		out := map[string]int{}
-		for _, s := range res.Solutions {
+		for _, s := range res.Solutions() {
 			key := ""
 			for _, v := range []string{"p", "playerName", "t", "teamName"} {
 				if tm, ok := s[v]; ok {
@@ -420,8 +420,8 @@ func TestBGPReorderProducesIdenticalSolutions(t *testing.T) {
 			body += patterns[pi] + "\n"
 		}
 		res := run(t, ds, "PREFIX ex: <http://ex.org/>\nSELECT * WHERE {\n"+body+"}")
-		if len(res.Solutions) != 3 {
-			t.Fatalf("perm %v: %d solutions, want 3", perm, len(res.Solutions))
+		if res.Len() != 3 {
+			t.Fatalf("perm %v: %d solutions, want 3", perm, res.Len())
 		}
 		got := canon(res)
 		if i == 0 {
@@ -445,14 +445,14 @@ func TestEvalRepeatedProjectionVarDoesNotLeak(t *testing.T) {
 	ds := rdf.NewDataset()
 	ds.Default().MustAdd(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.IRI("o")))
 	res := run(t, ds, `SELECT ?x ?x WHERE { ?x <p> ?y . }`)
-	if len(res.Solutions) != 1 {
-		t.Fatalf("solutions = %d", len(res.Solutions))
+	if res.Len() != 1 {
+		t.Fatalf("solutions = %d", res.Len())
 	}
-	if _, leaked := res.Solutions[0]["y"]; leaked {
-		t.Errorf("non-projected var leaked into solution: %v", res.Solutions[0])
+	if _, leaked := res.Solutions()[0]["y"]; leaked {
+		t.Errorf("non-projected var leaked into solution: %v", res.Solutions()[0])
 	}
-	if res.Solutions[0]["x"] != rdf.IRI("s") {
-		t.Errorf("projected var = %v", res.Solutions[0])
+	if res.Solutions()[0]["x"] != rdf.IRI("s") {
+		t.Errorf("projected var = %v", res.Solutions()[0])
 	}
 }
 
@@ -464,26 +464,26 @@ func TestEvalLimitOffsetStableWithoutOrderBy(t *testing.T) {
 	q := `PREFIX ex: <http://ex.org/> SELECT ?n WHERE { ?p ex:name ?n . } LIMIT 3`
 	first := run(t, ds, q)
 	seen := map[string]bool{}
-	for _, s := range first.Solutions {
+	for _, s := range first.Solutions() {
 		seen[s["n"].Value] = true
 	}
 	for i := 0; i < 5; i++ {
 		again := run(t, ds, q)
-		if len(again.Solutions) != 3 {
-			t.Fatalf("run %d: %d rows", i, len(again.Solutions))
+		if again.Len() != 3 {
+			t.Fatalf("run %d: %d rows", i, again.Len())
 		}
-		for j, s := range again.Solutions {
-			if s["n"] != first.Solutions[j]["n"] {
-				t.Fatalf("run %d: row %d = %v, want %v", i, j, s["n"], first.Solutions[j]["n"])
+		for j, s := range again.Solutions() {
+			if s["n"] != first.Solutions()[j]["n"] {
+				t.Fatalf("run %d: row %d = %v, want %v", i, j, s["n"], first.Solutions()[j]["n"])
 			}
 		}
 	}
 	// Pages must partition the result set.
 	rest := run(t, ds, `PREFIX ex: <http://ex.org/> SELECT ?n WHERE { ?p ex:name ?n . } OFFSET 3`)
-	if len(rest.Solutions) != 4 {
-		t.Fatalf("offset page rows = %d, want 4", len(rest.Solutions))
+	if rest.Len() != 4 {
+		t.Fatalf("offset page rows = %d, want 4", rest.Len())
 	}
-	for _, s := range rest.Solutions {
+	for _, s := range rest.Solutions() {
 		if seen[s["n"].Value] {
 			t.Errorf("row %v appeared on both pages", s["n"])
 		}
@@ -536,9 +536,9 @@ func TestOrderTriplePrefixSelectivity(t *testing.T) {
 	// Disconnected pattern must be deferred until the connected ones ran,
 	// even though it is cheaper than ex:name.
 	ps = []Pattern{
-		TriplePattern{S: V("a"), P: N(ex("name")), O: V("n")},     // 7 matches, uses ?a
-		TriplePattern{S: V("b"), P: N(ex("active")), O: V("w")},   // 0 matches in default graph, disconnected
-		TriplePattern{S: V("a"), P: N(ex("height")), O: V("h")},   // 3 matches, joins ?a
+		TriplePattern{S: V("a"), P: N(ex("name")), O: V("n")},   // 7 matches, uses ?a
+		TriplePattern{S: V("b"), P: N(ex("active")), O: V("w")}, // 0 matches in default graph, disconnected
+		TriplePattern{S: V("a"), P: N(ex("height")), O: V("h")}, // 3 matches, joins ?a
 	}
 	got = orderPatterns(g, ps)
 	mid := got[1].(TriplePattern)
@@ -566,15 +566,15 @@ func TestLexerLessThanVsIRI(t *testing.T) {
 	ds.Default().MustAdd(rdf.T(rdf.IRI("s"), rdf.IRI("p"), rdf.IntLit(5)))
 	ds.Default().MustAdd(rdf.T(rdf.IRI("t"), rdf.IRI("p"), rdf.IntLit(50)))
 	res := run(t, ds, `SELECT ?x WHERE { ?s <p> ?x . FILTER (?x < 10) }`)
-	if len(res.Solutions) != 1 {
-		t.Errorf("< operator solutions = %v", res.Solutions)
+	if res.Len() != 1 {
+		t.Errorf("< operator solutions = %v", res.Solutions())
 	}
 	res = run(t, ds, `SELECT ?x WHERE { ?s <p> ?x . FILTER (?x <= 50) }`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("<= operator solutions = %v", res.Solutions)
+	if res.Len() != 2 {
+		t.Errorf("<= operator solutions = %v", res.Solutions())
 	}
 	res = run(t, ds, `SELECT ?x WHERE { ?s <p> ?x . FILTER (10 < ?x) }`)
-	if len(res.Solutions) != 1 {
-		t.Errorf("literal-first < solutions = %v", res.Solutions)
+	if res.Len() != 1 {
+		t.Errorf("literal-first < solutions = %v", res.Solutions())
 	}
 }

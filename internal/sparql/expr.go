@@ -9,12 +9,22 @@ import (
 	"mdm/internal/rdf"
 )
 
+// Env supplies variable values to FILTER expressions. Binding is the
+// eager map-based implementation; the ID-row engine passes a lazily
+// decoding implementation so a filter only materializes the terms it
+// actually reads (the decode-at-projection rule applied to filters).
+type Env interface {
+	// Lookup returns the term bound to the variable, or ok = false when
+	// the variable is unbound.
+	Lookup(name string) (rdf.Term, bool)
+}
+
 // Expr is a FILTER expression. Evaluation follows a pragmatic subset of
 // SPARQL semantics: type errors make the enclosing FILTER reject the
 // solution (error ⇒ effective boolean value false).
 type Expr interface {
-	// Eval computes the expression value under the binding.
-	Eval(b Binding) (Value, error)
+	// Eval computes the expression value under the environment.
+	Eval(env Env) (Value, error)
 	// Vars records the variables the expression mentions.
 	Vars(dst map[string]bool)
 	String() string
@@ -60,8 +70,8 @@ func (v Value) numeric() (float64, bool) {
 type VarExpr struct{ Name string }
 
 // Eval implements Expr.
-func (e VarExpr) Eval(b Binding) (Value, error) {
-	t, ok := b[e.Name]
+func (e VarExpr) Eval(env Env) (Value, error) {
+	t, ok := env.Lookup(e.Name)
 	if !ok {
 		return Value{}, fmt.Errorf("sparql: unbound variable ?%s", e.Name)
 	}
@@ -77,7 +87,7 @@ func (e VarExpr) String() string { return "?" + e.Name }
 type ConstExpr struct{ Term rdf.Term }
 
 // Eval implements Expr.
-func (e ConstExpr) Eval(Binding) (Value, error) { return Value{Term: e.Term}, nil }
+func (e ConstExpr) Eval(Env) (Value, error) { return Value{Term: e.Term}, nil }
 
 // Vars implements Expr.
 func (e ConstExpr) Vars(map[string]bool) {}
@@ -91,12 +101,12 @@ type CmpExpr struct {
 }
 
 // Eval implements Expr.
-func (e CmpExpr) Eval(b Binding) (Value, error) {
-	lv, err := e.L.Eval(b)
+func (e CmpExpr) Eval(env Env) (Value, error) {
+	lv, err := e.L.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}
-	rv, err := e.R.Eval(b)
+	rv, err := e.R.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}
@@ -154,8 +164,8 @@ type LogicExpr struct {
 }
 
 // Eval implements Expr.
-func (e LogicExpr) Eval(b Binding) (Value, error) {
-	lv, err := e.L.Eval(b)
+func (e LogicExpr) Eval(env Env) (Value, error) {
+	lv, err := e.L.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}
@@ -169,7 +179,7 @@ func (e LogicExpr) Eval(b Binding) (Value, error) {
 	if e.Op == "||" && lb {
 		return Value{Term: rdf.BoolLit(true)}, nil
 	}
-	rv, err := e.R.Eval(b)
+	rv, err := e.R.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}
@@ -189,8 +199,8 @@ func (e LogicExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op,
 type NotExpr struct{ X Expr }
 
 // Eval implements Expr.
-func (e NotExpr) Eval(b Binding) (Value, error) {
-	v, err := e.X.Eval(b)
+func (e NotExpr) Eval(env Env) (Value, error) {
+	v, err := e.X.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}
@@ -210,8 +220,8 @@ func (e NotExpr) String() string { return "!" + e.X.String() }
 type BoundExpr struct{ Name string }
 
 // Eval implements Expr.
-func (e BoundExpr) Eval(b Binding) (Value, error) {
-	_, ok := b[e.Name]
+func (e BoundExpr) Eval(env Env) (Value, error) {
+	_, ok := env.Lookup(e.Name)
 	return Value{Term: rdf.BoolLit(ok)}, nil
 }
 
@@ -243,8 +253,8 @@ func NewRegexExpr(x Expr, pattern, flags string) (*RegexExpr, error) {
 }
 
 // Eval implements Expr.
-func (e *RegexExpr) Eval(b Binding) (Value, error) {
-	v, err := e.X.Eval(b)
+func (e *RegexExpr) Eval(env Env) (Value, error) {
+	v, err := e.X.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}
@@ -265,8 +275,8 @@ func (e *RegexExpr) String() string {
 type StrExpr struct{ X Expr }
 
 // Eval implements Expr.
-func (e StrExpr) Eval(b Binding) (Value, error) {
-	v, err := e.X.Eval(b)
+func (e StrExpr) Eval(env Env) (Value, error) {
+	v, err := e.X.Eval(env)
 	if err != nil {
 		return Value{}, err
 	}

@@ -1,0 +1,348 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"mdm/internal/rdf"
+)
+
+// This file retains the pre-ID-row, Binding-map-based evaluator as a
+// reference oracle. It is deliberately simple: solutions are maps, terms
+// are matched at the Term level, and no selectivity reordering happens
+// (patterns run in written order, with only the semantics-bearing
+// OPTIONAL hoisting applied). The randomized harness in spec_test.go
+// evaluates every generated query through both this oracle and the
+// ID-row engine and asserts solution-multiset equality, so the ~600-line
+// engine rewrite cannot drift semantically without a test failing.
+//
+// The oracle lives in a _test.go file: it compiles only during tests and
+// adds nothing to production binaries.
+
+// refResult mirrors Result for the oracle.
+type refResult struct {
+	Vars []string
+	Sols []Binding
+	Bool bool
+	Form QueryForm
+}
+
+// refCtx carries the dataset and active graph through evaluation.
+type refCtx struct {
+	ds     *rdf.Dataset
+	active *rdf.Graph
+}
+
+// refEval is the reference implementation of Eval.
+func refEval(ds *rdf.Dataset, q *Query) (*refResult, error) {
+	ctx := refCtx{ds: ds, active: ds.Default()}
+	sols, err := refGroup(ctx, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	res := &refResult{Form: q.Form}
+	if q.Form == FormAsk {
+		res.Bool = len(sols) > 0
+		return res, nil
+	}
+
+	if q.Star {
+		res.Vars = q.Where.AllVars()
+	} else {
+		res.Vars = q.Variables
+	}
+
+	// ORDER BY before projection so order keys may be non-projected.
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(sols, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				ti, iok := sols[i][k.Var]
+				tj, jok := sols[j][k.Var]
+				var c int
+				switch {
+				case !iok && !jok:
+					c = 0
+				case !iok:
+					c = -1
+				case !jok:
+					c = 1
+				default:
+					c = compareOrder(ti, tj)
+				}
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	// Project.
+	projected := make([]Binding, 0, len(sols))
+	for _, s := range sols {
+		row := make(Binding, len(res.Vars))
+		for _, v := range res.Vars {
+			if t, ok := s[v]; ok {
+				row[v] = t
+			}
+		}
+		projected = append(projected, row)
+	}
+
+	if q.Distinct {
+		projected = refDedupe(res.Vars, projected)
+	}
+
+	// Canonical order when ORDER BY is absent, as in the engine.
+	if len(q.OrderBy) == 0 && len(projected) > 1 {
+		sort.SliceStable(projected, func(i, j int) bool {
+			for _, v := range res.Vars {
+				ti, iok := projected[i][v]
+				tj, jok := projected[j][v]
+				switch {
+				case !iok && !jok:
+					continue
+				case !iok:
+					return true
+				case !jok:
+					return false
+				}
+				if c := rdf.Compare(ti, tj); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+	res.Sols = projected
+	return res, nil
+}
+
+func refDedupe(vars []string, sols []Binding) []Binding {
+	seen := map[string]bool{}
+	out := sols[:0:0]
+	for _, s := range sols {
+		var key strings.Builder
+		for _, v := range vars {
+			if t, ok := s[v]; ok {
+				key.WriteString(t.String())
+			}
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// refOrderPatterns applies only the semantics-bearing part of pattern
+// planning: triple/UNION/GRAPH patterns in written order, OPTIONALs
+// hoisted after them so left joins see the full base solution set.
+func refOrderPatterns(ps []Pattern) []Pattern {
+	if len(ps) <= 1 {
+		return ps
+	}
+	out := make([]Pattern, 0, len(ps))
+	for _, p := range ps {
+		if _, ok := p.(Optional); !ok {
+			out = append(out, p)
+		}
+	}
+	for _, p := range ps {
+		if _, ok := p.(Optional); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func refGroup(ctx refCtx, g *Group, input []Binding) ([]Binding, error) {
+	sols := input
+	for _, pat := range refOrderPatterns(g.Patterns) {
+		var err error
+		sols, err = refPattern(ctx, pat, sols)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
+			break
+		}
+	}
+	for _, f := range g.Filters {
+		kept := sols[:0:0]
+		for _, s := range sols {
+			v, err := f.Eval(s)
+			if err != nil {
+				continue // error => effective false
+			}
+			ok, err := v.AsBool()
+			if err != nil || !ok {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		sols = kept
+	}
+	return sols, nil
+}
+
+func refPattern(ctx refCtx, pat Pattern, input []Binding) ([]Binding, error) {
+	switch p := pat.(type) {
+	case TriplePattern:
+		return refTriple(ctx, p, input), nil
+	case Optional:
+		return refOptional(ctx, p, input)
+	case Union:
+		var out []Binding
+		for _, branch := range p.Branches {
+			bs, err := refGroup(ctx, branch, input)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bs...)
+		}
+		return out, nil
+	case GraphPattern:
+		return refGraphPattern(ctx, p, input)
+	default:
+		panic("sparql: unknown pattern type in oracle")
+	}
+}
+
+func refTriple(ctx refCtx, tp TriplePattern, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		s := refResolve(tp.S, b)
+		p := refResolve(tp.P, b)
+		o := refResolve(tp.O, b)
+		ctx.active.EachMatch(s, p, o, func(t rdf.Triple) bool {
+			if nb, ok := refExtend(b, tp, t); ok {
+				out = append(out, nb)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// refExtend returns a fresh binding extending b with the pattern's
+// variables bound to the matched triple, or ok = false when the triple
+// conflicts with existing bindings or a repeated pattern variable.
+func refExtend(b Binding, tp TriplePattern, t rdf.Triple) (Binding, bool) {
+	if tp.S.IsVar() {
+		if cur, ok := b[tp.S.Var]; ok && cur != t.S {
+			return nil, false
+		}
+		if tp.P.IsVar() && tp.P.Var == tp.S.Var && t.P != t.S {
+			return nil, false
+		}
+		if tp.O.IsVar() && tp.O.Var == tp.S.Var && t.O != t.S {
+			return nil, false
+		}
+	}
+	if tp.P.IsVar() {
+		if cur, ok := b[tp.P.Var]; ok && cur != t.P {
+			return nil, false
+		}
+		if tp.O.IsVar() && tp.O.Var == tp.P.Var && t.O != t.P {
+			return nil, false
+		}
+	}
+	if tp.O.IsVar() {
+		if cur, ok := b[tp.O.Var]; ok && cur != t.O {
+			return nil, false
+		}
+	}
+	nb := b.Clone()
+	if tp.S.IsVar() {
+		nb[tp.S.Var] = t.S
+	}
+	if tp.P.IsVar() {
+		nb[tp.P.Var] = t.P
+	}
+	if tp.O.IsVar() {
+		nb[tp.O.Var] = t.O
+	}
+	return nb, true
+}
+
+func refResolve(n Node, b Binding) rdf.Term {
+	if !n.IsVar() {
+		return n.Term
+	}
+	if t, ok := b[n.Var]; ok {
+		return t
+	}
+	return rdf.Any
+}
+
+func refOptional(ctx refCtx, opt Optional, input []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range input {
+		ext, err := refGroup(ctx, opt.Group, []Binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(ext) == 0 {
+			out = append(out, b) // left-join: keep unextended
+		} else {
+			out = append(out, ext...)
+		}
+	}
+	return out, nil
+}
+
+func refGraphPattern(ctx refCtx, gp GraphPattern, input []Binding) ([]Binding, error) {
+	if !gp.Name.IsVar() {
+		g, ok := ctx.ds.Lookup(gp.Name.Term)
+		if !ok {
+			return nil, nil // empty graph => no solutions
+		}
+		sub := refCtx{ds: ctx.ds, active: g}
+		return refGroup(sub, gp.Group, input)
+	}
+	var out []Binding
+	for _, name := range ctx.ds.GraphNames() {
+		g, _ := ctx.ds.Lookup(name)
+		sub := refCtx{ds: ctx.ds, active: g}
+		var compat []Binding
+		for _, b := range input {
+			if cur, ok := b[gp.Name.Var]; ok {
+				if cur != name {
+					continue
+				}
+				compat = append(compat, b)
+			} else {
+				nb := b.Clone()
+				nb[gp.Name.Var] = name
+				compat = append(compat, nb)
+			}
+		}
+		if len(compat) == 0 {
+			continue
+		}
+		bs, err := refGroup(sub, gp.Group, compat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs...)
+	}
+	return out, nil
+}

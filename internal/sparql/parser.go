@@ -261,6 +261,9 @@ func (p *parser) parseGroup() (*Group, error) {
 			if err != nil {
 				return nil, err
 			}
+			if !name.IsVar() && !name.Term.IsIRI() {
+				return nil, p.errf("GRAPH name must be a variable or IRI, got %s", name)
+			}
 			sub, err := p.parseGroup()
 			if err != nil {
 				return nil, err
@@ -309,10 +312,16 @@ func (p *parser) parseTriplesBlock(g *Group) error {
 	if err != nil {
 		return err
 	}
+	if !subj.IsVar() && !subj.Term.IsIRI() && !subj.Term.IsBlank() {
+		return p.errf("triple subject must be a variable or IRI, got %s", subj)
+	}
 	for {
 		pred, err := p.parseVerb()
 		if err != nil {
 			return err
+		}
+		if !pred.IsVar() && !pred.Term.IsIRI() {
+			return p.errf("triple predicate must be a variable or IRI, got %s", pred)
 		}
 		for {
 			obj, err := p.parseNode()

@@ -7,6 +7,36 @@
 // graph into SPARQL; this package provides both that target language and
 // a general evaluator over rdf.Dataset so analysts (and tests) can
 // inspect intermediate artifacts exactly as Figure 8 of the paper shows.
+//
+// # ID-row evaluation model
+//
+// The evaluator is late-materializing. Each Query is compiled once to a
+// fixed variable-slot layout (variable name -> column index, covering
+// every variable the query binds, projects, orders by or filters on),
+// and every intermediate solution is a fixed-width []rdf.TermID row over
+// the dataset-shared dictionary, with rdf.AnyID marking unbound slots
+// (which doubles as the wildcard when a slot is substituted into a match
+// pattern). Joins, OPTIONAL left joins, UNION, GRAPH blocks, DISTINCT
+// and ORDER BY all operate on raw IDs; rows are carved out of a chunked
+// arena, so extending a solution is a copy instead of a map clone.
+//
+// Terms are decoded from IDs only at the edges (the decode-at-projection
+// rule): Result.Solutions / Result.Term / Result.Table decode on demand
+// from an append-only dictionary snapshot, and FILTER expressions read
+// through the Env interface, whose row-backed implementation decodes
+// just the variables an expression actually looks up.
+//
+// # Oracle testing
+//
+// The pre-ID-row, Binding-map evaluator is retained in oracle_test.go
+// as a reference implementation. spec_test.go generates hundreds of
+// random query/graph pairs per run (witness-driven, so most queries
+// have non-empty answers) and asserts that engine and oracle produce
+// identical solution multisets; deterministic edge cases (empty BGP,
+// unbound projections, OPTIONAL misses, UNION disjointness, paging past
+// the end) ride in the same harness. Any semantic change to evaluation
+// must keep the two implementations in agreement — or consciously
+// change both.
 package sparql
 
 import (

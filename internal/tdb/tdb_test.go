@@ -1,12 +1,16 @@
 package tdb
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"mdm/internal/rdf"
+	"mdm/internal/sparql"
 )
 
 func openT(t *testing.T, dir string) *Store {
@@ -266,5 +270,73 @@ func TestLiteralFidelityThroughWALAndSnapshot(t *testing.T) {
 		if !s3.Dataset().Default().Has(rdf.T(rdf.IRI("s"), rdf.IRI("p"), o)) {
 			t.Errorf("term %s lost in snapshot round trip", o)
 		}
+	}
+}
+
+// TestConcurrentQueriesDuringAppends exercises the locking contract of
+// the dataset-shared dictionary: SPARQL evaluation snapshots the
+// append-only Dict (rdf.Dict.Snapshot) and takes per-graph read locks,
+// while Store appends intern new terms concurrently. Run with -race
+// (CI does) to verify the contract.
+func TestConcurrentQueriesDuringAppends(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+
+	ex := func(n string) rdf.Term { return rdf.IRI("http://ex/" + n) }
+	p := ex("p")
+	for i := 0; i < 20; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("s%d", i)), p, rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := s.Dataset()
+	const query = `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . FILTER (?o >= 0) }`
+	const graphQuery = `SELECT ?g ?s WHERE { GRAPH ?g { ?s <http://ex/p> ?o } }`
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var qerr atomic.Value
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		q := query
+		if w%2 == 1 {
+			q = graphQuery
+		}
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sparql.Run(ds, q); err != nil {
+					qerr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 150; i++ {
+		q := rdf.Q(ex(fmt.Sprintf("n%d", i)), p, rdf.IntLit(int64(i)), rdf.Term{})
+		if i%3 == 0 {
+			q.Graph = ex(fmt.Sprintf("g%d", i%5))
+		}
+		if err := s.AddQuad(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := qerr.Load(); err != nil {
+		t.Fatalf("concurrent query failed: %v", err)
+	}
+
+	res, err := sparql.Run(ds, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20 + 100; res.Len() != want { // 150 appends, every 3rd into a named graph
+		t.Fatalf("rows after appends = %d, want %d", res.Len(), want)
 	}
 }

@@ -128,8 +128,8 @@ SELECT ?c WHERE {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Solutions) != 2 {
-		t.Fatalf("concepts via SPARQL = %d", len(res.Solutions))
+	if res.Len() != 2 {
+		t.Fatalf("concepts via SPARQL = %d", res.Len())
 	}
 }
 
