@@ -335,10 +335,10 @@ SELECT ?c ?f WHERE {
 	}
 }
 
-// BenchmarkSPARQLJoinRows measures the ID-row join core on a wide
-// 3-pattern BGP over ~10k triples producing ~9k solution rows, the
-// shape where per-solution allocation dominates.
-func BenchmarkSPARQLJoinRows(b *testing.B) {
+// joinRowsDataset builds the wide-join fixture shared by the SPARQL
+// join benchmarks: ~10k triples whose 3-pattern BGP join produces ~9k
+// solution rows.
+func joinRowsDataset() *rdf.Dataset {
 	ds := rdf.NewDataset()
 	g := ds.Default()
 	ex := func(p, i int) rdf.Term { return rdf.IRI(fmt.Sprintf("http://ex.org/n%d_%d", p, i)) }
@@ -356,9 +356,19 @@ func BenchmarkSPARQLJoinRows(b *testing.B) {
 	for i := 0; i < 7100; i++ { // background noise triples
 		g.MustAdd(rdf.T(ex(2, i), p3, rdf.IntLit(int64(i))))
 	}
-	q := sparql.MustParse(`
+	return ds
+}
+
+const joinRowsQuery = `
 PREFIX ex: <http://ex.org/>
-SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w }`)
+SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w }`
+
+// BenchmarkSPARQLJoinRows measures the ID-row join core on a wide
+// 3-pattern BGP over ~10k triples producing ~9k solution rows, the
+// shape where per-solution allocation dominates.
+func BenchmarkSPARQLJoinRows(b *testing.B) {
+	ds := joinRowsDataset()
+	q := sparql.MustParse(joinRowsQuery)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -369,6 +379,39 @@ SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w }`)
 		if res.Len() != 9000 {
 			b.Fatalf("rows = %d", res.Len())
 		}
+	}
+}
+
+// BenchmarkSPARQLLimitPushdown pins the O(page) contract of the cursor
+// engine on the ~9k-row join: LIMIT 10 without ORDER BY goes through
+// the bounded top-k operator (no full sort, no full materialization),
+// LIMIT 10 with ORDER BY still pays the sort barrier, and full-drain is
+// the O(result) baseline the pushdown is measured against.
+func BenchmarkSPARQLLimitPushdown(b *testing.B) {
+	ds := joinRowsDataset()
+	cases := []struct {
+		name string
+		src  string
+		rows int
+	}{
+		{"limit10", joinRowsQuery + " LIMIT 10", 10},
+		{"limit10-orderby", joinRowsQuery + " ORDER BY ?w LIMIT 10", 10},
+		{"full-drain", joinRowsQuery, 9000},
+	}
+	for _, tc := range cases {
+		q := sparql.MustParse(tc.src)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sparql.Eval(ds, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != tc.rows {
+					b.Fatalf("rows = %d", res.Len())
+				}
+			}
+		})
 	}
 }
 

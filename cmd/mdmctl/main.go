@@ -24,8 +24,15 @@
 //	drift   <wrapper>                  probe a wrapper for schema drift
 //	mapping <file.json>                define a LAV mapping from JSON
 //	suggest <newWrapper> <fromWrapper> print a suggested mapping as JSON
-//	query   <file.json>                run a walk from JSON
-//	sparql  <query>                    run SPARQL over the metadata
+//	query   [flags] <file.json>        run a walk from JSON
+//	sparql  [flags] <query>            run SPARQL over the metadata
+//
+// query and sparql accept paging/streaming flags, mapped to the REST
+// query parameters:
+//
+//	-limit N    page size (pushed into evaluation for sparql)
+//	-offset N   rows to skip (the cursor position)
+//	-ndjson     stream NDJSON rows to stdout as the server produces them
 //
 // The JSON formats of mapping and query match the REST API bodies
 // (POST /api/mappings and POST /api/query).
@@ -37,7 +44,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -153,18 +162,61 @@ func (c *client) run(cmd string, args []string) error {
 		}
 		return c.getJSON("/api/mappings/" + args[0] + "/suggest?from=" + args[1])
 	case "query":
-		if len(args) != 1 {
-			return fmt.Errorf("query <file.json>")
+		params, rest, err := pageFlags(args)
+		if err != nil {
+			return err
 		}
-		return c.postFile("/api/query", args[0])
+		if len(rest) != 1 {
+			return fmt.Errorf("query [-limit N] [-offset N] [-ndjson] <file.json>")
+		}
+		return c.postFile("/api/query"+params, rest[0])
 	case "sparql":
-		if len(args) != 1 {
-			return fmt.Errorf("sparql <query>")
+		params, rest, err := pageFlags(args)
+		if err != nil {
+			return err
 		}
-		return c.post("/api/sparql", map[string]string{"query": args[0]})
+		if len(rest) != 1 {
+			return fmt.Errorf("sparql [-limit N] [-offset N] [-ndjson] <query>")
+		}
+		return c.post("/api/sparql"+params, map[string]string{"query": rest[0]})
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// pageFlags strips -limit/-offset/-ndjson from the front of args and
+// returns them encoded as REST query parameters plus the remaining
+// arguments.
+func pageFlags(args []string) (params string, rest []string, err error) {
+	q := url.Values{}
+	for len(args) > 0 {
+		switch args[0] {
+		case "-limit", "-offset":
+			if len(args) < 2 {
+				return "", nil, fmt.Errorf("%s needs a number", args[0])
+			}
+			if _, err := strconv.Atoi(args[1]); err != nil {
+				return "", nil, fmt.Errorf("%s %q: not a number", args[0], args[1])
+			}
+			q.Set(strings.TrimPrefix(args[0], "-"), args[1])
+			args = args[2:]
+		case "-ndjson":
+			q.Set("format", "ndjson")
+			args = args[1:]
+		default:
+			if strings.HasPrefix(args[0], "-") {
+				return "", nil, fmt.Errorf("unknown flag %q", args[0])
+			}
+			if len(q) > 0 {
+				params = "?" + q.Encode()
+			}
+			return params, args, nil
+		}
+	}
+	if len(q) > 0 {
+		params = "?" + q.Encode()
+	}
+	return params, args, nil
 }
 
 func (c *client) getJSON(path string) error {
@@ -216,6 +268,10 @@ func (c *client) post(path string, body any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if isNDJSON(resp) {
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
 	return pretty(resp.Body, resp.StatusCode)
 }
 
@@ -229,7 +285,17 @@ func (c *client) postFile(path, file string) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if isNDJSON(resp) {
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
 	return pretty(resp.Body, resp.StatusCode)
+}
+
+// isNDJSON reports a streaming response; rows are copied to stdout as
+// they arrive instead of being buffered for pretty-printing.
+func isNDJSON(resp *http.Response) bool {
+	return resp.Header.Get("Content-Type") == "application/x-ndjson"
 }
 
 // pretty re-indents the JSON response; table-shaped query answers render

@@ -91,3 +91,32 @@ func TestPrintTableAlignment(t *testing.T) {
 		[]any{[]any{"1", "2"}, []any{"333333", "4"}},
 	)
 }
+
+func TestPageFlags(t *testing.T) {
+	cases := []struct {
+		args   []string
+		params string
+		rest   int
+		err    bool
+	}{
+		{[]string{"q.json"}, "", 1, false},
+		{[]string{"-limit", "10", "q.json"}, "?limit=10", 1, false},
+		{[]string{"-limit", "10", "-offset", "5", "-ndjson", "q"}, "?format=ndjson&limit=10&offset=5", 1, false},
+		{[]string{"-ndjson", "q"}, "?format=ndjson", 1, false},
+		{[]string{"-limit", "x", "q"}, "", 0, true},
+		{[]string{"-limit"}, "", 0, true},
+		{[]string{"-bogus", "q"}, "", 0, true},
+	}
+	for _, tc := range cases {
+		params, rest, err := pageFlags(tc.args)
+		if (err != nil) != tc.err {
+			t.Fatalf("pageFlags(%v) err = %v", tc.args, err)
+		}
+		if err != nil {
+			continue
+		}
+		if params != tc.params || len(rest) != tc.rest {
+			t.Errorf("pageFlags(%v) = %q, %v", tc.args, params, rest)
+		}
+	}
+}

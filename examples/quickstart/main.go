@@ -124,6 +124,26 @@ func main() {
 	fmt.Println("\n-- Table 1 --")
 	rel.Sort()
 	fmt.Print(rel.Table())
+
+	// --- analyst: streaming metadata reads over the cursor API ---
+	// SPARQLCursor evaluates lazily: the LIMIT is pushed into the
+	// engine, rows arrive one Next at a time, and dropping the cursor
+	// (or canceling ctx) stops the work — the pattern the REST layer
+	// uses to stream NDJSON pages to paging clients.
+	cur, err := sys.SPARQLCursor(`
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+SELECT ?c ?f WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> {
+    ?c G:hasFeature ?f .
+  }
+} LIMIT 3`)
+	check(err)
+	defer cur.Close()
+	fmt.Println("\n-- first page of features, streamed --")
+	for b := range cur.Solutions(ctx) {
+		fmt.Printf("  %s -> %s\n", b["c"].Value, b["f"].Value)
+	}
+	check(cur.Err())
 }
 
 func check(err error) {

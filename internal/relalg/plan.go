@@ -53,6 +53,9 @@ func (s *Scan) Algebra() string { return s.Src.Name() }
 
 // Execute implements Plan.
 func (s *Scan) Execute(ctx context.Context) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rel, err := s.Src.Fetch(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("relalg: scan %s: %w", s.Src.Name(), err)
@@ -127,7 +130,12 @@ func (s *Select) Execute(ctx context.Context) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(in.Cols...)
-	for _, row := range in.Rows {
+	for i, row := range in.Rows {
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if s.Pred.Eval(in.Cols, row) {
 			out.Rows = append(out.Rows, row)
 		}
@@ -305,19 +313,34 @@ func (j *Join) Execute(ctx context.Context) (*Relation, error) {
 
 	// Build on the right side.
 	build := map[string][]Row{}
-	for _, rrow := range rrel.Rows {
+	for i, rrow := range rrel.Rows {
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		k := key(rrow, rIdx)
 		if k == "" {
 			continue
 		}
 		build[k] = append(build[k], rrow)
 	}
+	// The probe loop can multiply rows, so poll ctx on emitted-row count
+	// (not input count): a canceled query (dropped REST client, timeout)
+	// stops instead of materializing, even on skewed joins.
+	emitted := 0
 	for _, lrow := range lrel.Rows {
 		k := key(lrow, lIdx)
 		if k == "" {
 			continue
 		}
 		for _, rrow := range build[k] {
+			if emitted&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			emitted++
 			nr := make(Row, 0, len(out.Cols))
 			nr = append(nr, lrow...)
 			for _, i := range rEmit {

@@ -12,13 +12,34 @@
 //
 // plus read-side endpoints for stats, rendering, releases, drift
 // detection, validation and TriG export.
+//
+// # Query paging and streaming
+//
+// The three query endpoints (POST /api/query, /api/query/sparql and
+// /api/sparql) accept the URL parameters
+//
+//	limit=N    page size (for /api/sparql, pushed into evaluation:
+//	           the engine stops as soon as the page is complete)
+//	offset=N   rows to skip before the page (the cursor position)
+//	format=ndjson
+//	           stream results as NDJSON instead of one JSON document:
+//	           a header line {"vars":[...]} (or {"columns":[...]} for
+//	           walk results), then one JSON array of cell strings per
+//	           row, flushed as produced
+//
+// limit/offset override a LIMIT/OFFSET written in the query itself.
+// Every query runs under the client's request context: a dropped
+// connection cancels evaluation. POST bodies are capped at 1 MiB;
+// larger requests get 413 with a JSON error.
 package rest
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mdm"
@@ -81,6 +102,14 @@ func (s *Server) routes() {
 
 // --- helpers ---
 
+// maxRequestBody caps POST bodies; metadata requests are small, so 1 MiB
+// is generous while keeping a misbehaving client from ballooning memory.
+const maxRequestBody = 1 << 20
+
+// statusClientClosedRequest is the (nginx-convention) status reported
+// when the client's context was canceled before the response started.
+const statusClientClosedRequest = 499
+
 type apiError struct {
 	Error string `json:"error"`
 }
@@ -95,14 +124,79 @@ func fail(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
+// failQuery maps evaluation errors: a canceled request context reports
+// 499 (the client is gone; the status is for logs), the server-side
+// query timeout reports 504, everything else is a semantic failure.
+func failQuery(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		fail(w, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		fail(w, http.StatusGatewayTimeout, err)
+	default:
+		fail(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
 func decode[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("rest: request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		fail(w, http.StatusBadRequest, fmt.Errorf("rest: bad request body: %w", err))
 		return false
 	}
 	return true
+}
+
+// pageParams reads the limit/offset URL parameters (-1 = absent).
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	limit, offset = -1, -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("rest: bad limit %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("rest: bad offset %q", v)
+		}
+	}
+	return limit, offset, nil
+}
+
+// wantNDJSON reports whether the client asked for streaming NDJSON.
+func wantNDJSON(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "ndjson"
+}
+
+// ndjsonWriter streams one JSON value per line, flushing as it goes so
+// clients see rows while the query is still running.
+type ndjsonWriter struct {
+	w     http.ResponseWriter
+	enc   *json.Encoder
+	flush http.Flusher
+}
+
+func startNDJSON(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	out := &ndjsonWriter{w: w, enc: json.NewEncoder(w)}
+	out.flush, _ = w.(http.Flusher)
+	return out
+}
+
+func (n *ndjsonWriter) line(v any) {
+	_ = n.enc.Encode(v) // Encode appends the newline
+	if n.flush != nil {
+		n.flush.Flush()
+	}
 }
 
 // --- read side ---
@@ -454,14 +548,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
 	rel, res, err := s.sys.Query(ctx, walk)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, err)
+		failQuery(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildQueryResp(rel, res))
+	s.writeWalkResult(w, r, rel, res, limit, offset)
 }
 
 type sparqlReq struct {
@@ -476,42 +575,96 @@ func (s *Server) handleQuerySPARQL(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
 	rel, res, err := s.sys.QuerySPARQL(ctx, req.Query)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, err)
+		failQuery(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildQueryResp(rel, res))
+	s.writeWalkResult(w, r, rel, res, limit, offset)
 }
 
+// handleSPARQL evaluates a metadata query through the cursor engine:
+// limit/offset are pushed into evaluation (a page costs O(page), not
+// O(result)), the request context cancels the query when the client
+// disconnects, and format=ndjson streams rows as they are produced.
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	var req sparqlReq
 	if !decode(w, r, &req) {
 		return
 	}
-	res, err := s.sys.SPARQL(req.Query)
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cur, err := s.sys.SPARQLPage(req.Query, limit, offset)
 	if err != nil {
 		fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if res.Form == sparql.FormAsk {
-		writeJSON(w, http.StatusOK, map[string]any{"ask": res.Bool})
+	defer cur.Close()
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+
+	if cur.Form() == sparql.FormAsk {
+		ask := cur.Next(ctx)
+		if err := cur.Err(); err != nil {
+			failQuery(w, err)
+			return
+		}
+		if wantNDJSON(r) {
+			startNDJSON(w).line(map[string]any{"ask": ask})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ask": ask})
 		return
 	}
+
 	// Unbound (OPTIONAL-miss) variables render as empty cells.
-	rows := make([][]string, 0, res.Len())
-	for si := 0; si < res.Len(); si++ {
-		row := make([]string, len(res.Vars))
-		for i := range res.Vars {
-			if t, ok := res.TermAt(si, i); ok {
-				row[i] = t.Value
+	vars := cur.Vars()
+	cells := func() []string {
+		row := cur.Row()
+		out := make([]string, len(vars))
+		for i := range vars {
+			if t, ok := row.Term(i); ok {
+				out[i] = t.Value
 			}
 		}
-		rows = append(rows, row)
+		return out
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"vars": res.Vars, "rows": rows})
+
+	if wantNDJSON(r) {
+		// Streaming: the header line commits the 200. An error after
+		// that (e.g. the server-side query timeout) is reported as a
+		// trailing error line so a still-connected client can tell a
+		// truncated stream from a complete one.
+		out := startNDJSON(w)
+		out.line(map[string]any{"vars": vars})
+		for cur.Next(ctx) {
+			out.line(cells())
+		}
+		if err := cur.Err(); err != nil {
+			out.line(apiError{Error: err.Error()})
+		}
+		return
+	}
+
+	rows := [][]string{}
+	for cur.Next(ctx) {
+		rows = append(rows, cells())
+	}
+	if err := cur.Err(); err != nil {
+		failQuery(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"vars": vars, "rows": rows})
 }
 
 // --- saved walks (analytical processes) ---
@@ -591,14 +744,19 @@ func (s *Server) handleRunWalk(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
 	rel, res, err := s.sys.Query(ctx, walk)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, err)
+		failQuery(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildQueryResp(rel, res))
+	s.writeWalkResult(w, r, rel, res, limit, offset)
 }
 
 // buildWalk converts a JSON walk request to a Walk.
@@ -623,19 +781,46 @@ func (s *Server) buildWalk(req walkReq) (*mdm.Walk, error) {
 	return walk, nil
 }
 
-// buildQueryResp renders a query answer as the wire format.
-func buildQueryResp(rel *mdm.Relation, res *mdm.RewriteResult) queryResp {
+// writeWalkResult renders a federated query answer with the
+// already-validated limit/offset page (-1 = unbounded) and the format
+// URL parameter. Walk answers are materialized by the relational
+// engine, so paging slices the sorted relation; NDJSON still streams
+// the page row by row.
+func (s *Server) writeWalkResult(w http.ResponseWriter, r *http.Request, rel *mdm.Relation, res *mdm.RewriteResult, limit, offset int) {
+	rel.Sort() // deterministic row order, so pages partition the result
+	rows := rel.Rows
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	if wantNDJSON(r) {
+		out := startNDJSON(w)
+		out.line(map[string]any{"columns": rel.Cols, "sparql": res.SPARQL})
+		for _, row := range rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.Text()
+			}
+			out.line(cells)
+		}
+		return
+	}
 	resp := queryResp{Columns: rel.Cols, SPARQL: res.SPARQL, CQs: len(res.CQs)}
 	for _, cq := range res.CQs {
 		resp.Algebra = append(resp.Algebra, cq.Algebra)
 	}
-	rel.Sort()
-	for _, row := range rel.Rows {
+	for _, row := range rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
 			cells[i] = v.Text()
 		}
 		resp.Rows = append(resp.Rows, cells)
 	}
-	return resp
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -2,6 +2,7 @@ package rest_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"mdm"
 	"mdm/internal/apisim"
 	"mdm/internal/rest"
+	"mdm/internal/usecase"
 )
 
 // client is a tiny JSON test client.
@@ -549,5 +551,199 @@ SELECT ?c ?ghost WHERE {
 	golden := `{"rows":[["http://ex.org/Player",""],["http://schema.org/SportsTeam",""]],"vars":["c","ghost"]}` + "\n"
 	if got := body.String(); got != golden {
 		t.Errorf("unbound rendering drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+// TestSPARQLNDJSONGolden pins the streaming wire format: a header line
+// with the projection, then one JSON array of cells per solution row.
+func TestSPARQLNDJSONGolden(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	req, err := json.Marshal(map[string]string{
+		"query": `PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c WHERE { GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> { ?c rdf:type G:Concept . } } ORDER BY ?c`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http.Post(c.base+"/api/sparql?format=ndjson", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"vars":["c"]}` + "\n" +
+		`["http://ex.org/Player"]` + "\n" +
+		`["http://schema.org/SportsTeam"]` + "\n"
+	if got := body.String(); got != golden {
+		t.Errorf("NDJSON drifted:\n got: %q\nwant: %q", got, golden)
+	}
+
+	// ASK over NDJSON is a single line.
+	req, _ = json.Marshal(map[string]string{"query": `ASK { ?s ?p ?o . }`})
+	resp, err = c.http.Post(c.base+"/api/sparql?format=ndjson", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body.Reset()
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := body.String(); got != `{"ask":false}`+"\n" {
+		t.Errorf("NDJSON ask = %q", got)
+	}
+}
+
+// TestSPARQLPagingParams: limit/offset URL parameters page the result
+// (pushed into evaluation) and pages partition it.
+func TestSPARQLPagingParams(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	q := map[string]string{
+		"query": `PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+SELECT ?c ?f WHERE { GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> { ?c G:hasFeature ?f . } }`,
+	}
+	full := c.do("POST", "/api/sparql", q, 200)
+	all := full["rows"].([]any)
+	if len(all) != 5 {
+		t.Fatalf("full rows = %d", len(all))
+	}
+	var paged []any
+	for off := 0; off < 7; off += 2 {
+		page := c.do("POST", fmt.Sprintf("/api/sparql?limit=2&offset=%d", off), q, 200)
+		rows, _ := page["rows"].([]any)
+		paged = append(paged, rows...)
+	}
+	if len(paged) != 5 {
+		t.Fatalf("concatenated pages = %d rows", len(paged))
+	}
+	for i := range all {
+		if fmt.Sprint(paged[i]) != fmt.Sprint(all[i]) {
+			t.Fatalf("page row %d = %v, want %v", i, paged[i], all[i])
+		}
+	}
+	// Bad paging parameters are rejected.
+	c.do("POST", "/api/sparql?limit=-3", q, 400)
+	c.do("POST", "/api/sparql?offset=x", q, 400)
+}
+
+// TestWalkQueryPagingAndNDJSON: the federated walk endpoints honor the
+// same paging/streaming parameters.
+func TestWalkQueryPagingAndNDJSON(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	walk := map[string]any{
+		"select": []map[string]string{
+			{"concept": "ex:Player", "feature": "ex:playerName", "alias": "playerName"},
+		},
+	}
+	full := c.do("POST", "/api/query", walk, 200)
+	if n := len(full["rows"].([]any)); n != 5 {
+		t.Fatalf("full rows = %d", n)
+	}
+	page := c.do("POST", "/api/query?limit=2&offset=4", walk, 200)
+	if n := len(page["rows"].([]any)); n != 1 {
+		t.Fatalf("page rows = %d", n)
+	}
+	// Bad paging parameters are rejected up front (before execution).
+	c.do("POST", "/api/query?limit=x", walk, 400)
+
+	b, _ := json.Marshal(walk)
+	resp, err := c.http.Post(c.base+"/api/query?format=ndjson&limit=2", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(body.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ndjson lines = %d: %q", len(lines), body.String())
+	}
+	var hdr struct {
+		Columns []string `json:"columns"`
+		SPARQL  string   `json:"sparql"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || len(hdr.Columns) != 1 || hdr.Columns[0] != "playerName" || hdr.SPARQL == "" {
+		t.Fatalf("ndjson header = %q (err %v)", lines[0], err)
+	}
+	var row []string
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil || len(row) != 1 {
+		t.Fatalf("ndjson row = %q (err %v)", lines[1], err)
+	}
+}
+
+// TestRequestBodyLimit: oversized POST bodies get 413 with a JSON error
+// instead of being read to the end.
+func TestRequestBodyLimit(t *testing.T) {
+	c, _ := setupServer(t)
+	big := `{"query":"` + strings.Repeat("x", 2<<20) + `"}`
+	resp, err := c.http.Post(c.base+"/api/sparql", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "exceeds") {
+		t.Fatalf("413 error = %v", out)
+	}
+	// Non-query POST endpoints are capped too.
+	resp2, err := c.http.Post(c.base+"/api/sources", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("sources status = %d, want 413", resp2.StatusCode)
+	}
+}
+
+// TestClientDisconnectCancelsQuery: a request whose context is already
+// canceled (the transport's signal that the client went away) must not
+// evaluate the query; the handler reports 499.
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	srv := rest.NewServer(sys)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	post := func(path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body)).WithContext(canceled)
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Metadata SPARQL: the cursor engine surfaces ctx.Err on first Next.
+	rec := post("/api/sparql", `{"query":"SELECT ?s WHERE { ?s ?p ?o . }"}`)
+	if rec.Code != 499 {
+		t.Fatalf("sparql status = %d, want 499 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "context canceled") {
+		t.Fatalf("sparql body = %s", rec.Body)
+	}
+
+	// Federated OMQ: relalg execution checks ctx at every operator.
+	rec = post("/api/query/sparql", `{"query":"PREFIX ex: <http://www.example.org/football/>\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nSELECT ?playerName WHERE { ?p rdf:type ex:Player . ?p ex:playerName ?playerName . }"}`)
+	if rec.Code != 499 {
+		t.Fatalf("query/sparql status = %d, want 499 (body %s)", rec.Code, rec.Body)
 	}
 }

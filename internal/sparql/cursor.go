@@ -1,0 +1,936 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+
+	"mdm/internal/rdf"
+)
+
+// This file implements the pull-based streaming engine. A query compiles
+// to a tree of row operators (rowIter); every operator pulls full-width
+// []rdf.TermID rows from its input on demand, so evaluation does no more
+// work than the rows actually read through the Cursor require:
+//
+//   - LIMIT/OFFSET are pushed into the pipeline tail. With ORDER BY
+//     absent, the canonical-order contract (results sorted by the
+//     projected columns so pages are deterministic) is kept by a bounded
+//     top-k operator that retains only offset+limit rows instead of
+//     materializing and sorting the full result.
+//   - A Cursor drained only partially (or closed) simply stops pulling;
+//     upstream joins never run past what the consumer asked for.
+//   - The caller's context is polled once per pulled row (and
+//     periodically inside long index scans), so cancellation aborts
+//     evaluation promptly with ctx's error surfaced via Cursor.Err.
+//
+// Row ownership follows the Volcano convention: a row returned by
+// next() is owned by the producer and stays valid only until the next
+// call to that producer's next(). Consumers that retain rows across
+// pulls (sort/top-k/canonical barriers, Result) copy them into the
+// evaluator's arena; everything else — joins extending an input row,
+// filters, paging — works on borrowed rows and never allocates per
+// discarded row.
+
+// rowIter is one operator of a compiled pipeline. next returns the next
+// full-width solution row, or nil when the operator is exhausted or
+// evaluation failed (evaluator.err is then set). The returned slice is
+// valid until the following next call on the same operator.
+type rowIter interface {
+	next() []rdf.TermID
+}
+
+// --- plans (built once per query, instantiated per input row) ---
+
+// groupPlan is a group graph pattern planned against a fixed active
+// graph: patterns in evaluation order plus the group's filters.
+type groupPlan struct {
+	patterns []patternPlan
+	filters  []Expr
+}
+
+type patternPlan interface{ patternPlan() }
+
+// triplePlan is a triple pattern resolved for ID-level matching against
+// graph g: constants are interned IDs (dead when a constant was never
+// interned, in which case nothing can match), variables are row slots.
+type triplePlan struct {
+	g                      *rdf.Graph
+	dead                   bool
+	sID, pID, oID          rdf.TermID
+	sSlot, pSlot, oSlot    int // -1 for constants
+	spSame, soSame, poSame bool
+}
+
+func (*triplePlan) patternPlan() {}
+
+type optionalPlan struct{ sub *groupPlan }
+
+func (*optionalPlan) patternPlan() {}
+
+type unionPlan struct{ branches []*groupPlan }
+
+func (*unionPlan) patternPlan() {}
+
+// graphPlan is a GRAPH block with a variable name: the named graphs are
+// snapshotted (and their sub-groups planned) at compile time.
+type graphPlan struct {
+	slot    int // slot of the name variable
+	entries []graphEntry
+}
+
+type graphEntry struct {
+	nameID rdf.TermID
+	sub    *groupPlan
+}
+
+func (*graphPlan) patternPlan() {}
+
+// deadPlan yields no solutions (GRAPH naming a missing graph).
+type deadPlan struct{}
+
+func (*deadPlan) patternPlan() {}
+
+// planGroup compiles a group against the given active graph: pattern
+// order is chosen once (selectivity-greedy, OPTIONAL hoisted), constant
+// terms are resolved to dictionary IDs, and GRAPH sub-groups are planned
+// against their named graphs.
+func (e *evaluator) planGroup(g *Group, active *rdf.Graph) (*groupPlan, error) {
+	gp := &groupPlan{filters: g.Filters}
+	for _, pat := range orderPatterns(active, g.Patterns) {
+		switch p := pat.(type) {
+		case TriplePattern:
+			gp.patterns = append(gp.patterns, e.planTriple(p, active))
+		case Optional:
+			sub, err := e.planGroup(p.Group, active)
+			if err != nil {
+				return nil, err
+			}
+			gp.patterns = append(gp.patterns, &optionalPlan{sub: sub})
+		case Union:
+			up := &unionPlan{}
+			for _, branch := range p.Branches {
+				sub, err := e.planGroup(branch, active)
+				if err != nil {
+					return nil, err
+				}
+				up.branches = append(up.branches, sub)
+			}
+			gp.patterns = append(gp.patterns, up)
+		case GraphPattern:
+			pp, err := e.planGraph(p)
+			if err != nil {
+				return nil, err
+			}
+			gp.patterns = append(gp.patterns, pp)
+		default:
+			return nil, fmt.Errorf("sparql: unknown pattern type %T", pat)
+		}
+	}
+	return gp, nil
+}
+
+func (e *evaluator) planTriple(tp TriplePattern, g *rdf.Graph) *triplePlan {
+	p := &triplePlan{g: g}
+	var ok [3]bool
+	p.sID, p.sSlot, ok[0] = e.patNode(tp.S)
+	p.pID, p.pSlot, ok[1] = e.patNode(tp.P)
+	p.oID, p.oSlot, ok[2] = e.patNode(tp.O)
+	p.dead = !ok[0] || !ok[1] || !ok[2]
+	// Repeated pattern variables need an explicit equality check when
+	// unbound (when bound, the substituted concrete ID constrains the
+	// match already; the checks are then vacuously true).
+	p.spSame = p.sSlot >= 0 && p.sSlot == p.pSlot
+	p.soSame = p.sSlot >= 0 && p.sSlot == p.oSlot
+	p.poSame = p.pSlot >= 0 && p.pSlot == p.oSlot
+	return p
+}
+
+// patNode resolves one triple-pattern position for ID-level matching.
+// For a variable it returns its slot (the row value — unboundID acting
+// as the wildcard — is substituted per input row); for a concrete term
+// it returns the term's ID with slot -1. ok is false when the term was
+// never interned in the dataset, in which case nothing can match.
+func (e *evaluator) patNode(n Node) (id rdf.TermID, slot int, ok bool) {
+	if n.IsVar() {
+		return unboundID, e.lay.index[n.Var], true
+	}
+	id, ok = e.dict.ID(n.Term)
+	return id, -1, ok
+}
+
+func (e *evaluator) planGraph(gp GraphPattern) (patternPlan, error) {
+	if !gp.Name.IsVar() {
+		g, ok := e.ds.Lookup(gp.Name.Term)
+		if !ok {
+			return &deadPlan{}, nil // empty graph => no solutions
+		}
+		sub, err := e.planGroup(gp.Group, g)
+		if err != nil {
+			return nil, err
+		}
+		// A concrete GRAPH block joins like an inline sub-group.
+		return &inlineGroupPlan{sub}, nil
+	}
+	p := &graphPlan{slot: e.lay.index[gp.Name.Var]}
+	for _, name := range e.ds.GraphNames() {
+		g, ok := e.ds.Lookup(name)
+		if !ok {
+			continue // dropped concurrently between GraphNames and Lookup
+		}
+		// Graph names are interned when the graph is created; Intern
+		// covers datasets assembled before that invariant held.
+		sub, err := e.planGroup(gp.Group, g)
+		if err != nil {
+			return nil, err
+		}
+		p.entries = append(p.entries, graphEntry{nameID: e.dict.Intern(name), sub: sub})
+	}
+	return p, nil
+}
+
+// inlineGroupPlan wraps the plan of a GRAPH block with a concrete,
+// existing name; it chains exactly like the sub-group itself.
+type inlineGroupPlan struct{ sub *groupPlan }
+
+func (*inlineGroupPlan) patternPlan() {}
+
+// chain instantiates a planned group as an operator chain over src.
+func (e *evaluator) chain(gp *groupPlan, src rowIter) rowIter {
+	it := src
+	for _, p := range gp.patterns {
+		switch pl := p.(type) {
+		case *triplePlan:
+			ti := &tripleIter{e: e, src: it, p: pl, scratch: e.newRow()}
+			ti.emit = ti.emitMatch
+			it = ti
+		case *optionalPlan:
+			it = &optionalIter{e: e, src: it, p: pl}
+		case *unionPlan:
+			it = &unionIter{e: e, src: it, p: pl}
+		case *graphPlan:
+			it = &graphIter{e: e, src: it, p: pl, scratch: e.newRow()}
+		case *inlineGroupPlan:
+			it = e.chain(pl.sub, it)
+		case *deadPlan:
+			it = emptyIter{}
+		}
+	}
+	if len(gp.filters) > 0 {
+		it = &filterIter{e: e, src: it, exprs: gp.filters}
+	}
+	return it
+}
+
+// --- leaf and structural operators ---
+
+// onceIter yields a single seed row, then nil.
+type onceIter struct{ row []rdf.TermID }
+
+func (o *onceIter) next() []rdf.TermID {
+	r := o.row
+	o.row = nil
+	return r
+}
+
+type emptyIter struct{}
+
+func (emptyIter) next() []rdf.TermID { return nil }
+
+// tripleIter streams the index-nested-loop join of its input with one
+// triple pattern: per input row it collects the matching triple IDs in
+// one locked index scan, then emits them one at a time composed into its
+// scratch row.
+type tripleIter struct {
+	e   *evaluator
+	src rowIter
+	p   *triplePlan
+
+	scratch []rdf.TermID // the emitted row; rewritten per match
+	buf     []rdf.TermID // matched (s,p,o) IDs for the current input row
+	pos     int          // consumed prefix of buf, in IDs
+	scanned int          // matches seen, for amortized ctx polling
+	emit    func(ms, mp, mo rdf.TermID) bool
+}
+
+func (it *tripleIter) next() []rdf.TermID {
+	p := it.p
+	for {
+		if it.pos < len(it.buf) {
+			if p.sSlot >= 0 {
+				it.scratch[p.sSlot] = it.buf[it.pos]
+			}
+			if p.pSlot >= 0 {
+				it.scratch[p.pSlot] = it.buf[it.pos+1]
+			}
+			if p.oSlot >= 0 {
+				it.scratch[p.oSlot] = it.buf[it.pos+2]
+			}
+			it.pos += 3
+			return it.scratch
+		}
+		if p.dead || !it.e.poll() {
+			return nil
+		}
+		row := it.src.next()
+		if row == nil {
+			return nil
+		}
+		// One locked scan per input row; matches land in buf and the
+		// input row is copied into scratch so emission is lock-free.
+		copy(it.scratch, row)
+		it.buf, it.pos = it.buf[:0], 0
+		s, pp, o := p.sID, p.pID, p.oID
+		if p.sSlot >= 0 {
+			s = row[p.sSlot]
+		}
+		if p.pSlot >= 0 {
+			pp = row[p.pSlot]
+		}
+		if p.oSlot >= 0 {
+			o = row[p.oSlot]
+		}
+		p.g.EachMatchIDs(s, pp, o, it.emit)
+	}
+}
+
+// emitMatch collects one index match, dropping matches that violate
+// repeated-variable equality. It is bound once per operator so the scan
+// callback does not allocate per input row.
+func (it *tripleIter) emitMatch(ms, mp, mo rdf.TermID) bool {
+	it.scanned++
+	if it.scanned&4095 == 0 && !it.e.poll() {
+		return false // canceled mid-scan
+	}
+	p := it.p
+	if p.spSame && ms != mp || p.soSame && ms != mo || p.poSame && mp != mo {
+		return true
+	}
+	it.buf = append(it.buf, ms, mp, mo)
+	return true
+}
+
+// optionalIter is the left join: input rows extended by the OPTIONAL
+// group's solutions, or passed through unchanged when the group yields
+// none.
+type optionalIter struct {
+	e   *evaluator
+	src rowIter
+	p   *optionalPlan
+
+	cur     []rdf.TermID
+	sub     rowIter
+	seed    onceIter
+	matched bool
+}
+
+func (it *optionalIter) next() []rdf.TermID {
+	for {
+		if it.sub == nil {
+			row := it.src.next()
+			if row == nil {
+				return nil
+			}
+			it.cur, it.matched = row, false
+			it.seed = onceIter{row: row}
+			it.sub = it.e.chain(it.p.sub, &it.seed)
+		}
+		if r := it.sub.next(); r != nil {
+			it.matched = true
+			return r
+		}
+		it.sub = nil
+		if !it.matched && it.e.err == nil {
+			return it.cur // left-join: keep unextended
+		}
+	}
+}
+
+// unionIter concatenates, per input row, the solutions of every branch.
+type unionIter struct {
+	e   *evaluator
+	src rowIter
+	p   *unionPlan
+
+	cur  []rdf.TermID
+	bi   int // next branch to open for cur
+	sub  rowIter
+	seed onceIter
+}
+
+func (it *unionIter) next() []rdf.TermID {
+	for {
+		if it.sub != nil {
+			if r := it.sub.next(); r != nil {
+				return r
+			}
+			it.sub = nil
+		}
+		if it.cur != nil && it.bi < len(it.p.branches) {
+			it.seed = onceIter{row: it.cur}
+			it.sub = it.e.chain(it.p.branches[it.bi], &it.seed)
+			it.bi++
+			continue
+		}
+		it.cur = it.src.next()
+		if it.cur == nil {
+			return nil
+		}
+		it.bi = 0
+	}
+}
+
+// graphIter evaluates a GRAPH block whose name is a variable: per input
+// row it ranges over the named graphs compatible with the row's binding
+// of the name variable, binds the name, and streams the sub-group.
+type graphIter struct {
+	e   *evaluator
+	src rowIter
+	p   *graphPlan
+
+	scratch []rdf.TermID // input row with the name slot bound
+	cur     []rdf.TermID
+	gi      int // next graph entry to open for cur
+	sub     rowIter
+	seed    onceIter
+}
+
+func (it *graphIter) next() []rdf.TermID {
+	for {
+		if it.sub != nil {
+			if r := it.sub.next(); r != nil {
+				return r
+			}
+			it.sub = nil
+		}
+		if it.cur != nil {
+			for it.gi < len(it.p.entries) {
+				ent := it.p.entries[it.gi]
+				it.gi++
+				switch it.cur[it.p.slot] {
+				case unboundID:
+					copy(it.scratch, it.cur)
+					it.scratch[it.p.slot] = ent.nameID
+					it.seed = onceIter{row: it.scratch}
+				case ent.nameID:
+					it.seed = onceIter{row: it.cur}
+				default:
+					continue // row bound to another graph
+				}
+				it.sub = it.e.chain(ent.sub, &it.seed)
+				break
+			}
+			if it.sub != nil {
+				continue
+			}
+		}
+		it.cur = it.src.next()
+		if it.cur == nil {
+			return nil
+		}
+		it.gi = 0
+	}
+}
+
+// filterIter drops rows whose group filters do not evaluate to true
+// (errors count as false, per the SPARQL effective-boolean-value rule).
+type filterIter struct {
+	e     *evaluator
+	src   rowIter
+	exprs []Expr
+	env   rowEnv
+}
+
+func (it *filterIter) next() []rdf.TermID {
+rows:
+	for {
+		row := it.src.next()
+		if row == nil {
+			return nil
+		}
+		it.env.e, it.env.row = it.e, row
+		for _, f := range it.exprs {
+			v, err := f.Eval(&it.env)
+			if err != nil {
+				continue rows // error => effective false
+			}
+			ok, err := v.AsBool()
+			if err != nil || !ok {
+				continue rows
+			}
+		}
+		return row
+	}
+}
+
+// --- tail operators (projection-aware) ---
+
+// appendRowKey appends the projected IDs of row as the DISTINCT
+// comparison key. The dictionary is a bijection, so ID-byte equality is
+// projected-term equality.
+func appendRowKey(key []byte, row []rdf.TermID, slots []int) []byte {
+	for _, s := range slots {
+		id := row[s]
+		key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return key
+}
+
+// cmpCanonical is the canonical result order: projected columns
+// compared left to right, unbound first, terms by rdf.Compare. The
+// dictionary is a bijection, so it returns 0 exactly when the projected
+// columns are identical — which makes it a total order up to row
+// interchangeability and pages deterministic.
+func (e *evaluator) cmpCanonical(slots []int, a, b []rdf.TermID) int {
+	for _, s := range slots {
+		x, y := a[s], b[s]
+		switch {
+		case x == y:
+			continue
+		case x == unboundID:
+			return -1
+		case y == unboundID:
+			return 1
+		}
+		if c := rdf.Compare(e.term(x), e.term(y)); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// sortIter is the ORDER BY barrier: it drains its input (copying each
+// row), stable-sorts by the order keys, and then streams the sorted
+// rows.
+type sortIter struct {
+	e      *evaluator
+	src    rowIter
+	keys   []OrderKey
+	kSlots []int
+
+	filled bool
+	rows   [][]rdf.TermID
+	pos    int
+}
+
+func (it *sortIter) next() []rdf.TermID {
+	if !it.filled {
+		it.filled = true
+		for {
+			row := it.src.next()
+			if row == nil {
+				break
+			}
+			it.rows = append(it.rows, it.e.extend(row))
+		}
+		if it.e.err != nil {
+			return nil
+		}
+		e := it.e
+		sort.SliceStable(it.rows, func(i, j int) bool {
+			for ki, k := range it.keys {
+				slot := it.kSlots[ki]
+				a, b := it.rows[i][slot], it.rows[j][slot]
+				var c int
+				switch {
+				case a == b:
+					c = 0
+				case a == unboundID:
+					c = -1
+				case b == unboundID:
+					c = 1
+				default:
+					c = compareOrder(e.term(a), e.term(b))
+				}
+				if c != 0 {
+					if k.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if it.e.err != nil || it.pos >= len(it.rows) {
+		return nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r
+}
+
+// canonIter is the no-ORDER-BY barrier: it drains its input, applies
+// DISTINCT when asked, sorts canonically over the projected columns so
+// results (and LIMIT/OFFSET pages) are repeatable across evaluations,
+// and streams the sorted rows.
+type canonIter struct {
+	e        *evaluator
+	src      rowIter
+	slots    []int
+	distinct bool
+
+	filled bool
+	rows   [][]rdf.TermID
+	pos    int
+}
+
+func (it *canonIter) next() []rdf.TermID {
+	if !it.filled {
+		it.filled = true
+		var seen map[string]struct{}
+		var key []byte
+		if it.distinct {
+			seen = map[string]struct{}{}
+			key = make([]byte, 0, 4*len(it.slots))
+		}
+		for {
+			row := it.src.next()
+			if row == nil {
+				break
+			}
+			if it.distinct {
+				key = appendRowKey(key[:0], row, it.slots)
+				if _, dup := seen[string(key)]; dup {
+					continue
+				}
+				seen[string(key)] = struct{}{}
+			}
+			it.rows = append(it.rows, it.e.extend(row))
+		}
+		if it.e.err != nil {
+			return nil
+		}
+		e := it.e
+		sort.SliceStable(it.rows, func(i, j int) bool {
+			return e.cmpCanonical(it.slots, it.rows[i], it.rows[j]) < 0
+		})
+	}
+	if it.e.err != nil || it.pos >= len(it.rows) {
+		return nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r
+}
+
+// topKIter is the LIMIT pushdown for the canonical-order case: it keeps
+// only the k canonically smallest rows (distinct rows when DISTINCT) in
+// a sorted bound buffer while draining its input, then streams them in
+// order. Memory and allocation are O(k); rejected rows are never copied
+// and evicted copies are recycled.
+type topKIter struct {
+	e        *evaluator
+	src      rowIter
+	slots    []int
+	k        int
+	distinct bool
+
+	filled bool
+	rows   [][]rdf.TermID
+	pos    int
+}
+
+func (it *topKIter) next() []rdf.TermID {
+	if !it.filled {
+		it.filled = true
+		if it.k > 0 { // k == 0: empty page, skip evaluation entirely
+			for {
+				row := it.src.next()
+				if row == nil {
+					break
+				}
+				it.insert(row)
+			}
+		}
+		if it.e.err != nil {
+			return nil
+		}
+	}
+	if it.e.err != nil || it.pos >= len(it.rows) {
+		return nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r
+}
+
+func (it *topKIter) insert(row []rdf.TermID) {
+	e, n := it.e, len(it.rows)
+	if n == it.k && e.cmpCanonical(it.slots, row, it.rows[n-1]) >= 0 {
+		return // not smaller than the current k-th row
+	}
+	i := sort.Search(n, func(i int) bool {
+		return e.cmpCanonical(it.slots, row, it.rows[i]) < 0
+	})
+	if it.distinct && i > 0 && e.cmpCanonical(it.slots, row, it.rows[i-1]) == 0 {
+		return // duplicate of a retained row
+	}
+	if n == it.k {
+		e.release(it.rows[n-1]) // evict the previous k-th row
+		copy(it.rows[i+1:], it.rows[i:n-1])
+	} else {
+		it.rows = append(it.rows, nil)
+		copy(it.rows[i+1:], it.rows[i:n])
+	}
+	it.rows[i] = e.extend(row)
+}
+
+// distinctIter streams duplicate elimination over the projected
+// columns, keeping each row's first occurrence (used after the ORDER BY
+// barrier, where order must be preserved).
+type distinctIter struct {
+	src   rowIter
+	slots []int
+	seen  map[string]struct{}
+	key   []byte
+}
+
+func (it *distinctIter) next() []rdf.TermID {
+	for {
+		row := it.src.next()
+		if row == nil {
+			return nil
+		}
+		it.key = appendRowKey(it.key[:0], row, it.slots)
+		if _, dup := it.seen[string(it.key)]; dup {
+			continue
+		}
+		it.seen[string(it.key)] = struct{}{}
+		return row
+	}
+}
+
+// pageIter applies OFFSET/LIMIT: skip rows, then emit at most limit
+// (limit < 0 = unlimited). Once the limit is reached it stops pulling,
+// which is what lets upstream operators stop work early.
+type pageIter struct {
+	src   rowIter
+	skip  int
+	limit int
+}
+
+func (it *pageIter) next() []rdf.TermID {
+	for it.skip > 0 {
+		if it.src.next() == nil {
+			it.skip = 0
+			return nil
+		}
+		it.skip--
+	}
+	if it.limit == 0 {
+		return nil
+	}
+	row := it.src.next()
+	if row == nil {
+		return nil
+	}
+	if it.limit > 0 {
+		it.limit--
+	}
+	return row
+}
+
+// --- Cursor: the public streaming API ---
+
+// Cursor is a pull-based handle over an executing query. Rows are
+// produced on demand:
+//
+//	cur, err := sparql.EvalCursor(ds, q)
+//	...
+//	defer cur.Close()
+//	for cur.Next(ctx) {
+//	    row := cur.Row()
+//	    ...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Next checks ctx once per row, so canceling the context (a dropped
+// client connection, a timeout) aborts evaluation promptly; Err then
+// returns ctx's error. A cursor holds no locks or goroutines between
+// Next calls — abandoning one without Close is safe — but it does not
+// snapshot the dataset: rows reflect index state at the moment their
+// upstream scan ran, so writes concurrent with a drain may or may not
+// be observed (use Dataset.Clone for point-in-time reads).
+//
+// Cursors are not safe for concurrent use.
+type Cursor struct {
+	e     *evaluator
+	it    rowIter
+	form  QueryForm
+	vars  []string
+	slots []int
+	row   []rdf.TermID
+	err   error
+	done  bool
+}
+
+// EvalCursor compiles q against ds and returns a cursor positioned
+// before the first solution. Evaluation is lazy: work happens inside
+// Next, and stops as soon as the cursor is done, closed, or canceled.
+// LIMIT/OFFSET (and DISTINCT) are enforced inside the pipeline, so a
+// paged query costs O(page), not O(result).
+func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
+	lay := q.layout()
+	e := &evaluator{ds: ds, dict: ds.Dict(), lay: lay, ctx: context.Background()}
+	gp, err := e.planGroup(q.Where, ds.Default())
+	if err != nil {
+		return nil, err
+	}
+	init := e.newRow()
+	for i := range init {
+		init[i] = unboundID
+	}
+	src := e.chain(gp, &onceIter{row: init})
+	c := &Cursor{e: e, form: q.Form}
+	if q.Form == FormAsk {
+		c.it = &pageIter{src: src, limit: 1}
+		return c, nil
+	}
+	if q.Star {
+		c.vars = q.Where.AllVars()
+	} else {
+		c.vars = q.Variables
+	}
+	c.slots = make([]int, len(c.vars))
+	for i, v := range c.vars {
+		c.slots[i] = lay.index[v]
+	}
+	switch {
+	case q.Limit == 0:
+		// An empty page needs no evaluation at all.
+		c.it = emptyIter{}
+	case len(q.OrderBy) > 0:
+		// ORDER BY keys may tie distinct rows, so the page cut needs the
+		// stable full sort; the sort precedes projection-level DISTINCT
+		// and may use non-projected keys.
+		kSlots := make([]int, len(q.OrderBy))
+		for ki, k := range q.OrderBy {
+			kSlots[ki] = lay.index[k.Var]
+		}
+		var it rowIter = &sortIter{e: e, src: src, keys: q.OrderBy, kSlots: kSlots}
+		if q.Distinct {
+			it = &distinctIter{src: it, slots: c.slots, seen: map[string]struct{}{}}
+		}
+		c.it = &pageIter{src: it, skip: q.Offset, limit: q.Limit}
+	case q.Limit > 0:
+		// Canonical order with a page bound: keep only offset+limit rows.
+		top := &topKIter{e: e, src: src, slots: c.slots, k: q.Offset + q.Limit, distinct: q.Distinct}
+		c.it = &pageIter{src: top, skip: q.Offset, limit: q.Limit}
+	default:
+		var it rowIter = &canonIter{e: e, src: src, slots: c.slots, distinct: q.Distinct}
+		if q.Offset > 0 {
+			it = &pageIter{src: it, skip: q.Offset, limit: -1}
+		}
+		c.it = it
+	}
+	return c, nil
+}
+
+// Next advances to the next solution, reporting whether one is
+// available. It returns false when the result is exhausted, the cursor
+// is closed, or ctx is canceled — distinguish the last case with Err.
+func (c *Cursor) Next(ctx context.Context) bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	c.e.ctx = ctx
+	if !c.e.poll() {
+		c.err = c.e.err
+		c.done, c.row = true, nil
+		return false
+	}
+	r := c.it.next()
+	if c.e.err != nil {
+		c.err = c.e.err
+		c.done, c.row = true, nil
+		return false
+	}
+	if r == nil {
+		// Surface a cancellation that raced the final row.
+		if err := ctx.Err(); err != nil {
+			c.err = err
+		}
+		c.done, c.row = true, nil
+		return false
+	}
+	c.row = r
+	return true
+}
+
+// Err returns the first error encountered while iterating (typically
+// the context's error after a cancellation), or nil after a clean
+// drain.
+func (c *Cursor) Err() error { return c.err }
+
+// Close stops iteration early. It is idempotent and optional — a
+// cursor holds no locks or goroutines — but calling it documents intent
+// and makes Next return false immediately.
+func (c *Cursor) Close() {
+	c.done, c.row = true, nil
+}
+
+// Vars returns the projection list in order (nil for ASK).
+func (c *Cursor) Vars() []string { return c.vars }
+
+// Form reports the query form. For ASK, Next reports the answer: true
+// exactly once when the pattern has at least one solution.
+func (c *Cursor) Form() QueryForm { return c.form }
+
+// Row returns a view of the current solution. It is valid until the
+// next call to Next or Close; the terms it decodes remain valid
+// forever.
+func (c *Cursor) Row() Row { return Row{c: c} }
+
+// Row is one solution viewed through the cursor's projection.
+type Row struct{ c *Cursor }
+
+// Len returns the number of projected columns.
+func (r Row) Len() int { return len(r.c.vars) }
+
+// Var returns the name of projected column col.
+func (r Row) Var(col int) string { return r.c.vars[col] }
+
+// Term returns the term bound to projected column col; ok is false when
+// the variable is unbound in this solution (OPTIONAL miss).
+func (r Row) Term(col int) (rdf.Term, bool) {
+	row := r.c.row
+	if row == nil {
+		return rdf.Term{}, false
+	}
+	if id := row[r.c.slots[col]]; id != unboundID {
+		return r.c.e.term(id), true
+	}
+	return rdf.Term{}, false
+}
+
+// Binding decodes the solution into a fresh Binding. Unbound variables
+// are absent from the map.
+func (r Row) Binding() Binding {
+	b := make(Binding, len(r.c.vars))
+	for i, v := range r.c.vars {
+		if t, ok := r.Term(i); ok {
+			b[v] = t
+		}
+	}
+	return b
+}
+
+// Solutions adapts the cursor to a range-over-func iterator of decoded
+// bindings:
+//
+//	for b := range cur.Solutions(ctx) { ... }
+//	if err := cur.Err(); err != nil { ... }
+//
+// Iteration stops on exhaustion, cancellation (check Err afterwards),
+// or break.
+func (c *Cursor) Solutions(ctx context.Context) iter.Seq[Binding] {
+	return func(yield func(Binding) bool) {
+		for c.Next(ctx) {
+			if !yield(c.Row().Binding()) {
+				return
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,12 +10,12 @@ import (
 	"mdm/internal/rdf"
 )
 
-// This file implements the ID-row evaluation engine. Intermediate
-// solutions are fixed-width []rdf.TermID rows over the dataset-shared
-// dictionary; variables are mapped to row columns by a slot layout
-// compiled once per query. Terms are decoded from IDs only at
-// projection time (Result.Solutions / Result.Term) and lazily for
-// FILTER expressions that need lexical forms. The retained map-based
+// This file holds the shared evaluation substrate: the variable-slot
+// layout, the evaluator state (arena, dictionary snapshot, context
+// polling), pattern planning, and the materialized Result. The
+// pull-based operator pipeline itself — the primary evaluation product
+// since the cursor redesign — lives in cursor.go; Eval and EvalContext
+// are thin wrappers that drain a Cursor. The retained map-based
 // reference evaluator lives in oracle_test.go and is used by the
 // randomized equivalence harness in spec_test.go.
 
@@ -72,9 +73,12 @@ func compileLayout(q *Query) *slotLayout {
 	return &slotLayout{names: names, index: index}
 }
 
-// Result is the outcome of query evaluation. Solution rows are kept in
-// dictionary-encoded form; Solutions, Term and Table decode them on
-// demand (decode-at-projection).
+// Result is a fully materialized query answer: a thin view over a
+// drained Cursor. Solution rows are kept in dictionary-encoded form;
+// Solutions, Term and Table decode them on demand
+// (decode-at-projection). Callers that only need a page of a large
+// result should prefer EvalCursor, which stops work as soon as the page
+// is complete.
 type Result struct {
 	// Vars is the projection list in order.
 	Vars []string
@@ -172,27 +176,74 @@ func (r *Result) Table() string {
 	return sb.String()
 }
 
-// evaluator carries the evaluation state: dataset, active graph, slot
-// layout, a row arena, and a cached dictionary snapshot for decoding.
+// evaluator carries the evaluation state shared by every operator of
+// one pipeline: dataset, slot layout, a row arena with a free list, a
+// cached dictionary snapshot for decoding, and the context/error pair
+// that cancellation and failures propagate through.
 type evaluator struct {
-	ds     *rdf.Dataset
-	dict   *rdf.Dict
-	lay    *slotLayout
-	active *rdf.Graph
-	arena  []rdf.TermID // tail of the current allocation chunk
-	terms  []rdf.Term   // lazily refreshed dictionary snapshot
+	ds    *rdf.Dataset
+	dict  *rdf.Dict
+	lay   *slotLayout
+	arena []rdf.TermID   // tail of the current allocation chunk
+	free  [][]rdf.TermID // recycled rows (e.g. top-k evictions)
+	terms []rdf.Term     // lazily refreshed dictionary snapshot
+
+	// ctx is the caller's context for the in-flight Next call; err
+	// latches the first failure (typically ctx.Err()) and makes every
+	// operator wind down: next() returns nil once err is set.
+	ctx context.Context
+	err error
 }
 
-// newRow carves one uninitialized row from the arena, growing it in
-// chunks so row allocation amortizes to a copy.
+// poll reports whether evaluation may continue, latching the context
+// error when the caller's context is done. Operators call it once per
+// pulled row (and periodically inside long index scans), which bounds
+// how much work a canceled query can still do.
+func (e *evaluator) poll() bool {
+	if e.err != nil {
+		return false
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.err = err
+		return false
+	}
+	return true
+}
+
+// newRow carves one uninitialized row from the arena (or the free
+// list), growing the arena in chunks so row allocation amortizes to a
+// copy.
 func (e *evaluator) newRow() []rdf.TermID {
 	w := len(e.lay.names)
+	if w == 0 {
+		// Zero-width rows (queries without variables) must still be
+		// non-nil: nil is the iterator exhaustion signal.
+		return zeroWidthRow
+	}
+	if n := len(e.free); n > 0 {
+		r := e.free[n-1]
+		e.free = e.free[:n-1]
+		return r
+	}
 	if len(e.arena) < w {
 		e.arena = make([]rdf.TermID, 256*w)
 	}
 	r := e.arena[:w:w]
 	e.arena = e.arena[w:]
 	return r
+}
+
+// zeroWidthRow is the shared row for variable-free queries; being
+// width 0 it is never written to.
+var zeroWidthRow = make([]rdf.TermID, 0)
+
+// release returns a row to the free list. Only owners of provably
+// unreferenced rows (a barrier evicting a copy it made itself) may call
+// it.
+func (e *evaluator) release(r []rdf.TermID) {
+	if len(r) > 0 {
+		e.free = append(e.free, r)
+	}
 }
 
 // extend returns a fresh row initialized as a copy of parent.
@@ -232,129 +283,43 @@ func (env *rowEnv) Lookup(name string) (rdf.Term, bool) {
 	return env.e.term(id), true
 }
 
-// Eval evaluates a query against a dataset. The default graph is the
-// active graph except inside GRAPH blocks.
+// Eval evaluates a query against a dataset and materializes the full
+// answer. The default graph is the active graph except inside GRAPH
+// blocks. It is EvalContext with a background context.
 func Eval(ds *rdf.Dataset, q *Query) (*Result, error) {
-	lay := q.layout()
-	e := &evaluator{ds: ds, dict: ds.Dict(), lay: lay, active: ds.Default()}
-	init := e.newRow()
-	for i := range init {
-		init[i] = unboundID
-	}
-	rows, err := e.group(q.Where, [][]rdf.TermID{init})
+	return EvalContext(context.Background(), ds, q)
+}
+
+// EvalContext evaluates a query and materializes the answer, checking
+// ctx once per produced row: a canceled context aborts evaluation and
+// returns ctx's error. Callers that want to stop after a page of rows
+// should use EvalCursor instead.
+func EvalContext(ctx context.Context, ds *rdf.Dataset, q *Query) (*Result, error) {
+	c, err := EvalCursor(ds, q)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Form: q.Form}
 	if q.Form == FormAsk {
-		res.Bool = len(rows) > 0
+		res.Bool = c.Next(ctx)
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
-
-	// Projection list.
-	if q.Star {
-		res.Vars = q.Where.AllVars()
-	} else {
-		res.Vars = q.Variables
+	res.Vars = c.vars
+	res.slots = c.slots
+	for c.Next(ctx) {
+		// The tail operator of every SELECT pipeline is a barrier whose
+		// rows stay valid after the cursor advances, so the drain can
+		// alias them instead of copying.
+		res.rows = append(res.rows, c.row)
 	}
-	projSlots := make([]int, len(res.Vars))
-	for i, v := range res.Vars {
-		projSlots[i] = lay.index[v]
+	if err := c.Err(); err != nil {
+		return nil, err
 	}
-
-	// ORDER BY before anything else so order keys may be non-projected.
-	if len(q.OrderBy) > 0 {
-		keySlots := make([]int, len(q.OrderBy))
-		for ki, k := range q.OrderBy {
-			keySlots[ki] = lay.index[k.Var]
-		}
-		sort.SliceStable(rows, func(i, j int) bool {
-			for ki, k := range q.OrderBy {
-				slot := keySlots[ki]
-				a, b := rows[i][slot], rows[j][slot]
-				var c int
-				switch {
-				case a == b:
-					c = 0
-				case a == unboundID:
-					c = -1
-				case b == unboundID:
-					c = 1
-				default:
-					c = compareOrder(e.term(a), e.term(b))
-				}
-				if c != 0 {
-					if k.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-	}
-
-	// DISTINCT over the projected columns. The dictionary is a
-	// bijection, so ID equality is term equality and the key is just the
-	// projected IDs' bytes.
-	if q.Distinct && len(rows) > 1 {
-		seen := make(map[string]struct{}, len(rows))
-		key := make([]byte, 0, 4*len(projSlots))
-		out := rows[:0:0]
-		for _, row := range rows {
-			key = key[:0]
-			for _, s := range projSlots {
-				id := row[s]
-				key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-			}
-			if _, dup := seen[string(key)]; !dup {
-				seen[string(key)] = struct{}{}
-				out = append(out, row)
-			}
-		}
-		rows = out
-	}
-
-	// Without ORDER BY the BGP iterator yields rows in unspecified
-	// order; sort canonically over the projected columns so results (and
-	// LIMIT/OFFSET pages) are repeatable across evaluations — REST
-	// clients and golden-file consumers see stable output.
-	if len(q.OrderBy) == 0 && len(rows) > 1 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for _, slot := range projSlots {
-				a, b := rows[i][slot], rows[j][slot]
-				switch {
-				case a == b:
-					continue
-				case a == unboundID:
-					return true
-				case b == unboundID:
-					return false
-				}
-				if c := rdf.Compare(e.term(a), e.term(b)); c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-	}
-
-	// OFFSET / LIMIT.
-	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && q.Limit < len(rows) {
-		rows = rows[:q.Limit]
-	}
-
-	res.rows = rows
-	res.slots = projSlots
-	if len(rows) > 0 {
-		res.terms = e.dict.Snapshot()
+	if len(res.rows) > 0 {
+		res.terms = c.e.dict.Snapshot()
 	}
 	return res, nil
 }
@@ -375,53 +340,6 @@ func compareOrder(a, b rdf.Term) int {
 		}
 	}
 	return rdf.Compare(a, b)
-}
-
-// group evaluates a group graph pattern: join the patterns in sequence,
-// then apply the group's filters.
-func (e *evaluator) group(g *Group, input [][]rdf.TermID) ([][]rdf.TermID, error) {
-	return e.ordered(orderPatterns(e.active, g.Patterns), g.Filters, input)
-}
-
-// ordered evaluates an already-planned pattern sequence plus the
-// group's filters. Splitting it from group lets callers that evaluate
-// the same group once per input row (OPTIONAL left joins) plan the
-// pattern order a single time.
-func (e *evaluator) ordered(patterns []Pattern, filters []Expr, input [][]rdf.TermID) ([][]rdf.TermID, error) {
-	rows := input
-	for _, pat := range patterns {
-		var err error
-		rows, err = e.pattern(pat, rows)
-		if err != nil {
-			return nil, err
-		}
-		if len(rows) == 0 {
-			break
-		}
-	}
-	if len(filters) > 0 && len(rows) > 0 {
-		env := rowEnv{e: e}
-		for _, f := range filters {
-			kept := rows[:0:0]
-			for _, row := range rows {
-				env.row = row
-				v, err := f.Eval(&env)
-				if err != nil {
-					continue // error => effective false
-				}
-				ok, err := v.AsBool()
-				if err != nil || !ok {
-					continue
-				}
-				kept = append(kept, row)
-			}
-			rows = kept
-			if len(rows) == 0 {
-				break
-			}
-		}
-	}
-	return rows, nil
 }
 
 // orderPatterns arranges a group's patterns for evaluation: triple
@@ -540,165 +458,6 @@ func patConnected(tp TriplePattern, bound map[string]bool) bool {
 	return vars == 0
 }
 
-func (e *evaluator) pattern(pat Pattern, input [][]rdf.TermID) ([][]rdf.TermID, error) {
-	switch p := pat.(type) {
-	case TriplePattern:
-		return e.triple(p, input), nil
-	case Optional:
-		return e.optional(p, input)
-	case Union:
-		var out [][]rdf.TermID
-		for _, branch := range p.Branches {
-			bs, err := e.group(branch, input)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, bs...)
-		}
-		return out, nil
-	case GraphPattern:
-		return e.graphPattern(p, input)
-	default:
-		return nil, fmt.Errorf("sparql: unknown pattern type %T", pat)
-	}
-}
-
-// patNode resolves one triple-pattern position for ID-level matching.
-// For a variable it returns its slot (the row value — unboundID acting
-// as the wildcard — is substituted per input row); for a concrete term
-// it returns the term's ID with slot -1. ok is false when the term was
-// never interned in the dataset, in which case nothing can match.
-func (e *evaluator) patNode(n Node) (id rdf.TermID, slot int, ok bool) {
-	if n.IsVar() {
-		return unboundID, e.lay.index[n.Var], true
-	}
-	id, ok = e.dict.ID(n.Term)
-	return id, -1, ok
-}
-
-func (e *evaluator) triple(tp TriplePattern, input [][]rdf.TermID) [][]rdf.TermID {
-	sID, sSlot, sOK := e.patNode(tp.S)
-	pID, pSlot, pOK := e.patNode(tp.P)
-	oID, oSlot, oOK := e.patNode(tp.O)
-	if !sOK || !pOK || !oOK {
-		return nil // constant unknown to the dataset: no matches anywhere
-	}
-	// Repeated pattern variables need an explicit equality check when
-	// unbound (when bound, the substituted concrete ID constrains the
-	// match already; the checks are then vacuously true).
-	spSame := sSlot >= 0 && sSlot == pSlot
-	soSame := sSlot >= 0 && sSlot == oSlot
-	poSame := pSlot >= 0 && pSlot == oSlot
-	var out [][]rdf.TermID
-	var cur []rdf.TermID
-	// One closure for all input rows: matches stream straight into the
-	// arena-backed output rows.
-	emit := func(ms, mp, mo rdf.TermID) bool {
-		if spSame && ms != mp || soSame && ms != mo || poSame && mp != mo {
-			return true
-		}
-		nr := e.extend(cur)
-		if sSlot >= 0 {
-			nr[sSlot] = ms
-		}
-		if pSlot >= 0 {
-			nr[pSlot] = mp
-		}
-		if oSlot >= 0 {
-			nr[oSlot] = mo
-		}
-		out = append(out, nr)
-		return true
-	}
-	for _, row := range input {
-		cur = row
-		s, p, o := sID, pID, oID
-		if sSlot >= 0 {
-			s = row[sSlot]
-		}
-		if pSlot >= 0 {
-			p = row[pSlot]
-		}
-		if oSlot >= 0 {
-			o = row[oSlot]
-		}
-		e.active.EachMatchIDs(s, p, o, emit)
-	}
-	return out
-}
-
-func (e *evaluator) optional(opt Optional, input [][]rdf.TermID) ([][]rdf.TermID, error) {
-	var out [][]rdf.TermID
-	// Plan the group once; the left join below re-evaluates it per input
-	// row.
-	ordered := orderPatterns(e.active, opt.Group.Patterns)
-	single := make([][]rdf.TermID, 1)
-	for _, row := range input {
-		single[0] = row
-		ext, err := e.ordered(ordered, opt.Group.Filters, single)
-		if err != nil {
-			return nil, err
-		}
-		if len(ext) == 0 {
-			out = append(out, row) // left-join: keep unextended
-		} else {
-			out = append(out, ext...)
-		}
-	}
-	return out, nil
-}
-
-func (e *evaluator) graphPattern(gp GraphPattern, input [][]rdf.TermID) ([][]rdf.TermID, error) {
-	if !gp.Name.IsVar() {
-		g, ok := e.ds.Lookup(gp.Name.Term)
-		if !ok {
-			return nil, nil // empty graph => no solutions
-		}
-		saved := e.active
-		e.active = g
-		rows, err := e.group(gp.Group, input)
-		e.active = saved
-		return rows, err
-	}
-	// Variable graph name: iterate all named graphs.
-	slot := e.lay.index[gp.Name.Var]
-	var out [][]rdf.TermID
-	for _, name := range e.ds.GraphNames() {
-		g, ok := e.ds.Lookup(name)
-		if !ok {
-			continue // dropped concurrently between GraphNames and Lookup
-		}
-		// Graph names are interned when the graph is created; Intern
-		// covers datasets assembled before that invariant held.
-		nameID := e.dict.Intern(name)
-		// Restrict input to rows compatible with this graph name; the
-		// name is bound before the group runs so its filters can see it.
-		var compat [][]rdf.TermID
-		for _, row := range input {
-			switch row[slot] {
-			case unboundID:
-				nr := e.extend(row)
-				nr[slot] = nameID
-				compat = append(compat, nr)
-			case nameID:
-				compat = append(compat, row)
-			}
-		}
-		if len(compat) == 0 {
-			continue
-		}
-		saved := e.active
-		e.active = g
-		rows, err := e.group(gp.Group, compat)
-		e.active = saved
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
-	}
-	return out, nil
-}
-
 // MustParse parses a query and panics on error; for fixtures and tests.
 func MustParse(src string) *Query {
 	q, err := Parse(src)
@@ -715,4 +474,22 @@ func Run(ds *rdf.Dataset, src string) (*Result, error) {
 		return nil, err
 	}
 	return Eval(ds, q)
+}
+
+// RunContext is Run with a cancelable context.
+func RunContext(ctx context.Context, ds *rdf.Dataset, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return EvalContext(ctx, ds, q)
+}
+
+// RunCursor parses src and starts cursor-based evaluation in one step.
+func RunCursor(ds *rdf.Dataset, src string) (*Cursor, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return EvalCursor(ds, q)
 }

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -389,6 +390,68 @@ func checkEquivalence(t *testing.T, ds *rdf.Dataset, q *Query, seed int64) {
 			bt, bok := sols[i][v]
 			if cok != bok || ct != bt {
 				t.Fatalf("seed %d: Term(%d,%q)=(%v,%v) but Solutions()=(%v,%v)", seed, i, v, ct, cok, bt, bok)
+			}
+		}
+	}
+	checkCursor(t, ds, q, seed, got, mo)
+}
+
+// checkCursor re-evaluates q through the streaming API and pins it
+// against the already-verified materialized result: a full drain via
+// Solutions must reproduce the oracle multiset, and — when ORDER BY is
+// absent, so the canonical order is total — a partial drain (read k
+// rows, stop) must equal the prefix of the full read.
+func checkCursor(t *testing.T, ds *rdf.Dataset, q *Query, seed int64, full *Result, oracle map[string]int) {
+	t.Helper()
+	ctx := context.Background()
+
+	cur, err := EvalCursor(ds, q)
+	if err != nil {
+		t.Fatalf("seed %d: EvalCursor err = %v (Eval succeeded)", seed, err)
+	}
+	var sols []Binding
+	for b := range cur.Solutions(ctx) {
+		sols = append(sols, b)
+	}
+	if cur.Err() != nil {
+		t.Fatalf("seed %d: cursor Err = %v", seed, cur.Err())
+	}
+	if mc := multiset(cur.Vars(), sols); len(mc) != len(oracle) {
+		t.Fatalf("seed %d: cursor drain %d distinct rows vs oracle %d\nquery: %s", seed, len(mc), len(oracle), q)
+	} else {
+		for k, n := range mc {
+			if oracle[k] != n {
+				t.Fatalf("seed %d: cursor multiset mismatch\nquery: %s\ndiff:\n%s",
+					seed, q, diffMultisets(mc, oracle))
+			}
+		}
+	}
+
+	if len(q.OrderBy) > 0 {
+		// ORDER BY keys may tie distinct rows, so prefixes are
+		// legitimately run-dependent; only the multiset is pinned above.
+		return
+	}
+	k := full.Len() / 2
+	if k == 0 {
+		return
+	}
+	pc, err := EvalCursor(ds, q)
+	if err != nil {
+		t.Fatalf("seed %d: EvalCursor err = %v", seed, err)
+	}
+	defer pc.Close()
+	for i := 0; i < k; i++ {
+		if !pc.Next(ctx) {
+			t.Fatalf("seed %d: paged cursor exhausted at row %d of %d: %v", seed, i, k, pc.Err())
+		}
+		row := pc.Row()
+		for col := range pc.Vars() {
+			ct, cok := row.Term(col)
+			ft, fok := full.TermAt(i, col)
+			if cok != fok || ct != ft {
+				t.Fatalf("seed %d: paged read row %d col %d = (%v,%v), full read = (%v,%v)\nquery: %s",
+					seed, i, col, ct, cok, ft, fok, q)
 			}
 		}
 	}

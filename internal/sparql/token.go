@@ -8,6 +8,36 @@
 // a general evaluator over rdf.Dataset so analysts (and tests) can
 // inspect intermediate artifacts exactly as Figure 8 of the paper shows.
 //
+// # Cursor-based evaluation
+//
+// The primary evaluation product is the Cursor (EvalCursor/RunCursor):
+// a query compiles to a tree of pull-based operators, and rows are
+// produced one Next call at a time. That gives paged reads their cost
+// contract — LIMIT/OFFSET and DISTINCT are enforced inside the
+// pipeline, so a page over a large dataset costs O(page) work and
+// memory, not O(result) — and gives long-running services cancellation:
+// Next polls its context once per row (and periodically inside index
+// scans), so a canceled context aborts evaluation promptly with the
+// error surfaced by Cursor.Err. Eval/EvalContext/Run remain as
+// materializing wrappers; Result is simply the view over a fully
+// drained cursor.
+//
+// Cursor lifetimes are unconstrained: no locks or goroutines are held
+// between Next calls, so abandoning a cursor without Close is safe. A
+// cursor does not snapshot the dataset — each index scan reads live
+// graph state, so writes concurrent with a drain may or may not be
+// observed; clone the dataset first for point-in-time reads.
+//
+// # Result ordering
+//
+// With ORDER BY, rows stream out of a stable sort barrier. Without
+// ORDER BY, results follow a canonical order (projected columns,
+// compared left to right, unbound first): a total order up to row
+// identity, which makes repeated evaluations — and therefore
+// LIMIT/OFFSET pages — deterministic. When a LIMIT is present, the
+// canonical case is served by a bounded top-k operator that retains
+// only offset+limit rows instead of sorting the full result.
+//
 // # ID-row evaluation model
 //
 // The evaluator is late-materializing. Each Query is compiled once to a
@@ -17,14 +47,18 @@
 // the dataset-shared dictionary, with rdf.AnyID marking unbound slots
 // (which doubles as the wildcard when a slot is substituted into a match
 // pattern). Joins, OPTIONAL left joins, UNION, GRAPH blocks, DISTINCT
-// and ORDER BY all operate on raw IDs; rows are carved out of a chunked
-// arena, so extending a solution is a copy instead of a map clone.
+// and ORDER BY all operate on raw IDs. Operators hand rows downstream
+// Volcano-style (valid until the producer's next pull); only the
+// barriers copy, into a chunked arena, so extending or retaining a
+// solution is a copy instead of a map clone and discarded rows cost no
+// allocation.
 //
 // Terms are decoded from IDs only at the edges (the decode-at-projection
-// rule): Result.Solutions / Result.Term / Result.Table decode on demand
-// from an append-only dictionary snapshot, and FILTER expressions read
-// through the Env interface, whose row-backed implementation decodes
-// just the variables an expression actually looks up.
+// rule): Cursor.Row, Result.Solutions / Result.Term / Result.Table
+// decode on demand from an append-only dictionary snapshot, and FILTER
+// expressions read through the Env interface, whose row-backed
+// implementation decodes just the variables an expression actually
+// looks up.
 //
 // # Oracle testing
 //
@@ -32,11 +66,14 @@
 // as a reference implementation. spec_test.go generates hundreds of
 // random query/graph pairs per run (witness-driven, so most queries
 // have non-empty answers) and asserts that engine and oracle produce
-// identical solution multisets; deterministic edge cases (empty BGP,
-// unbound projections, OPTIONAL misses, UNION disjointness, paging past
-// the end) ride in the same harness. Any semantic change to evaluation
-// must keep the two implementations in agreement — or consciously
-// change both.
+// identical solution multisets — through both the materializing Eval
+// and a cursor drain, plus the paged-read invariant (reading k rows and
+// stopping equals the prefix of a full read) whenever the canonical
+// order applies. Deterministic edge cases (empty BGP, unbound
+// projections, OPTIONAL misses, UNION disjointness, paging past the
+// end) ride in the same harness. Any semantic change to evaluation must
+// keep the two implementations in agreement — or consciously change
+// both.
 package sparql
 
 import (

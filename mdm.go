@@ -301,9 +301,44 @@ func (s *System) QuerySPARQL(ctx context.Context, query string) (*Relation, *Rew
 
 // SPARQL runs a SPARQL query over the ontology dataset itself (global
 // graph, source graph and mapping named graphs) — the metadata
-// inspection surface of the original tool.
+// inspection surface of the original tool — and materializes the full
+// answer. For paged or cancelable reads use SPARQLContext or
+// SPARQLCursor.
 func (s *System) SPARQL(query string) (*sparql.Result, error) {
 	return sparql.Run(s.ont.Dataset(), query)
+}
+
+// SPARQLContext is SPARQL with a cancelable context: evaluation checks
+// ctx once per produced row and aborts with ctx's error when it is
+// canceled (e.g. a dropped HTTP client).
+func (s *System) SPARQLContext(ctx context.Context, query string) (*sparql.Result, error) {
+	return sparql.RunContext(ctx, s.ont.Dataset(), query)
+}
+
+// SPARQLCursor starts streaming, cursor-based evaluation of a metadata
+// SPARQL query: rows are produced on demand through Cursor.Next, LIMIT
+// and OFFSET are pushed into evaluation, and abandoning the cursor
+// stops the work. It is SPARQLPage without a page override.
+func (s *System) SPARQLCursor(query string) (*sparql.Cursor, error) {
+	return s.SPARQLPage(query, -1, -1)
+}
+
+// SPARQLPage is SPARQLCursor with a page override: limit and offset,
+// when >= 0, replace the query's own LIMIT/OFFSET before evaluation —
+// the paging contract of the REST query endpoints. Pass -1 to keep the
+// query's values.
+func (s *System) SPARQLPage(query string, limit, offset int) (*sparql.Cursor, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if limit >= 0 {
+		q.Limit = limit
+	}
+	if offset >= 0 {
+		q.Offset = offset
+	}
+	return sparql.EvalCursor(s.ont.Dataset(), q)
 }
 
 // --- Introspection & rendering (Figures 5-7) ---

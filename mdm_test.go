@@ -133,6 +133,59 @@ SELECT ?c WHERE {
 	}
 }
 
+func TestFacadeSPARQLCursorAndPaging(t *testing.T) {
+	sys := buildSystem(t)
+	const q = `
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> {
+    ?c rdf:type G:Concept .
+  }
+}`
+	ctx := context.Background()
+
+	cur, err := sys.SPARQLCursor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var got []string
+	for b := range cur.Solutions(ctx) {
+		got = append(got, b["c"].Value)
+	}
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
+	}
+	if len(got) != 2 {
+		t.Fatalf("cursor solutions = %v", got)
+	}
+
+	// SPARQLPage overrides the query's paging: page 2 of size 1 is the
+	// second row of the canonical order.
+	page, err := sys.SPARQLPage(q, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer page.Close()
+	if !page.Next(ctx) {
+		t.Fatalf("page empty: %v", page.Err())
+	}
+	if c, ok := page.Row().Term(0); !ok || c.Value != got[1] {
+		t.Fatalf("page row = %v, want %q", c, got[1])
+	}
+	if page.Next(ctx) {
+		t.Fatal("page has more than limit rows")
+	}
+
+	// SPARQLContext with a canceled context surfaces the ctx error.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := sys.SPARQLContext(canceled, q); err == nil {
+		t.Fatal("canceled SPARQLContext succeeded")
+	}
+}
+
 func TestFacadeExportImportTriG(t *testing.T) {
 	sys := buildSystem(t)
 	doc := sys.ExportTriG()
