@@ -1,0 +1,56 @@
+package mdm_test
+
+import (
+	"context"
+	"fmt"
+
+	"mdm"
+)
+
+// ExampleSystem_SPARQLPage pages through metadata SPARQL results: the
+// limit/offset override replaces the query's own LIMIT/OFFSET before
+// evaluation, so the page is enforced inside the engine (O(page) work,
+// not O(result)) — the same contract the REST query endpoints use for
+// their limit/offset parameters. Without ORDER BY the engine's
+// canonical result order makes consecutive pages partition the result.
+func ExampleSystem_SPARQLPage() {
+	sys := mdm.New()
+	sys.BindPrefix("ex", "http://ex.org/")
+	for _, c := range []struct{ iri, label string }{
+		{"ex:Player", "Player"},
+		{"ex:Team", "Team"},
+		{"ex:Stadium", "Stadium"},
+	} {
+		if err := sys.AddConcept(c.iri, c.label); err != nil {
+			panic(err)
+		}
+	}
+
+	query := `
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		SELECT ?label WHERE { GRAPH ?g { ?c rdfs:label ?label } }`
+
+	ctx := context.Background()
+	for offset := 0; ; offset += 2 {
+		cur, err := sys.SPARQLPage(query, 2, offset) // pages of two
+		if err != nil {
+			panic(err)
+		}
+		rows := 0
+		for b := range cur.Solutions(ctx) {
+			fmt.Println(b["label"].Value)
+			rows++
+		}
+		cur.Close()
+		if err := cur.Err(); err != nil {
+			panic(err)
+		}
+		if rows < 2 {
+			break
+		}
+	}
+	// Output:
+	// Player
+	// Stadium
+	// Team
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Dataset is an RDF dataset: one default graph plus any number of named
@@ -23,6 +24,7 @@ type Dataset struct {
 	def      *Graph
 	named    map[Term]*Graph
 	prefixes *PrefixMap
+	version  atomic.Uint64
 }
 
 // NewDataset returns an empty dataset with the common prefixes (rdf,
@@ -40,6 +42,18 @@ func NewDataset() *Dataset {
 // Dict returns the dataset-wide term dictionary shared by every graph in
 // the dataset.
 func (d *Dataset) Dict() *Dict { return d.dict }
+
+// Version returns the dataset's structural version: a counter that
+// increments whenever the graph SET changes — a named graph is created,
+// attached or dropped, or the default graph is replaced. Triple-level
+// writes inside an existing graph do not change it.
+//
+// Consumers that compile dataset state into reusable artifacts (the
+// SPARQL plan cache) revalidate against (Version, Dict().Len()): any
+// structural change bumps Version, and any newly interned term — the
+// only way a previously unknown constant can start matching — grows the
+// dictionary.
+func (d *Dataset) Version() uint64 { return d.version.Load() }
 
 // Default returns the default graph.
 func (d *Dataset) Default() *Graph {
@@ -61,6 +75,7 @@ func (d *Dataset) Graph(name Term) *Graph {
 		g = NewGraphWith(d.dict)
 		d.dict.Intern(name)
 		d.named[name] = g
+		d.version.Add(1)
 	}
 	return g
 }
@@ -84,12 +99,14 @@ func (d *Dataset) Attach(name Term, g *Graph) *Graph {
 	if name.IsZero() {
 		d.mu.Lock()
 		d.def = g
+		d.version.Add(1)
 		d.mu.Unlock()
 		return g
 	}
 	d.mu.Lock()
 	d.dict.Intern(name)
 	d.named[name] = g
+	d.version.Add(1)
 	d.mu.Unlock()
 	return g
 }
@@ -110,7 +127,10 @@ func (d *Dataset) DropGraph(name Term) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	_, ok := d.named[name]
-	delete(d.named, name)
+	if ok {
+		delete(d.named, name)
+		d.version.Add(1)
+	}
 	return ok
 }
 

@@ -282,3 +282,56 @@ func TestGraphMergeSameDictFastPath(t *testing.T) {
 		t.Fatal("merge dropped a triple")
 	}
 }
+
+func TestDatasetVersionBumpsOnStructuralChange(t *testing.T) {
+	ds := NewDataset()
+	v0 := ds.Version()
+
+	// Triple-level writes do not bump the version.
+	ds.Default().MustAdd(T(IRI("s"), IRI("p"), Lit("o")))
+	if ds.Version() != v0 {
+		t.Fatalf("version bumped by a triple write: %d -> %d", v0, ds.Version())
+	}
+
+	name := IRI("http://ex.org/g")
+	ds.Graph(name)
+	v1 := ds.Version()
+	if v1 == v0 {
+		t.Fatal("version unchanged after named-graph creation")
+	}
+	ds.Graph(name) // already exists: no bump
+	if ds.Version() != v1 {
+		t.Fatal("version bumped by a lookup of an existing graph")
+	}
+
+	if !ds.DropGraph(name) {
+		t.Fatal("DropGraph = false")
+	}
+	v2 := ds.Version()
+	if v2 == v1 {
+		t.Fatal("version unchanged after DropGraph")
+	}
+	if ds.DropGraph(name) {
+		t.Fatal("second DropGraph should report false")
+	}
+	if ds.Version() != v2 {
+		t.Fatal("version bumped by a no-op DropGraph")
+	}
+
+	// Re-creating a graph whose name is already interned must still bump.
+	ds.Graph(name)
+	if ds.Version() == v2 {
+		t.Fatal("version unchanged after re-creating a dropped graph")
+	}
+
+	v3 := ds.Version()
+	ds.Attach(Term{}, NewGraph()) // replace the default graph
+	if ds.Version() == v3 {
+		t.Fatal("version unchanged after default-graph replacement")
+	}
+	v4 := ds.Version()
+	ds.Attach(IRI("http://ex.org/h"), NewGraphWith(ds.Dict()))
+	if ds.Version() == v4 {
+		t.Fatal("version unchanged after Attach of a named graph")
+	}
+}

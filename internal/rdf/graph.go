@@ -265,6 +265,88 @@ func (g *Graph) EachMatchIDs(s, p, o TermID, fn func(s, p, o TermID) bool) {
 	g.eachMatchIDsLocked(s, p, o, fn)
 }
 
+// AppendMatchIDs appends every matching triple to dst as consecutive
+// (s, p, o) ID triplets and returns the extended slice. The whole match
+// set is collected under a single read-lock acquisition, so a consumer
+// that needs a pattern's full extent (a hash-join build side, a bulk
+// export) pays one lock round-trip instead of one per probe and no
+// per-match callback. Triplets are appended in unspecified order.
+func (g *Graph) AppendMatchIDs(dst []TermID, s, p, o TermID) []TermID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if need := 3 * g.countIDsLocked(s, p, o); cap(dst)-len(dst) < need {
+		grown := make([]TermID, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	g.eachMatchIDsLocked(s, p, o, func(a, b, c TermID) bool {
+		dst = append(dst, a, b, c)
+		return true
+	})
+	return dst
+}
+
+// CountIDs is the ID-level variant of Count: pattern components are
+// dictionary IDs with AnyID as the wildcard. Like Count it is computed
+// from index map lengths and allocates nothing.
+func (g *Graph) CountIDs(s, p, o TermID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.countIDsLocked(s, p, o)
+}
+
+// DistinctCountIDs reports how many distinct values position pos
+// (0 = subject, 1 = predicate, 2 = object) takes among the triples
+// matching the ID pattern — but only when that number can be read from
+// index map lengths alone. ok is false when computing it would require
+// iterating matches; callers (e.g. the query planner's join fan-out
+// estimate) should then fall back to a neutral default rather than pay
+// for a scan.
+func (g *Graph) DistinctCountIDs(s, p, o TermID, pos int) (n int, ok bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
+	// A constant at the queried position takes one distinct value when
+	// anything matches at all (and countIDsLocked is itself map-length
+	// arithmetic for every shape with at least one constant).
+	if pos == 0 && !sAny || pos == 1 && !pAny || pos == 2 && !oAny {
+		if g.countIDsLocked(s, p, o) == 0 {
+			return 0, true
+		}
+		return 1, true
+	}
+	switch pos {
+	case 0: // distinct subjects
+		switch {
+		case pAny && oAny:
+			return len(g.spo), true
+		case !pAny && !oAny:
+			return len(g.pos[p][o]), true
+		case pAny:
+			return len(g.osp[o]), true
+		}
+	case 1: // distinct predicates
+		switch {
+		case sAny && oAny:
+			return len(g.pos), true
+		case !sAny && !oAny:
+			return len(g.osp[o][s]), true
+		case oAny:
+			return len(g.spo[s]), true
+		}
+	case 2: // distinct objects
+		switch {
+		case sAny && pAny:
+			return len(g.osp), true
+		case !sAny && !pAny:
+			return len(g.spo[s][p]), true
+		case sAny:
+			return len(g.pos[p]), true
+		}
+	}
+	return 0, false
+}
+
 func (g *Graph) eachMatchTermsLocked(s, p, o Term, fn func(Triple) bool) bool {
 	sid, ok := g.patIDLocked(s)
 	if !ok {

@@ -302,3 +302,94 @@ func TestPropCloneEqual(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGraphAppendMatchIDs(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 30; i++ {
+		g.MustAdd(mkTriple(i))
+	}
+	p, _ := g.IDOf(IRI("http://ex.org/p1"))
+	check := func(s, pp, o TermID) {
+		t.Helper()
+		got := g.AppendMatchIDs(nil, s, pp, o)
+		if len(got)%3 != 0 {
+			t.Fatalf("AppendMatchIDs length %d not a multiple of 3", len(got))
+		}
+		want := map[[3]TermID]bool{}
+		g.EachMatchIDs(s, pp, o, func(a, b, c TermID) bool {
+			want[[3]TermID{a, b, c}] = true
+			return true
+		})
+		if len(got)/3 != len(want) {
+			t.Fatalf("AppendMatchIDs %d triplets, EachMatchIDs %d", len(got)/3, len(want))
+		}
+		for i := 0; i < len(got); i += 3 {
+			if !want[[3]TermID{got[i], got[i+1], got[i+2]}] {
+				t.Fatalf("triplet %v not produced by EachMatchIDs", got[i:i+3])
+			}
+		}
+		if n := g.CountIDs(s, pp, o); n != len(want) {
+			t.Fatalf("CountIDs = %d, want %d", n, len(want))
+		}
+	}
+	check(AnyID, p, AnyID)
+	check(AnyID, AnyID, AnyID)
+	sid, _ := g.IDOf(IRI("http://ex.org/s0"))
+	check(sid, AnyID, AnyID)
+	check(sid, p, AnyID)
+
+	// Appending onto an existing prefix keeps it intact.
+	prefix := []TermID{1, 2, 3}
+	out := g.AppendMatchIDs(prefix, AnyID, p, AnyID)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("prefix clobbered: %v", out[:3])
+	}
+	if (len(out)-3)/3 != g.CountIDs(AnyID, p, AnyID) {
+		t.Fatalf("appended %d triplets, want %d", (len(out)-3)/3, g.CountIDs(AnyID, p, AnyID))
+	}
+}
+
+func TestGraphDistinctCountIDs(t *testing.T) {
+	g := NewGraph()
+	ex := func(s string) Term { return IRI("http://ex.org/" + s) }
+	// s0-(p0)->o0, s0-(p0)->o1, s1-(p0)->o0, s1-(p1)->o0
+	g.MustAdd(T(ex("s0"), ex("p0"), ex("o0")))
+	g.MustAdd(T(ex("s0"), ex("p0"), ex("o1")))
+	g.MustAdd(T(ex("s1"), ex("p0"), ex("o0")))
+	g.MustAdd(T(ex("s1"), ex("p1"), ex("o0")))
+	id := func(s string) TermID {
+		v, ok := g.IDOf(ex(s))
+		if !ok {
+			t.Fatalf("%s not interned", s)
+		}
+		return v
+	}
+	s0, s1, p0, o0 := id("s0"), id("s1"), id("p0"), id("o0")
+	cases := []struct {
+		name    string
+		s, p, o TermID
+		pos     int
+		n       int
+		ok      bool
+	}{
+		{"all-wild distinct subjects", AnyID, AnyID, AnyID, 0, 2, true},
+		{"all-wild distinct predicates", AnyID, AnyID, AnyID, 1, 2, true},
+		{"all-wild distinct objects", AnyID, AnyID, AnyID, 2, 2, true},
+		{"objects of (s0, p0, ?)", s0, p0, AnyID, 2, 2, true},
+		{"objects of (?, p0, ?)", AnyID, p0, AnyID, 2, 2, true},
+		{"subjects of (?, p0, o0)", AnyID, p0, o0, 0, 2, true},
+		{"subjects of (?, ?, o0)", AnyID, AnyID, o0, 0, 2, true},
+		{"predicates of (s1, ?, ?)", s1, AnyID, AnyID, 1, 2, true},
+		{"predicates of (s1, ?, o0)", s1, AnyID, o0, 1, 2, true},
+		{"constant position, matches", s0, AnyID, AnyID, 0, 1, true},
+		{"constant position, no matches", s0, id("p1"), AnyID, 0, 0, true},
+		{"subjects of (?, p0, ?) needs a scan", AnyID, p0, AnyID, 0, 0, false},
+		{"objects of (s0, ?, ?) needs a scan", s0, AnyID, AnyID, 2, 0, false},
+	}
+	for _, tc := range cases {
+		n, ok := g.DistinctCountIDs(tc.s, tc.p, tc.o, tc.pos)
+		if ok != tc.ok || (ok && n != tc.n) {
+			t.Errorf("%s: DistinctCountIDs = (%d, %v), want (%d, %v)", tc.name, n, ok, tc.n, tc.ok)
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"math"
+	"math/bits"
+	"slices"
 	"sort"
 
 	"mdm/internal/rdf"
@@ -32,6 +35,17 @@ import (
 // evaluator's arena; everything else — joins extending an input row,
 // filters, paging — works on borrowed rows and never allocates per
 // discarded row.
+//
+// Each triple pattern executes as one of two join operators, chosen by
+// a small cost model at plan time (chooseJoin): tripleIter, an index
+// nested loop that probes the graph index once per input row, or
+// hashJoinIter, which batches the pattern's full match set under a
+// single lock into an ID-keyed hash table and probes it per row.
+// Compiled plans are cached on the Query and revalidated per
+// evaluation against the dataset's structural version and dictionary
+// length (evaluator.plan). The planner's contract — estimates, the
+// cost model, cache invalidation — is documented in
+// docs/QUERY_PLANNING.md.
 
 // rowIter is one operator of a compiled pipeline. next returns the next
 // full-width solution row, or nil when the operator is exhausted or
@@ -61,6 +75,15 @@ type triplePlan struct {
 	sID, pID, oID          rdf.TermID
 	sSlot, pSlot, oSlot    int // -1 for constants
 	spSame, soSame, poSame bool
+
+	// Join-algorithm choice (chooseJoin): when hash is set the pattern
+	// executes as a hashJoinIter keyed on keySlots — the pattern's
+	// variable slots the planner proved bound by the time this pattern
+	// runs — with keyPos naming the match position (0=s, 1=p, 2=o) each
+	// key component is read from.
+	hash     bool
+	keySlots []int
+	keyPos   []uint8
 }
 
 func (*triplePlan) patternPlan() {}
@@ -92,34 +115,79 @@ type deadPlan struct{}
 
 func (*deadPlan) patternPlan() {}
 
+// planCtx threads the planner's running estimates through a group:
+// which row slots are definitely bound once the patterns planned so far
+// have run, and roughly how many rows flow into the next pattern. Both
+// feed chooseJoin; neither affects what a plan computes, only how.
+type planCtx struct {
+	rows  float64
+	bound []bool // indexed by row slot
+}
+
+func (pc *planCtx) clone() *planCtx {
+	return &planCtx{rows: pc.rows, bound: append([]bool(nil), pc.bound...)}
+}
+
+// meet folds another branch outcome into an alternation summary: rows
+// add (branches concatenate) and a slot stays definitely bound only if
+// every branch binds it.
+func (pc *planCtx) meet(branch *planCtx) {
+	pc.rows += branch.rows
+	for i := range pc.bound {
+		pc.bound[i] = pc.bound[i] && branch.bound[i]
+	}
+}
+
 // planGroup compiles a group against the given active graph: pattern
 // order is chosen once (selectivity-greedy, OPTIONAL hoisted), constant
-// terms are resolved to dictionary IDs, and GRAPH sub-groups are planned
-// against their named graphs.
-func (e *evaluator) planGroup(g *Group, active *rdf.Graph) (*groupPlan, error) {
+// terms are resolved to dictionary IDs, a join algorithm is picked per
+// triple pattern, and GRAPH sub-groups are planned against their named
+// graphs. pc carries the cardinality/boundness estimates in and out.
+func (e *evaluator) planGroup(g *Group, active *rdf.Graph, pc *planCtx) (*groupPlan, error) {
 	gp := &groupPlan{filters: g.Filters}
 	for _, pat := range orderPatterns(active, g.Patterns) {
 		switch p := pat.(type) {
 		case TriplePattern:
-			gp.patterns = append(gp.patterns, e.planTriple(p, active))
+			tp := e.planTriple(p, active)
+			e.chooseJoin(tp, pc)
+			gp.patterns = append(gp.patterns, tp)
+			for _, s := range [3]int{tp.sSlot, tp.pSlot, tp.oSlot} {
+				if s >= 0 {
+					pc.bound[s] = true
+				}
+			}
 		case Optional:
-			sub, err := e.planGroup(p.Group, active)
+			spc := pc.clone()
+			sub, err := e.planGroup(p.Group, active, spc)
 			if err != nil {
 				return nil, err
 			}
 			gp.patterns = append(gp.patterns, &optionalPlan{sub: sub})
+			// A left join keeps every input row; OPTIONAL variables may
+			// stay unbound per row, so nothing new becomes definite.
+			pc.rows = math.Max(pc.rows, spc.rows)
 		case Union:
 			up := &unionPlan{}
+			var acc *planCtx
 			for _, branch := range p.Branches {
-				sub, err := e.planGroup(branch, active)
+				bpc := pc.clone()
+				sub, err := e.planGroup(branch, active, bpc)
 				if err != nil {
 					return nil, err
 				}
 				up.branches = append(up.branches, sub)
+				if acc == nil {
+					acc = bpc
+				} else {
+					acc.meet(bpc)
+				}
 			}
 			gp.patterns = append(gp.patterns, up)
+			if acc != nil {
+				*pc = *acc
+			}
 		case GraphPattern:
-			pp, err := e.planGraph(p)
+			pp, err := e.planGraph(p, pc)
 			if err != nil {
 				return nil, err
 			}
@@ -129,6 +197,85 @@ func (e *evaluator) planGroup(g *Group, active *rdf.Graph) (*groupPlan, error) {
 		}
 	}
 	return gp, nil
+}
+
+// Cost-model constants, in "emitted match" units. An index nested loop
+// pays — per input row — a read-lock round-trip plus nested map walks
+// before the first match comes out; that per-row tax benchmarks at
+// roughly nestedLoopRowTax emitted matches, while a hash probe costs
+// about one. Building the hash table costs its full match count once.
+// The derivation (and the benchmark justifying each constant) is in
+// docs/QUERY_PLANNING.md.
+const (
+	hashJoinMinRows  = 64 // below this, build setup dominates any win
+	nestedLoopRowTax = 4
+)
+
+// joinMode forces the planner's join-algorithm choice; the spec harness
+// uses it to execute every randomized case under both strategies. The
+// default lets the cost model decide.
+var joinMode = joinAuto
+
+const (
+	joinAuto int32 = iota
+	joinForceNested
+	joinForceHash
+)
+
+// chooseJoin picks the join algorithm for one planned triple pattern
+// given the rows estimated to flow into it, and updates the running
+// row estimate.
+//
+//   - nested loop ≈ rows × (nestedLoopRowTax + fanout)
+//   - hash join   ≈ build + rows × (1 + fanout)
+//
+// so the hash join wins when its one-off build cost undercuts the
+// per-row tax: build < rows × (nestedLoopRowTax − 1), gated on a
+// minimum row count so small queries never pay for a table. The join
+// key is the pattern's variable slots that are definitely bound by
+// the patterns planned before it; variables the planner could not
+// prove bound (an OPTIONAL or a one-sided UNION binding) are left out
+// of the key and re-checked per candidate at probe time instead.
+func (e *evaluator) chooseJoin(p *triplePlan, pc *planCtx) {
+	if p.dead {
+		return
+	}
+	addKey := func(slot int, pos uint8) {
+		if slot < 0 || !pc.bound[slot] || slices.Contains(p.keySlots, slot) {
+			return
+		}
+		p.keySlots = append(p.keySlots, slot)
+		p.keyPos = append(p.keyPos, pos)
+	}
+	addKey(p.sSlot, 0)
+	addKey(p.pSlot, 1)
+	addKey(p.oSlot, 2)
+	build := float64(p.g.CountIDs(p.sID, p.pID, p.oID))
+	// Fan-out: expected matches per input row. With no shared variable
+	// the pattern is a cartesian extension; with a join key it is
+	// build / distinct(key values) when an index map length yields the
+	// distinct count for free, else neutral.
+	fanout := 1.0
+	if len(p.keySlots) == 0 {
+		fanout = build
+	} else {
+		have := false
+		for _, pos := range p.keyPos {
+			if d, ok := p.g.DistinctCountIDs(p.sID, p.pID, p.oID, int(pos)); ok && d > 0 {
+				if f := build / float64(d); !have || f < fanout {
+					fanout, have = f, true
+				}
+			}
+		}
+	}
+	switch joinMode {
+	case joinForceNested:
+	case joinForceHash:
+		p.hash = true
+	default:
+		p.hash = pc.rows >= hashJoinMinRows && build < pc.rows*(nestedLoopRowTax-1)
+	}
+	pc.rows = math.Max(1, pc.rows*fanout)
 }
 
 func (e *evaluator) planTriple(tp TriplePattern, g *rdf.Graph) *triplePlan {
@@ -160,13 +307,13 @@ func (e *evaluator) patNode(n Node) (id rdf.TermID, slot int, ok bool) {
 	return id, -1, ok
 }
 
-func (e *evaluator) planGraph(gp GraphPattern) (patternPlan, error) {
+func (e *evaluator) planGraph(gp GraphPattern, pc *planCtx) (patternPlan, error) {
 	if !gp.Name.IsVar() {
 		g, ok := e.ds.Lookup(gp.Name.Term)
 		if !ok {
 			return &deadPlan{}, nil // empty graph => no solutions
 		}
-		sub, err := e.planGroup(gp.Group, g)
+		sub, err := e.planGroup(gp.Group, g, pc)
 		if err != nil {
 			return nil, err
 		}
@@ -174,18 +321,29 @@ func (e *evaluator) planGraph(gp GraphPattern) (patternPlan, error) {
 		return &inlineGroupPlan{sub}, nil
 	}
 	p := &graphPlan{slot: e.lay.index[gp.Name.Var]}
+	var acc *planCtx
 	for _, name := range e.ds.GraphNames() {
 		g, ok := e.ds.Lookup(name)
 		if !ok {
 			continue // dropped concurrently between GraphNames and Lookup
 		}
+		epc := pc.clone()
+		epc.bound[p.slot] = true // the name slot is bound inside the block
 		// Graph names are interned when the graph is created; Intern
 		// covers datasets assembled before that invariant held.
-		sub, err := e.planGroup(gp.Group, g)
+		sub, err := e.planGroup(gp.Group, g, epc)
 		if err != nil {
 			return nil, err
 		}
 		p.entries = append(p.entries, graphEntry{nameID: e.dict.Intern(name), sub: sub})
+		if acc == nil {
+			acc = epc
+		} else {
+			acc.meet(epc)
+		}
+	}
+	if acc != nil {
+		*pc = *acc // every entry binds the name slot, so it stays definite
 	}
 	return p, nil
 }
@@ -196,12 +354,53 @@ type inlineGroupPlan struct{ sub *groupPlan }
 
 func (*inlineGroupPlan) patternPlan() {}
 
+// cachedPlan is one compiled WHERE plan together with the dataset state
+// it was compiled against; it lives on the Query (see Query.plan).
+type cachedPlan struct {
+	ds      *rdf.Dataset
+	version uint64
+	dictLen int
+	mode    int32
+	root    *groupPlan
+}
+
+// plan returns the compiled plan for q against e's dataset, reusing the
+// query's cached plan when it is still valid. A plan bakes in pattern
+// order, join algorithms, resolved constant IDs and the named-graph
+// set, so it is revalidated against Dataset.Version (any graph-set
+// change) and Dict.Len (interning a new term is the only way a
+// previously dead constant can start matching). Triple-level writes
+// that intern no new term leave a cached plan valid: the selectivity
+// estimates behind pattern order and join choice may go stale — a
+// performance matter only — while matching itself always runs against
+// the live indexes.
+func (e *evaluator) plan(q *Query) (*groupPlan, error) {
+	mode := joinMode
+	ver := e.ds.Version()
+	dictLen := e.dict.Len()
+	if c := q.plan.Load(); c != nil && c.ds == e.ds && c.version == ver &&
+		c.dictLen == dictLen && c.mode == mode {
+		return c.root, nil
+	}
+	pc := &planCtx{rows: 1, bound: make([]bool, len(e.lay.names))}
+	root, err := e.planGroup(q.Where, e.ds.Default(), pc)
+	if err != nil {
+		return nil, err
+	}
+	q.plan.Store(&cachedPlan{ds: e.ds, version: ver, dictLen: dictLen, mode: mode, root: root})
+	return root, nil
+}
+
 // chain instantiates a planned group as an operator chain over src.
 func (e *evaluator) chain(gp *groupPlan, src rowIter) rowIter {
 	it := src
 	for _, p := range gp.patterns {
 		switch pl := p.(type) {
 		case *triplePlan:
+			if pl.hash {
+				it = &hashJoinIter{e: e, src: it, p: pl, scratch: e.newRow(), chain: -1}
+				break
+			}
 			ti := &tripleIter{e: e, src: it, p: pl, scratch: e.newRow()}
 			ti.emit = ti.emitMatch
 			it = ti
@@ -308,6 +507,230 @@ func (it *tripleIter) emitMatch(ms, mp, mo rdf.TermID) bool {
 		return true
 	}
 	it.buf = append(it.buf, ms, mp, mo)
+	return true
+}
+
+// joinKey is a hash-join key: the match's IDs at up to three key
+// positions, padded with AnyID. It is comparable, so Go's map hashes it
+// natively.
+type joinKey [3]rdf.TermID
+
+// matchKey builds the key a build-side match is bucketed under.
+func (p *triplePlan) matchKey(ms, mp, mo rdf.TermID) joinKey {
+	k := joinKey{rdf.AnyID, rdf.AnyID, rdf.AnyID}
+	for i, pos := range p.keyPos {
+		switch pos {
+		case 0:
+			k[i] = ms
+		case 1:
+			k[i] = mp
+		default:
+			k[i] = mo
+		}
+	}
+	return k
+}
+
+// probeKey builds the key an input row probes with; ok is false when a
+// key slot is unbound in this row (the planner keyed a variable that a
+// sibling UNION branch left unbound), in which case the caller must
+// fall back to scanning the whole table.
+func (p *triplePlan) probeKey(row []rdf.TermID) (joinKey, bool) {
+	k := joinKey{rdf.AnyID, rdf.AnyID, rdf.AnyID}
+	for i, s := range p.keySlots {
+		v := row[s]
+		if v == unboundID {
+			return k, false
+		}
+		k[i] = v
+	}
+	return k, true
+}
+
+// hashTable is one triple pattern's batched match set: rows holds the
+// matches as flat (s, p, o) triplets carved from one slice, and the
+// buckets are intrusive chains — head maps a join key to its first
+// triplet index, next links triplets sharing a key — so the whole
+// table is two flat slices plus one map, with no per-bucket
+// allocations. Tables are built lazily on first probe and cached per
+// plan node on the evaluator, so sub-chains instantiated once per
+// input row (OPTIONAL, UNION, GRAPH) share one build across the whole
+// evaluation.
+type hashTable struct {
+	rows []rdf.TermID
+	head map[joinKey]int32 // join key -> first triplet index of its chain
+	// head1 replaces head when the key is a single slot (the common
+	// case): hashing one TermID is measurably cheaper than three.
+	head1 map[rdf.TermID]int32
+	next  []int32 // next[i] = next triplet with i's key, -1 at end
+}
+
+// hashTable returns (building on first use) the hash table for a
+// hash-join pattern. The build is one batched index scan under a single
+// lock acquisition; repeated-variable violations are filtered here so
+// probes never see them.
+func (e *evaluator) hashTable(p *triplePlan) *hashTable {
+	if t, ok := e.tables[p]; ok {
+		return t
+	}
+	raw := p.g.AppendMatchIDs(nil, p.sID, p.pID, p.oID)
+	if p.spSame || p.soSame || p.poSame {
+		kept := raw[:0]
+		for i := 0; i < len(raw); i += 3 {
+			ms, mp, mo := raw[i], raw[i+1], raw[i+2]
+			if p.spSame && ms != mp || p.soSame && ms != mo || p.poSame && mp != mo {
+				continue
+			}
+			kept = append(kept, ms, mp, mo)
+		}
+		raw = kept
+	}
+	n := len(raw) / 3
+	t := &hashTable{rows: raw, next: make([]int32, n)}
+	if len(p.keySlots) == 1 {
+		t.head1 = make(map[rdf.TermID]int32, n)
+		pos := p.keyPos[0]
+		for i := 0; i < n; i++ {
+			k := raw[3*i+int(pos)]
+			if h, ok := t.head1[k]; ok {
+				t.next[i] = h
+			} else {
+				t.next[i] = -1
+			}
+			t.head1[k] = int32(i)
+		}
+	} else {
+		t.head = make(map[joinKey]int32, n)
+		for i := 0; i < n; i++ {
+			k := p.matchKey(raw[3*i], raw[3*i+1], raw[3*i+2])
+			if h, ok := t.head[k]; ok {
+				t.next[i] = h
+			} else {
+				t.next[i] = -1
+			}
+			t.head[k] = int32(i)
+		}
+	}
+	if e.tables == nil {
+		e.tables = make(map[*triplePlan]*hashTable)
+	}
+	e.tables[p] = t
+	return t
+}
+
+// hashJoinIter joins its input with one triple pattern by hash lookup
+// instead of per-row index probes: the pattern's full match set is
+// batched once into an ID-keyed hash table (see evaluator.hashTable)
+// and each input row probes the bucket of its join-key values. Rows
+// with an unbound key slot fall back to scanning the whole table, and
+// emission re-checks every bound slot either way, so the fast path and
+// the fallback accept exactly the same matches.
+type hashJoinIter struct {
+	e   *evaluator
+	src rowIter
+	p   *triplePlan
+
+	scratch []rdf.TermID // the emitted row; rewritten per match
+	cur     []rdf.TermID // the borrowed input row being extended
+	tab     *hashTable
+	chain   int32 // next candidate triplet in cur's bucket chain, -1 done
+	linear  bool  // fallback: scan all triplets for cur
+	pos     int   // next triplet offset when linear
+	scanned int   // candidates visited, for amortized ctx polling
+}
+
+func (it *hashJoinIter) next() []rdf.TermID {
+	p := it.p
+	for {
+		for {
+			var base int
+			if it.linear {
+				if it.pos >= len(it.tab.rows) {
+					break
+				}
+				base = it.pos
+				it.pos += 3
+			} else {
+				if it.chain < 0 {
+					break
+				}
+				base = int(it.chain) * 3
+				it.chain = it.tab.next[it.chain]
+			}
+			it.scanned++
+			if it.scanned&4095 == 0 && !it.e.poll() {
+				return nil // canceled mid-drain
+			}
+			ms, mp, mo := it.tab.rows[base], it.tab.rows[base+1], it.tab.rows[base+2]
+			if !compatRow(it.cur, p, ms, mp, mo) {
+				continue
+			}
+			if p.sSlot >= 0 {
+				it.scratch[p.sSlot] = ms
+			}
+			if p.pSlot >= 0 {
+				it.scratch[p.pSlot] = mp
+			}
+			if p.oSlot >= 0 {
+				it.scratch[p.oSlot] = mo
+			}
+			return it.scratch
+		}
+		if p.dead || !it.e.poll() {
+			return nil
+		}
+		row := it.src.next()
+		if row == nil {
+			return nil
+		}
+		if it.tab == nil {
+			it.tab = it.e.hashTable(p)
+		}
+		it.cur = row
+		copy(it.scratch, row)
+		it.pos, it.chain, it.linear = 0, -1, false
+		switch {
+		case it.tab.head1 != nil:
+			if v := row[p.keySlots[0]]; v != unboundID {
+				if h, hit := it.tab.head1[v]; hit {
+					it.chain = h
+				}
+			} else {
+				it.linear = true
+			}
+		default:
+			if key, ok := p.probeKey(row); ok {
+				if h, hit := it.tab.head[key]; hit {
+					it.chain = h
+				}
+			} else {
+				it.linear = true
+			}
+		}
+	}
+}
+
+// compatRow reports whether a build-side match is consistent with the
+// input row: every pattern variable slot the row has bound must agree
+// with the match's value there. Constants were fixed at build time and
+// repeated-variable equality was filtered at insert, so this is the
+// only per-candidate check.
+func compatRow(row []rdf.TermID, p *triplePlan, ms, mp, mo rdf.TermID) bool {
+	if p.sSlot >= 0 {
+		if v := row[p.sSlot]; v != unboundID && v != ms {
+			return false
+		}
+	}
+	if p.pSlot >= 0 {
+		if v := row[p.pSlot]; v != unboundID && v != mp {
+			return false
+		}
+	}
+	if p.oSlot >= 0 {
+		if v := row[p.oSlot]; v != unboundID && v != mo {
+			return false
+		}
+	}
 	return true
 }
 
@@ -500,6 +923,154 @@ func (e *evaluator) cmpCanonical(slots []int, a, b []rdf.TermID) int {
 	return 0
 }
 
+// sortCanonical sorts full-width rows into the canonical order of the
+// projected columns without decoding terms inside the comparator: the
+// distinct IDs appearing in those columns are ranked once by term order
+// (the dictionary is a bijection over 4-field Terms and rdf.Compare is
+// total on them, so distinct IDs never tie), and the rows then sort on
+// raw integer ranks. The visible order is exactly cmpCanonical's; only
+// the O(n log n) term comparisons shrink to O(distinct · log distinct).
+func (e *evaluator) sortCanonical(slots []int, rows [][]rdf.TermID) {
+	if len(rows) < 2 || len(slots) == 0 {
+		return
+	}
+	var maxID rdf.TermID
+	for _, r := range rows {
+		for _, s := range slots {
+			if id := r[s]; id != unboundID && id > maxID {
+				maxID = id
+			}
+		}
+	}
+	// Rank storage is O(result) no matter how large the dictionary is:
+	// dense ID-indexed slices when the ID range is in the same ballpark
+	// as the result's cell count (they win on constant factors), a map
+	// otherwise (a few projected rows over a huge dictionary must not
+	// allocate dictionary-sized arrays).
+	cells := len(rows) * len(slots)
+	dense := int(maxID) <= 4*cells+1024
+	var seen []bool
+	var rankD []int32
+	var rankM map[rdf.TermID]int32
+	if dense {
+		seen = make([]bool, int(maxID)+1)
+		rankD = make([]int32, int(maxID)+1)
+	} else {
+		rankM = make(map[rdf.TermID]int32, cells)
+	}
+	distinct := make([]rdf.TermID, 0, 64)
+	for _, r := range rows {
+		for _, s := range slots {
+			id := r[s]
+			if id == unboundID {
+				continue
+			}
+			if dense {
+				if !seen[id] {
+					seen[id] = true
+					distinct = append(distinct, id)
+				}
+			} else if _, ok := rankM[id]; !ok {
+				rankM[id] = 0
+				distinct = append(distinct, id)
+			}
+		}
+	}
+	slices.SortFunc(distinct, func(a, b rdf.TermID) int {
+		return rdf.Compare(e.term(a), e.term(b))
+	})
+	// Ranks are 1-based: 0 is the unbound column, which sorts first.
+	for i, id := range distinct {
+		if dense {
+			rankD[id] = int32(i + 1)
+		} else {
+			rankM[id] = int32(i + 1)
+		}
+	}
+	// When the per-column ranks and a row index all pack into 64 bits
+	// (virtually always: it takes > 20 projected columns or > 2^60
+	// result cells to overflow), sort plain integers — the comparison
+	// is a single machine word, and the trailing row-index bits both
+	// break ties deterministically and name the row to permute into
+	// place.
+	n := len(rows)
+	idxBits := bits.Len(uint(n - 1))
+	keyBits := bits.Len(uint(len(distinct)))
+	if len(slots)*keyBits+idxBits <= 64 {
+		keys := make([]uint64, n)
+		if dense {
+			for i, r := range rows {
+				k := uint64(0)
+				for _, s := range slots {
+					k <<= keyBits
+					if id := r[s]; id != unboundID {
+						k |= uint64(rankD[id])
+					}
+				}
+				keys[i] = k<<idxBits | uint64(i)
+			}
+		} else {
+			for i, r := range rows {
+				k := uint64(0)
+				for _, s := range slots {
+					k <<= keyBits
+					if id := r[s]; id != unboundID {
+						k |= uint64(rankM[id])
+					}
+				}
+				keys[i] = k<<idxBits | uint64(i)
+			}
+		}
+		slices.Sort(keys)
+		// Sorted position i must receive rows[keys[i]&mask]. Apply that
+		// permutation in place by walking its cycles, overwriting each
+		// visited index bits with the identity to mark the slot done.
+		mask := uint64(1)<<idxBits - 1
+		for i := range keys {
+			j := int(keys[i] & mask)
+			if j == i {
+				continue
+			}
+			tmp, cur := rows[i], i
+			for j != i {
+				rows[cur] = rows[j]
+				keys[cur] = keys[cur]&^mask | uint64(cur)
+				cur = j
+				j = int(keys[cur] & mask)
+			}
+			rows[cur] = tmp
+			keys[cur] = keys[cur]&^mask | uint64(cur)
+		}
+		return
+	}
+	// Equal rows are identical in every projected column, so an
+	// unstable sort cannot reorder anything observable.
+	rank := func(id rdf.TermID) int32 {
+		if dense {
+			return rankD[id]
+		}
+		return rankM[id]
+	}
+	slices.SortFunc(rows, func(a, b []rdf.TermID) int {
+		for _, s := range slots {
+			x, y := a[s], b[s]
+			switch {
+			case x == y:
+				continue
+			case x == unboundID:
+				return -1
+			case y == unboundID:
+				return 1
+			case rank(x) < rank(y):
+				return -1
+			default:
+				return 1
+			}
+		}
+		return 0
+	})
+}
+
 // sortIter is the ORDER BY barrier: it drains its input (copying each
 // row), stable-sorts by the order keys, and then streams the sorted
 // rows.
@@ -528,29 +1099,29 @@ func (it *sortIter) next() []rdf.TermID {
 			return nil
 		}
 		e := it.e
-		sort.SliceStable(it.rows, func(i, j int) bool {
+		slices.SortStableFunc(it.rows, func(a, b []rdf.TermID) int {
 			for ki, k := range it.keys {
 				slot := it.kSlots[ki]
-				a, b := it.rows[i][slot], it.rows[j][slot]
+				x, y := a[slot], b[slot]
 				var c int
 				switch {
-				case a == b:
+				case x == y:
 					c = 0
-				case a == unboundID:
+				case x == unboundID:
 					c = -1
-				case b == unboundID:
+				case y == unboundID:
 					c = 1
 				default:
-					c = compareOrder(e.term(a), e.term(b))
+					c = compareOrder(e.term(x), e.term(y))
 				}
 				if c != 0 {
 					if k.Desc {
-						return c > 0
+						return -c
 					}
-					return c < 0
+					return c
 				}
 			}
-			return false
+			return 0
 		})
 	}
 	if it.e.err != nil || it.pos >= len(it.rows) {
@@ -602,10 +1173,7 @@ func (it *canonIter) next() []rdf.TermID {
 		if it.e.err != nil {
 			return nil
 		}
-		e := it.e
-		sort.SliceStable(it.rows, func(i, j int) bool {
-			return e.cmpCanonical(it.slots, it.rows[i], it.rows[j]) < 0
-		})
+		it.e.sortCanonical(it.slots, it.rows)
 	}
 	if it.e.err != nil || it.pos >= len(it.rows) {
 		return nil
@@ -774,7 +1342,7 @@ type Cursor struct {
 func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 	lay := q.layout()
 	e := &evaluator{ds: ds, dict: ds.Dict(), lay: lay, ctx: context.Background()}
-	gp, err := e.planGroup(q.Where, ds.Default())
+	gp, err := e.plan(q)
 	if err != nil {
 		return nil, err
 	}

@@ -188,6 +188,11 @@ type evaluator struct {
 	free  [][]rdf.TermID // recycled rows (e.g. top-k evictions)
 	terms []rdf.Term     // lazily refreshed dictionary snapshot
 
+	// tables caches hash-join build sides per plan node for the lifetime
+	// of this evaluation, so sub-chains instantiated once per input row
+	// (OPTIONAL, UNION, GRAPH) share one build instead of re-scanning.
+	tables map[*triplePlan]*hashTable
+
 	// ctx is the caller's context for the in-flight Next call; err
 	// latches the first failure (typically ctx.Err()) and makes every
 	// operator wind down: next() returns nil once err is set.

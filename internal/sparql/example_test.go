@@ -1,0 +1,47 @@
+package sparql_test
+
+import (
+	"context"
+	"fmt"
+
+	"mdm/internal/rdf"
+	"mdm/internal/sparql"
+)
+
+// ExampleEvalCursor demonstrates streaming, cursor-based evaluation:
+// rows are produced one Next call at a time, the caller's context is
+// honored per row, and terms are decoded only when the Row accessor
+// asks for them. Without ORDER BY, rows arrive in the engine's
+// canonical order (projected columns, left to right), so the output is
+// deterministic.
+func ExampleEvalCursor() {
+	ds := rdf.NewDataset()
+	g := ds.Default()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	g.MustAdd(rdf.T(ex("alice"), ex("knows"), ex("bob")))
+	g.MustAdd(rdf.T(ex("bob"), ex("knows"), ex("carol")))
+	g.MustAdd(rdf.T(ex("carol"), ex("age"), rdf.IntLit(30)))
+
+	q := sparql.MustParse(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?a ?b WHERE { ?a ex:knows ?b }`)
+
+	cur, err := sparql.EvalCursor(ds, q)
+	if err != nil {
+		panic(err)
+	}
+	defer cur.Close()
+	ctx := context.Background()
+	for cur.Next(ctx) {
+		row := cur.Row()
+		a, _ := row.Term(0)
+		b, _ := row.Term(1)
+		fmt.Printf("%s knows %s\n", a.Value, b.Value)
+	}
+	if err := cur.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// http://ex.org/alice knows http://ex.org/bob
+	// http://ex.org/bob knows http://ex.org/carol
+}

@@ -60,6 +60,31 @@
 // implementation decodes just the variables an expression actually
 // looks up.
 //
+// # Planning and join algorithms
+//
+// Before execution, a query's WHERE group compiles to an immutable
+// plan: triple patterns are ordered greedily by index-derived
+// selectivity estimates (runs never permute across OPTIONAL, UNION or
+// GRAPH boundaries, whose sub-groups observe outer bindings), concrete
+// terms are resolved to dictionary IDs once (a term the dictionary has
+// never seen makes its pattern dead — nothing can match), and each
+// pattern is assigned one of two join operators by a small cost model:
+// an index nested loop that probes the graph per input row, or a hash
+// join that batches the pattern's full match set under one lock into an
+// ID-keyed table and probes it per row. The estimated build size is
+// weighed against the per-row lock-and-walk tax of index probing, so
+// small queries keep the nested loop while wide joins
+// (BenchmarkSPARQLJoinRows) switch to the hash join.
+//
+// Compiled plans are cached on the Query and revalidated per
+// evaluation against the dataset's identity, structural version
+// (rdf.Dataset.Version: the named-graph set) and dictionary length
+// (new terms are the only way a dead constant can revive). Triple
+// writes that intern no new term leave plans valid: estimates may go
+// stale — a performance matter — but matching always runs against live
+// indexes. The full decision rules, cost constants and the benchmark
+// behind each live in docs/QUERY_PLANNING.md.
+//
 // # Oracle testing
 //
 // The pre-ID-row, Binding-map evaluator is retained in oracle_test.go
@@ -67,13 +92,14 @@
 // random query/graph pairs per run (witness-driven, so most queries
 // have non-empty answers) and asserts that engine and oracle produce
 // identical solution multisets — through both the materializing Eval
-// and a cursor drain, plus the paged-read invariant (reading k rows and
+// and a cursor drain, under both join strategies (the planner's choice
+// forced each way), plus the paged-read invariant (reading k rows and
 // stopping equals the prefix of a full read) whenever the canonical
 // order applies. Deterministic edge cases (empty BGP, unbound
 // projections, OPTIONAL misses, UNION disjointness, paging past the
-// end) ride in the same harness. Any semantic change to evaluation must
-// keep the two implementations in agreement — or consciously change
-// both.
+// end, hash-join build/probe corners) ride in the same harness. Any
+// semantic change to evaluation must keep the two implementations in
+// agreement — or consciously change both.
 package sparql
 
 import (

@@ -1,0 +1,103 @@
+// Command linkcheck verifies intra-repository links in Markdown files.
+//
+// Usage:
+//
+//	go run ./tools/linkcheck README.md docs
+//
+// Each argument is a Markdown file or a directory scanned (recursively)
+// for *.md files. Inline links and images whose target is a relative
+// path are resolved against the containing file's directory and must
+// exist on disk; a #fragment suffix is stripped first. External
+// schemes (http, https, mailto) and pure-fragment links are skipped —
+// this tool gates intra-repo rot, not the internet. Exits non-zero
+// listing every dead link, so CI can fail the build on one.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are rare in this repo and are
+// deliberately out of scope.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file-or-dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	dead := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s: dead link %q (resolved %s)\n", file, m[1], resolved)
+					dead++
+				}
+			}
+		}
+	}
+	if dead > 0 {
+		fmt.Printf("linkcheck: %d dead link(s) in %d file(s)\n", dead, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+// skip reports whether a link target is outside this tool's scope:
+// external schemes, mail, anchors within the same document.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
