@@ -25,12 +25,15 @@
 //	mapping <file.json>                define a LAV mapping from JSON
 //	suggest <newWrapper> <fromWrapper> print a suggested mapping as JSON
 //	query   [flags] <file.json>        run a walk from JSON
+//	walks                              list saved walks
+//	run     [flags] <walk>             run a saved walk by name
 //	sparql  [flags] <query>            run SPARQL over the metadata
 //
-// query and sparql accept paging/streaming flags, mapped to the REST
-// query parameters:
+// query, run and sparql accept paging/streaming flags, mapped to the
+// REST query parameters:
 //
-//	-limit N    page size (pushed into evaluation for sparql)
+//	-limit N    page size (pushed into evaluation — for walks, into the
+//	            streaming federated pipeline)
 //	-offset N   rows to skip (the cursor position)
 //	-ndjson     stream NDJSON rows to stdout as the server produces them
 //
@@ -170,6 +173,17 @@ func (c *client) run(cmd string, args []string) error {
 			return fmt.Errorf("query [-limit N] [-offset N] [-ndjson] <file.json>")
 		}
 		return c.postFile("/api/query"+params, rest[0])
+	case "walks":
+		return c.getJSON("/api/walks")
+	case "run":
+		params, rest, err := pageFlags(args)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 1 {
+			return fmt.Errorf("run [-limit N] [-offset N] [-ndjson] <walk>")
+		}
+		return c.post("/api/walks/"+url.PathEscape(rest[0])+"/run"+params, map[string]string{})
 	case "sparql":
 		params, rest, err := pageFlags(args)
 		if err != nil {

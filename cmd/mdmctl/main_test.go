@@ -38,6 +38,7 @@ func TestClientCommandsAgainstLiveBackend(t *testing.T) {
 		{"id", "zz:thingId"},
 		{"source", "zz-api", "ZZ API"},
 		{"sparql", "ASK { ?s ?p ?o . }"},
+		{"walks"},
 	}
 	for _, args := range ok {
 		if err := c.run(args[0], args[1:]); err != nil {
@@ -62,6 +63,7 @@ func TestClientCommandArgValidation(t *testing.T) {
 		{"suggest", "one"},
 		{"query"},
 		{"sparql"},
+		{"run"},
 		{"nosuchcommand"},
 	}
 	for _, args := range bad {

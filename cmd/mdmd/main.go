@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mdmd [-addr :8085] [-data DIR] [-seed] [-simulate]
+//	     [-fanout N] [-source-timeout D] [-source-cache-ttl D]
 //
 //	-addr      listen address
 //	-data      persistence directory; the ontology dataset is loaded at
@@ -11,6 +12,14 @@
 //	-seed      preload the paper's football use case (in-memory wrappers)
 //	-simulate  also start the simulated football REST provider and print
 //	           its URL (endpoints for players/teams/leagues/countries)
+//
+// Federated execution knobs (see internal/federate):
+//
+//	-fanout N             max concurrent source fetches per walk (default 8)
+//	-source-timeout D     per-source fetch deadline (default 30s)
+//	-source-cache-ttl D   source-snapshot reuse window; 0 (default)
+//	                      dedups concurrent fetches without reusing
+//	                      completed snapshots
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 
 	"mdm"
 	"mdm/internal/apisim"
+	"mdm/internal/federate"
 	"mdm/internal/rest"
 	"mdm/internal/usecase"
 )
@@ -36,12 +46,19 @@ func main() {
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
 	seed := flag.Bool("seed", false, "preload the football demo fixture")
 	simulate := flag.Bool("simulate", false, "start the simulated football provider")
+	fanout := flag.Int("fanout", federate.DefaultParallel, "max concurrent source fetches per walk")
+	sourceTimeout := flag.Duration("source-timeout", federate.DefaultSourceTimeout, "per-source fetch deadline")
+	cacheTTL := flag.Duration("source-cache-ttl", 0, "source-snapshot reuse window (0 = dedup only)")
 	flag.Parse()
 
 	sys, err := buildSystem(*dataDir, *seed)
 	if err != nil {
 		log.Fatalf("mdmd: %v", err)
 	}
+	fed := sys.Federation()
+	fed.Parallel = *fanout
+	fed.SourceTimeout = *sourceTimeout
+	fed.Cache = federate.NewCache(*cacheTTL)
 
 	if *simulate {
 		provider := apisim.NewFootball()

@@ -1,0 +1,185 @@
+package federate
+
+import (
+	"context"
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdm/internal/relalg"
+)
+
+// Process-wide cache counters, published once for /debug/vars scraping.
+// Per-Cache numbers are available through Cache.Stats.
+var (
+	expHits    = expvar.NewInt("mdm.federate.source_cache.hits")
+	expMisses  = expvar.NewInt("mdm.federate.source_cache.misses")
+	expShared  = expvar.NewInt("mdm.federate.source_cache.inflight_dedup")
+	expExpired = expvar.NewInt("mdm.federate.source_cache.expired")
+)
+
+// Cache is a source-snapshot cache keyed by wrapper identity (the
+// RowSource name, globally unique in the wrapper registry). It provides
+// two things:
+//
+//   - SINGLEFLIGHT: concurrent Gets for the same source share one
+//     in-flight fetch, so N walks hitting the same HTTP wrapper issue
+//     one request. The fetch is owned by the cache (detached from any
+//     caller's context, bounded by the fetch timeout): a caller that
+//     disconnects abandons its wait without poisoning the shared fetch.
+//   - TTL REUSE: with ttl > 0, a completed snapshot answers Gets until
+//     it expires. With ttl == 0 the cache is dedup-only — completed
+//     entries are dropped immediately, so data freshness is exactly
+//     that of direct fetches (modulo sharing an in-flight fetch).
+//
+// Fetch errors are never cached; the failed entry is removed after its
+// waiters have been notified, so the next Get retries.
+type Cache struct {
+	ttl time.Duration
+	now func() time.Time // injectable for TTL tests
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits, misses, shared, expired atomic.Int64
+}
+
+// cacheEntry is one source's slot. ready is closed once rel/err/expires
+// are final; waiters select on it against their own context.
+type cacheEntry struct {
+	ready   chan struct{}
+	rel     *relalg.Relation
+	err     error
+	expires time.Time
+}
+
+// NewCache returns a cache with the given snapshot TTL. ttl 0 gives a
+// dedup-only cache (no reuse after a fetch completes).
+func NewCache(ttl time.Duration) *Cache {
+	return &Cache{ttl: ttl, now: time.Now, entries: map[string]*cacheEntry{}}
+}
+
+// TTL returns the configured snapshot lifetime.
+func (c *Cache) TTL() time.Duration { return c.ttl }
+
+// Get returns the snapshot for src, fetching it (bounded by
+// fetchTimeout, 0 = unbounded) on a miss. Concurrent Gets for the same
+// source share one fetch. ctx cancels only this caller's wait — the
+// shared fetch keeps running for other waiters — so a dropped client
+// surfaces ctx.Err() without failing its neighbors.
+func (c *Cache) Get(ctx context.Context, src relalg.RowSource, fetchTimeout time.Duration) (*relalg.Relation, error) {
+	key := src.Name()
+	c.mu.Lock()
+	ent := c.entries[key]
+	if ent != nil {
+		select {
+		case <-ent.ready:
+			if ent.err == nil && c.now().Before(ent.expires) {
+				c.mu.Unlock()
+				c.hits.Add(1)
+				expHits.Add(1)
+				return ent.rel, nil
+			}
+			// Expired (or a failed entry that lost the delete race):
+			// fall through to a fresh fetch.
+			c.expired.Add(1)
+			expExpired.Add(1)
+		default:
+			// In flight: join the leader's fetch.
+			c.mu.Unlock()
+			c.shared.Add(1)
+			expShared.Add(1)
+			select {
+			case <-ent.ready:
+				return ent.rel, ent.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	ent = &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = ent
+	c.mu.Unlock()
+	c.misses.Add(1)
+	expMisses.Add(1)
+
+	go c.fill(key, src, ent, fetchTimeout)
+	select {
+	case <-ent.ready:
+		return ent.rel, ent.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// maxFill bounds a cache-owned fetch when the caller passed no
+// timeout. Detached fetches ride no caller's context, so an unbounded
+// one that hangs would wedge its entry (and every future Get for that
+// source) until process restart; a generous hard ceiling is safer than
+// none.
+const maxFill = 5 * time.Minute
+
+// fill performs the cache-owned fetch for one entry. It runs detached
+// from every caller so an abandoned wait cannot cancel a shared fetch;
+// fetchTimeout (clamped to maxFill when unset) is the only bound.
+func (c *Cache) fill(key string, src relalg.RowSource, ent *cacheEntry, fetchTimeout time.Duration) {
+	if fetchTimeout <= 0 {
+		fetchTimeout = maxFill
+	}
+	fctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+	defer cancel()
+	rel, err := fetchSource(fctx, src)
+	c.mu.Lock()
+	ent.rel, ent.err = rel, err
+	ent.expires = c.now().Add(c.ttl)
+	if err != nil || c.ttl <= 0 {
+		// Failures are not cached, and a TTL-less cache keeps no
+		// completed entries. Guard against a newer entry having already
+		// replaced this one.
+		if c.entries[key] == ent {
+			delete(c.entries, key)
+		}
+	}
+	close(ent.ready)
+	c.mu.Unlock()
+}
+
+// Invalidate drops the cached snapshot (if any) for a source name. It
+// does not interrupt an in-flight fetch; callers racing one may still
+// be served its result. Use it after re-registering or mutating a
+// wrapper so the next walk refetches.
+func (c *Cache) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.entries[name]; ok {
+		select {
+		case <-ent.ready:
+			delete(c.entries, name)
+		default:
+			// In flight: leave it; the waiters own it.
+		}
+	}
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts Gets answered by a live completed snapshot.
+	Hits int64
+	// Misses counts Gets that started a fetch.
+	Misses int64
+	// Shared counts Gets that joined an in-flight fetch.
+	Shared int64
+	// Expired counts Gets that found a dead entry and refetched.
+	Expired int64
+}
+
+// Stats returns this cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Shared:  c.shared.Load(),
+		Expired: c.expired.Load(),
+	}
+}

@@ -1,0 +1,262 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdm/internal/relalg"
+)
+
+// gateSource blocks every fetch until release is closed, counting
+// fetches — the instrument for deterministic singleflight tests.
+type gateSource struct {
+	name    string
+	release chan struct{}
+	fetches atomic.Int32
+	rel     *relalg.Relation
+	err     error
+}
+
+func newGateSource(name string) *gateSource {
+	rel := relalg.NewRelation("a")
+	rel.MustAppend(relalg.Row{relalg.Int(42)})
+	return &gateSource{name: name, release: make(chan struct{}), rel: rel}
+}
+
+func (g *gateSource) Name() string      { return g.name }
+func (g *gateSource) Columns() []string { return []string{"a"} }
+func (g *gateSource) Fetch(ctx context.Context) (*relalg.Relation, error) {
+	g.fetches.Add(1)
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.rel, g.err
+}
+
+// TestCacheSingleflight: N concurrent Gets for one source share exactly
+// one fetch; the dedup counter accounts for every non-leader. Run under
+// -race in CI.
+func TestCacheSingleflight(t *testing.T) {
+	src := newGateSource("shared")
+	c := NewCache(0) // dedup-only
+	const n = 8
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rel, err := c.Get(context.Background(), src, time.Minute)
+			if err == nil && rel.Len() != 1 {
+				err = errors.New("bad relation")
+			}
+			errs[i] = err
+		}(i)
+	}
+	// Wait until every goroutine has registered (1 miss + n-1 shared),
+	// then release the single fetch.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.Misses+st.Shared == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never converged: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(src.release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if got := src.fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1 (singleflight)", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d shared", st, n-1)
+	}
+
+	// Dedup-only: a later Get refetches.
+	if _, err := c.Get(context.Background(), src, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.fetches.Load(); got != 2 {
+		t.Fatalf("fetches after TTL-less reuse attempt = %d, want 2", got)
+	}
+}
+
+// TestCacheTTL: snapshots are reused inside the TTL and refetched after
+// it, with an injected clock so the test is deterministic.
+func TestCacheTTL(t *testing.T) {
+	src := newGateSource("ttl")
+	close(src.release) // never block
+	c := NewCache(time.Minute)
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	c.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	ctx := context.Background()
+	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	advance(30 * time.Second)
+	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.fetches.Load(); got != 1 {
+		t.Fatalf("fetches inside TTL = %d, want 1", got)
+	}
+	advance(31 * time.Second) // past expiry
+	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.fetches.Load(); got != 2 {
+		t.Fatalf("fetches after TTL = %d, want 2", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Expired != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 1 expired", st)
+	}
+}
+
+// TestCacheErrorsNotCached: a failed fetch is surfaced to its waiters
+// but not retained; the next Get retries and can succeed.
+func TestCacheErrorsNotCached(t *testing.T) {
+	src := newGateSource("flaky")
+	close(src.release)
+	src.err = errors.New("boom")
+	c := NewCache(time.Minute)
+	ctx := context.Background()
+	if _, err := c.Get(ctx, src, time.Minute); err == nil {
+		t.Fatal("expected error")
+	}
+	src.err = nil
+	rel, err := c.Get(ctx, src, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if got := src.fetches.Load(); got != 2 {
+		t.Fatalf("fetches = %d, want 2 (error not cached)", got)
+	}
+}
+
+// TestCacheWaiterCancelDoesNotPoisonFetch: a waiter abandoning its Get
+// (client disconnect) gets its own ctx error; the shared fetch keeps
+// running and serves the surviving caller.
+func TestCacheWaiterCancelDoesNotPoisonFetch(t *testing.T) {
+	src := newGateSource("poison")
+	c := NewCache(time.Minute)
+
+	type res struct {
+		rel *relalg.Relation
+		err error
+	}
+	leader := make(chan res, 1)
+	go func() {
+		rel, err := c.Get(context.Background(), src, time.Minute)
+		leader <- res{rel, err}
+	}()
+	// Wait for the leader's fetch to start, then join and cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for src.fetches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader fetch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(canceled, src, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v, want Canceled", err)
+	}
+	close(src.release)
+	r := <-leader
+	if r.err != nil {
+		t.Fatalf("leader err = %v (poisoned by canceled waiter?)", r.err)
+	}
+	if r.rel.Len() != 1 {
+		t.Fatalf("leader rows = %d", r.rel.Len())
+	}
+	if got := src.fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1", got)
+	}
+}
+
+// TestCacheInvalidate drops a completed snapshot so the next Get
+// refetches (the hook for wrapper re-registration).
+func TestCacheInvalidate(t *testing.T) {
+	src := newGateSource("inv")
+	close(src.release)
+	c := NewCache(time.Minute)
+	ctx := context.Background()
+	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("inv")
+	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.fetches.Load(); got != 2 {
+		t.Fatalf("fetches = %d, want 2 after Invalidate", got)
+	}
+}
+
+// TestEngineSharesInflightFetchAcrossRuns: two concurrent Runs over the
+// same wrapper issue one source fetch (the "N concurrent walks, one
+// HTTP request" property of the tentpole).
+func TestEngineSharesInflightFetchAcrossRuns(t *testing.T) {
+	src := newGateSource("walked")
+	eng := NewEngine()
+	plan := relalg.NewScan(src)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cur, err := eng.Run(context.Background(), plan)
+			if err == nil {
+				_, err = cur.Materialize(context.Background())
+			}
+			errs[i] = err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := eng.Cache.Stats()
+		if st.Misses+st.Shared == int64(len(errs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runs never converged: %+v", eng.Cache.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(src.release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if got := src.fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1 across 4 concurrent walks", got)
+	}
+}

@@ -1,0 +1,98 @@
+package federate
+
+import (
+	"context"
+
+	"mdm/internal/relalg"
+)
+
+// Cursor is a pull-based handle over an executing federated plan,
+// mirroring sparql.Cursor:
+//
+//	cur, err := eng.Run(ctx, plan)
+//	...
+//	defer cur.Close()
+//	for cur.Next(ctx) {
+//	    row := cur.Row()
+//	    ...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Next checks ctx once per row, so canceling the context (a dropped
+// client connection, a timeout) aborts the drain promptly; Err then
+// returns ctx's error. A cursor holds no locks or goroutines between
+// Next calls — abandoning one without Close is safe. Rows reflect the
+// source snapshots taken by the scatter phase, so a full drain is
+// point-in-time consistent per source; separate Runs may observe
+// different source states (unless a TTL cache pins a snapshot).
+//
+// Cursors are not safe for concurrent use.
+type Cursor struct {
+	cols []string
+	it   iter
+	row  relalg.Row
+	err  error
+	done bool
+}
+
+// Next advances to the next row, reporting whether one is available. It
+// returns false when the result is exhausted, the cursor is closed, or
+// ctx is canceled — distinguish the last case with Err.
+func (c *Cursor) Next(ctx context.Context) bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	if err := ctx.Err(); err != nil {
+		c.err = err
+		c.done, c.row = true, nil
+		return false
+	}
+	row, err := c.it.next(ctx)
+	if err != nil {
+		c.err = err
+		c.done, c.row = true, nil
+		return false
+	}
+	if row == nil {
+		c.done, c.row = true, nil
+		return false
+	}
+	c.row = row
+	return true
+}
+
+// Row returns the current row. It is valid until the next call to Next
+// or Close and must not be mutated (it may alias a shared source
+// snapshot).
+func (c *Cursor) Row() relalg.Row { return c.row }
+
+// Columns returns the output schema in order.
+func (c *Cursor) Columns() []string { return c.cols }
+
+// Err returns the first error encountered while iterating (typically
+// the context's error after a cancellation), or nil after a clean
+// drain.
+func (c *Cursor) Err() error { return c.err }
+
+// Close stops iteration early. It is idempotent and optional — a cursor
+// holds no locks or goroutines — but calling it documents intent and
+// makes Next return false immediately.
+func (c *Cursor) Close() {
+	c.done, c.row = true, nil
+}
+
+// Materialize drains the remaining rows into a Relation. It is how
+// callers that want the old materializing contract — mdm.System.Query,
+// tests, examples — sit on top of the streaming engine. Rows may alias
+// source snapshots (exactly as relalg.Plan.Execute's results may) and
+// must not be mutated cell-wise.
+func (c *Cursor) Materialize(ctx context.Context) (*relalg.Relation, error) {
+	out := relalg.NewRelation(c.cols...)
+	for c.Next(ctx) {
+		out.Rows = append(out.Rows, c.row)
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

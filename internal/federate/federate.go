@@ -1,0 +1,222 @@
+// Package federate executes optimized relalg plans the way a mediator
+// over remote sources has to: source access is concurrent, result
+// delivery is streamed.
+//
+// The materializing executor (relalg.Plan.Execute) walks the operator
+// tree depth-first, so a plan over N wrappers pays the *sum* of the
+// source fetch latencies and every operator materializes its full
+// intermediate relation. This package splits execution into three
+// phases:
+//
+//  1. SCATTER — all Scan leaves of the plan are discovered up front,
+//     deduplicated by source name, and fetched concurrently with
+//     bounded parallelism. The first fetch error cancels the remaining
+//     fetches; a per-source deadline bounds each one.
+//  2. SNAPSHOT CACHE — fetches go through an optional Cache keyed by
+//     wrapper identity: concurrent walks hitting the same source share
+//     one in-flight fetch (singleflight), and with a TTL configured,
+//     completed snapshots are reused across walks (cache.go).
+//  3. STREAMING OPERATORS — the plan compiles to a tree of pull-based
+//     iterators over the snapshots (iter.go): Select/Project/Rename/
+//     Limit/Union/Distinct stream row by row, and Join is a probe-side
+//     hash join whose build side is an intrusive-chain table over the
+//     (already fetched) right input. No operator materializes its
+//     output, so memory beyond the source snapshots is O(page).
+//
+// Results are delivered through a Cursor (cursor.go) mirroring
+// sparql.Cursor: Next(ctx)/Row()/Err()/Close(), with LIMIT/OFFSET
+// applied inside the pipeline so a page costs O(sources + page) instead
+// of O(result).
+//
+// Row order is deterministic and identical to relalg.Plan.Execute's
+// (the oracle the equivalence harness pins): scans stream snapshot
+// order, joins emit left-row order with build-side matches in build
+// order, unions concatenate children in order. Paged reads are
+// therefore prefixes/slices of the full drain for unchanged snapshots.
+package federate
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mdm/internal/relalg"
+)
+
+// Engine runs relalg plans federated. The zero value is not usable; use
+// NewEngine. Fields are read at Run time and must be configured before
+// the engine serves concurrent queries.
+type Engine struct {
+	// Parallel bounds the number of concurrent source fetches per
+	// scatter phase.
+	Parallel int
+	// SourceTimeout bounds each individual source fetch. For direct
+	// (cache-less) fetches, 0 means no bound beyond the caller's
+	// context; cache-owned fetches are detached from every caller's
+	// context and therefore always get a bound — 0 falls back to a
+	// hard ceiling (see cache.go maxFill) so a hung source cannot
+	// wedge its cache entry forever.
+	SourceTimeout time.Duration
+	// Cache is the shared source-snapshot cache. Nil disables both
+	// snapshot reuse and singleflight dedup (every Run fetches its own
+	// snapshots).
+	Cache *Cache
+}
+
+// Default engine knobs. DefaultParallel bounds the scatter fan-out;
+// DefaultSourceTimeout keeps a hung source from wedging cache-owned
+// fetches forever.
+const (
+	DefaultParallel      = 8
+	DefaultSourceTimeout = 30 * time.Second
+)
+
+// NewEngine returns an engine with default fan-out, a default per-source
+// timeout, and a dedup-only cache (TTL 0: concurrent walks share one
+// fetch, completed snapshots are not reused).
+func NewEngine() *Engine {
+	return &Engine{
+		Parallel:      DefaultParallel,
+		SourceTimeout: DefaultSourceTimeout,
+		Cache:         NewCache(0),
+	}
+}
+
+// Run starts federated execution of a plan: it scatters the source
+// fetches, then returns a cursor streaming the plan's rows. Run blocks
+// until every source snapshot is available (or one fetch fails); the
+// operator pipeline itself does no source I/O.
+func (e *Engine) Run(ctx context.Context, plan relalg.Plan) (*Cursor, error) {
+	return e.RunPage(ctx, plan, -1, -1)
+}
+
+// RunPage is Run with a page bound pushed into the pipeline: when
+// limit >= 0 at most limit rows are produced, when offset > 0 the first
+// offset rows are skipped. A satisfied limit stops all upstream work.
+// Pass -1 to leave either unbounded.
+func (e *Engine) RunPage(ctx context.Context, plan relalg.Plan, limit, offset int) (*Cursor, error) {
+	snaps, err := e.scatter(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	it, err := compile(plan, snaps)
+	if err != nil {
+		return nil, err
+	}
+	if limit == 0 {
+		it = emptyIter{}
+	} else if offset > 0 || limit > 0 {
+		it = &pageIter{src: it, skip: max(offset, 0), limit: limit}
+	}
+	return &Cursor{cols: plan.Columns(), it: it}, nil
+}
+
+// collectScans gathers the plan's Scan leaves, deduplicated by source
+// name (wrapper names are globally unique in the registry, and the
+// rewriter reuses one wrapper across CQ branches of a union).
+func collectScans(p relalg.Plan, dst map[string]relalg.RowSource) {
+	if s, ok := p.(*relalg.Scan); ok {
+		if _, dup := dst[s.Src.Name()]; !dup {
+			dst[s.Src.Name()] = s.Src
+		}
+		return
+	}
+	for _, c := range p.Children() {
+		collectScans(c, dst)
+	}
+}
+
+// scatter fetches every distinct source of the plan concurrently with
+// bounded parallelism. The first error cancels the outstanding fetches
+// and is returned; sibling errors caused by that cancellation are
+// dropped, so the caller sees the root cause (a canceled client maps to
+// context.Canceled, a timed-out source to context.DeadlineExceeded).
+func (e *Engine) scatter(ctx context.Context, plan relalg.Plan) (map[string]*relalg.Relation, error) {
+	sources := map[string]relalg.RowSource{}
+	collectScans(plan, sources)
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic fan-out order
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	parallel := e.Parallel
+	if parallel <= 0 {
+		parallel = DefaultParallel
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		snaps    = make(map[string]*relalg.Relation, len(sources))
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, parallel)
+	)
+	for _, name := range names {
+		src := sources[name]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-sctx.Done():
+				return
+			}
+			rel, err := e.fetch(sctx, src)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				return
+			}
+			snaps[src.Name()] = rel
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// A canceled caller can make workers exit before fetching (and
+	// before any fetch records an error); surface the cancellation
+	// instead of an incomplete snapshot set.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return snaps, nil
+}
+
+// fetch obtains one source snapshot, through the cache when configured.
+func (e *Engine) fetch(ctx context.Context, src relalg.RowSource) (*relalg.Relation, error) {
+	if e.Cache != nil {
+		return e.Cache.Get(ctx, src, e.SourceTimeout)
+	}
+	if e.SourceTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.SourceTimeout)
+		defer cancel()
+	}
+	return fetchSource(ctx, src)
+}
+
+// fetchSource fetches and schema-checks one source (the same guard
+// relalg.Scan.Execute applies, so a misreporting source fails loudly
+// rather than corrupting downstream column arithmetic).
+func fetchSource(ctx context.Context, src relalg.RowSource) (*relalg.Relation, error) {
+	rel, err := src.Fetch(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("federate: source %s: %w", src.Name(), err)
+	}
+	if len(rel.Cols) != len(src.Columns()) {
+		return nil, fmt.Errorf("federate: source %s returned %d columns, declared %d",
+			src.Name(), len(rel.Cols), len(src.Columns()))
+	}
+	return rel, nil
+}

@@ -1,0 +1,443 @@
+package federate
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mdm/internal/relalg"
+)
+
+// This file compiles a relalg.Plan into a tree of pull-based row
+// iterators over the scatter phase's source snapshots. The compiled
+// pipeline produces exactly the rows — in exactly the order — that
+// relalg.Plan.Execute materializes (the equivalence harness pins this),
+// but one row at a time: Select/Project/Rename/Limit/Union/Distinct
+// stream, and Join is a probe-side hash join that materializes only its
+// build side (the right child), reusing the intrusive-chain layout of
+// the SPARQL engine's hashJoinIter at the relalg level.
+//
+// Row ownership: a row returned by next may be shared with a source
+// snapshot or the join build side — consumers must not mutate it.
+// Operators that construct rows (Project, Join) allocate fresh ones.
+
+// pollEvery is how many rows an amplifying or filtering loop processes
+// between context checks.
+const pollEvery = 1024
+
+// iter is one streaming operator. next returns the next row, or
+// (nil, nil) when exhausted; an error aborts the drain.
+type iter interface {
+	next(ctx context.Context) (relalg.Row, error)
+}
+
+// compile builds the operator tree for p over the fetched snapshots.
+func compile(p relalg.Plan, snaps map[string]*relalg.Relation) (iter, error) {
+	switch n := p.(type) {
+	case *relalg.Scan:
+		rel, ok := snaps[n.Src.Name()]
+		if !ok {
+			return nil, fmt.Errorf("federate: no snapshot for source %s", n.Src.Name())
+		}
+		return &scanIter{rows: rel.Rows}, nil
+
+	case *relalg.Project:
+		child, err := compile(n.Child, snaps)
+		if err != nil {
+			return nil, err
+		}
+		in := n.Child.Columns()
+		idx := make([]int, len(n.Cols))
+		for i, c := range n.Cols {
+			j := colIndex(in, c)
+			if j < 0 {
+				return nil, fmt.Errorf("federate: unknown column %q (have %v)", c, in)
+			}
+			idx[i] = j
+		}
+		return &projectIter{src: child, idx: idx}, nil
+
+	case *relalg.Select:
+		child, err := compile(n.Child, snaps)
+		if err != nil {
+			return nil, err
+		}
+		return &selectIter{src: child, pred: n.Pred, cols: n.Child.Columns()}, nil
+
+	case *relalg.Rename:
+		// Rename changes column names, not rows: compile through.
+		return compile(n.Child, snaps)
+
+	case *relalg.Join:
+		return compileJoin(n, snaps)
+
+	case *relalg.Union:
+		if len(n.Plans) == 0 {
+			return emptyIter{}, nil
+		}
+		cols := n.Plans[0].Columns()
+		subs := make([]iter, len(n.Plans))
+		for i, sub := range n.Plans {
+			sc := sub.Columns()
+			if len(sc) != len(cols) {
+				return nil, fmt.Errorf("federate: union schema mismatch: %v vs %v", cols, sc)
+			}
+			for j := range sc {
+				if sc[j] != cols[j] {
+					return nil, fmt.Errorf("federate: union schema mismatch: %v vs %v", cols, sc)
+				}
+			}
+			it, err := compile(sub, snaps)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = it
+		}
+		return &unionIter{subs: subs}, nil
+
+	case *relalg.Distinct:
+		child, err := compile(n.Child, snaps)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{src: child, seen: map[string]struct{}{}}, nil
+
+	case *relalg.Limit:
+		child, err := compile(n.Child, snaps)
+		if err != nil {
+			return nil, err
+		}
+		return &pageIter{src: child, limit: n.N}, nil
+	}
+	return nil, fmt.Errorf("federate: unsupported plan operator %T", p)
+}
+
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowKey is the canonical hash key of a row (same coercions as
+// relalg.Relation.Distinct / Join.Execute: numeric values of equal
+// magnitude collide, NULL is a distinct token).
+func rowKey(sb *strings.Builder, row relalg.Row, idx []int) string {
+	sb.Reset()
+	for _, i := range idx {
+		sb.WriteString(row[i].Key())
+		sb.WriteByte('\x01')
+	}
+	return sb.String()
+}
+
+// joinKey is the join-column key of a row; "" means a NULL participates
+// and the row never joins (SQL semantics, matching Join.Execute).
+func joinKey(sb *strings.Builder, row relalg.Row, idx []int) string {
+	sb.Reset()
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return ""
+		}
+		sb.WriteString(row[i].Key())
+		sb.WriteByte('\x01')
+	}
+	return sb.String()
+}
+
+// --- leaves and simple operators ---
+
+type emptyIter struct{}
+
+func (emptyIter) next(context.Context) (relalg.Row, error) { return nil, nil }
+
+// scanIter streams a source snapshot, polling ctx periodically so huge
+// snapshots stay cancelable.
+type scanIter struct {
+	rows []relalg.Row
+	pos  int
+}
+
+func (it *scanIter) next(ctx context.Context) (relalg.Row, error) {
+	if it.pos&(pollEvery-1) == pollEvery-1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, nil
+}
+
+// projectIter reorders/prunes columns, emitting a fresh row per input.
+type projectIter struct {
+	src iter
+	idx []int
+}
+
+func (it *projectIter) next(ctx context.Context) (relalg.Row, error) {
+	row, err := it.src.next(ctx)
+	if row == nil || err != nil {
+		return nil, err
+	}
+	out := make(relalg.Row, len(it.idx))
+	for i, j := range it.idx {
+		out[i] = row[j]
+	}
+	return out, nil
+}
+
+// selectIter drops rows failing the predicate, polling ctx while
+// scanning long runs of non-matching rows.
+type selectIter struct {
+	src     iter
+	pred    relalg.Pred
+	cols    []string
+	scanned int
+}
+
+func (it *selectIter) next(ctx context.Context) (relalg.Row, error) {
+	for {
+		it.scanned++
+		if it.scanned&(pollEvery-1) == pollEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row, err := it.src.next(ctx)
+		if row == nil || err != nil {
+			return nil, err
+		}
+		if it.pred.Eval(it.cols, row) {
+			return row, nil
+		}
+	}
+}
+
+// unionIter concatenates its children in order.
+type unionIter struct {
+	subs []iter
+	cur  int
+}
+
+func (it *unionIter) next(ctx context.Context) (relalg.Row, error) {
+	for it.cur < len(it.subs) {
+		row, err := it.subs[it.cur].next(ctx)
+		if row != nil || err != nil {
+			return row, err
+		}
+		it.cur++
+	}
+	return nil, nil
+}
+
+// distinctIter keeps each row's first occurrence.
+type distinctIter struct {
+	src  iter
+	seen map[string]struct{}
+	idx  []int // lazily: identity of all columns
+	sb   strings.Builder
+}
+
+func (it *distinctIter) next(ctx context.Context) (relalg.Row, error) {
+	for {
+		row, err := it.src.next(ctx)
+		if row == nil || err != nil {
+			return nil, err
+		}
+		if it.idx == nil {
+			it.idx = make([]int, len(row))
+			for i := range it.idx {
+				it.idx[i] = i
+			}
+		}
+		k := rowKey(&it.sb, row, it.idx)
+		if _, dup := it.seen[k]; dup {
+			continue
+		}
+		it.seen[k] = struct{}{}
+		return row, nil
+	}
+}
+
+// pageIter applies OFFSET/LIMIT: skip rows, then emit at most limit
+// (limit < 0 = unlimited). A satisfied limit stops pulling, which is
+// what lets upstream joins stop work early.
+type pageIter struct {
+	src   iter
+	skip  int
+	limit int
+}
+
+func (it *pageIter) next(ctx context.Context) (relalg.Row, error) {
+	for it.skip > 0 {
+		row, err := it.src.next(ctx)
+		if row == nil || err != nil {
+			it.skip = 0
+			return nil, err
+		}
+		it.skip--
+	}
+	if it.limit == 0 {
+		return nil, nil
+	}
+	row, err := it.src.next(ctx)
+	if row == nil || err != nil {
+		return nil, err
+	}
+	if it.limit > 0 {
+		it.limit--
+	}
+	return row, nil
+}
+
+// --- hash join ---
+
+// compileJoin resolves the join's column indexes at compile time,
+// mirroring Join.Execute's schema arithmetic exactly (join-duplicate
+// and name-collision columns of the right side are skipped).
+func compileJoin(n *relalg.Join, snaps map[string]*relalg.Relation) (iter, error) {
+	left, err := compile(n.L, snaps)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(n.R, snaps)
+	if err != nil {
+		return nil, err
+	}
+	lcols, rcols := n.L.Columns(), n.R.Columns()
+	lIdx := make([]int, len(n.On))
+	rIdx := make([]int, len(n.On))
+	for i, p := range n.On {
+		lIdx[i] = colIndex(lcols, p[0])
+		rIdx[i] = colIndex(rcols, p[1])
+		if lIdx[i] < 0 {
+			return nil, fmt.Errorf("federate: join column %q missing on left (have %v)", p[0], lcols)
+		}
+		if rIdx[i] < 0 {
+			return nil, fmt.Errorf("federate: join column %q missing on right (have %v)", p[1], rcols)
+		}
+	}
+	skip := map[int]bool{}
+	for _, ri := range rIdx {
+		skip[ri] = true
+	}
+	lhave := map[string]bool{}
+	for _, c := range lcols {
+		lhave[c] = true
+	}
+	var rEmit []int
+	for i, c := range rcols {
+		if !skip[i] && !lhave[c] {
+			rEmit = append(rEmit, i)
+		}
+	}
+	return &joinIter{
+		left: left, right: right,
+		lIdx: lIdx, rIdx: rIdx, rEmit: rEmit,
+		outW:  len(lcols) + len(rEmit),
+		chain: -1,
+	}, nil
+}
+
+// joinIter is a streaming probe-side hash join. On first pull it drains
+// its right child into an intrusive-chain hash table — rows in a flat
+// slice, head mapping a join key to its first row, next linking rows
+// that share a key (the PR 4 hashJoinIter layout, lifted from TermID
+// triplets to relalg rows). Chains are linked in reverse build order so
+// walking one yields matches in build order, keeping emission order
+// identical to the materializing executor's. Probing then streams: one
+// left row at a time, its bucket chain walked match by match, so the
+// join's (potentially multiplied) output is never materialized.
+type joinIter struct {
+	left, right iter
+	lIdx, rIdx  []int
+	rEmit       []int
+	outW        int
+
+	built bool
+	rows  []relalg.Row
+	head  map[string]int32
+	link  []int32
+
+	cur     relalg.Row // borrowed left row being extended
+	chain   int32      // next build row in cur's bucket, -1 = drained
+	emitted int        // for amortized ctx polling on skewed joins
+	sb      strings.Builder
+}
+
+func (it *joinIter) build(ctx context.Context) error {
+	it.rows = it.rows[:0]
+	for {
+		row, err := it.right.next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		it.rows = append(it.rows, row)
+	}
+	n := len(it.rows)
+	it.head = make(map[string]int32, n)
+	it.link = make([]int32, n)
+	// Reverse iteration + head-insertion leaves each chain in forward
+	// (build) order when walked from head.
+	for i := n - 1; i >= 0; i-- {
+		k := joinKey(&it.sb, it.rows[i], it.rIdx)
+		if k == "" {
+			it.link[i] = -1 // NULL never joins; row is unreachable
+			continue
+		}
+		if h, ok := it.head[k]; ok {
+			it.link[i] = h
+		} else {
+			it.link[i] = -1
+		}
+		it.head[k] = int32(i)
+	}
+	it.built = true
+	return nil
+}
+
+func (it *joinIter) next(ctx context.Context) (relalg.Row, error) {
+	if !it.built {
+		if err := it.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if it.chain >= 0 {
+			rrow := it.rows[it.chain]
+			it.chain = it.link[it.chain]
+			it.emitted++
+			if it.emitted&(pollEvery-1) == pollEvery-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			out := make(relalg.Row, 0, it.outW)
+			out = append(out, it.cur...)
+			for _, i := range it.rEmit {
+				out = append(out, rrow[i])
+			}
+			return out, nil
+		}
+		lrow, err := it.left.next(ctx)
+		if lrow == nil || err != nil {
+			return nil, err
+		}
+		k := joinKey(&it.sb, lrow, it.lIdx)
+		if k == "" {
+			continue
+		}
+		if h, ok := it.head[k]; ok {
+			it.cur, it.chain = lrow, h
+		}
+	}
+}

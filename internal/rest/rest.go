@@ -15,11 +15,12 @@
 //
 // # Query paging and streaming
 //
-// The three query endpoints (POST /api/query, /api/query/sparql and
-// /api/sparql) accept the URL parameters
+// The query endpoints (POST /api/query, /api/query/sparql, /api/sparql
+// and /api/walks/{name}/run) accept the URL parameters
 //
-//	limit=N    page size (for /api/sparql, pushed into evaluation:
-//	           the engine stops as soon as the page is complete)
+//	limit=N    page size, pushed into evaluation: the metadata SPARQL
+//	           cursor and the federated walk pipeline both stop as
+//	           soon as the page is complete
 //	offset=N   rows to skip before the page (the cursor position)
 //	format=ndjson
 //	           stream results as NDJSON instead of one JSON document:
@@ -29,17 +30,20 @@
 //
 // limit/offset override a LIMIT/OFFSET written in the query itself.
 // Every query runs under the client's request context: a dropped
-// connection cancels evaluation. POST bodies are capped at 1 MiB;
-// larger requests get 413 with a JSON error.
+// connection cancels evaluation — for walks, including the concurrent
+// source fetches of the federation scatter phase. POST bodies are
+// capped at 1 MiB; larger requests get 413 with a JSON error.
 package rest
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"mdm"
@@ -98,6 +102,30 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/walks", s.handleSaveWalk)
 	s.mux.HandleFunc("GET /api/walks", s.handleListWalks)
 	s.mux.HandleFunc("POST /api/walks/{name}/run", s.handleRunWalk)
+
+	// Application metrics: only the mdm.* expvars (the federation
+	// source-cache counters). The stock expvar.Handler also dumps
+	// cmdline and memstats, which do not belong on an unauthenticated
+	// API port.
+	s.mux.HandleFunc("GET /debug/vars", handleVars)
+}
+
+// handleVars renders the mdm.* expvars as one JSON object.
+func handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, "{")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !strings.HasPrefix(kv.Key, "mdm.") {
+			return
+		}
+		if !first {
+			fmt.Fprint(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "%q:%s", kv.Key, kv.Value)
+	})
+	fmt.Fprint(w, "}\n")
 }
 
 // --- helpers ---
@@ -548,19 +576,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	limit, offset, err := pageParams(r)
-	if err != nil {
-		fail(w, http.StatusBadRequest, err)
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
-	defer cancel()
-	rel, res, err := s.sys.Query(ctx, walk)
-	if err != nil {
-		failQuery(w, err)
-		return
-	}
-	s.writeWalkResult(w, r, rel, res, limit, offset)
+	s.runWalk(w, r, walk)
 }
 
 type sparqlReq struct {
@@ -575,19 +591,12 @@ func (s *Server) handleQuerySPARQL(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	limit, offset, err := pageParams(r)
+	walk, err := s.sys.WalkFromSPARQL(req.Query)
 	if err != nil {
-		fail(w, http.StatusBadRequest, err)
+		fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
-	defer cancel()
-	rel, res, err := s.sys.QuerySPARQL(ctx, req.Query)
-	if err != nil {
-		failQuery(w, err)
-		return
-	}
-	s.writeWalkResult(w, r, rel, res, limit, offset)
+	s.runWalk(w, r, walk)
 }
 
 // handleSPARQL evaluates a metadata query through the cursor engine:
@@ -744,19 +753,7 @@ func (s *Server) handleRunWalk(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	limit, offset, err := pageParams(r)
-	if err != nil {
-		fail(w, http.StatusBadRequest, err)
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
-	defer cancel()
-	rel, res, err := s.sys.Query(ctx, walk)
-	if err != nil {
-		failQuery(w, err)
-		return
-	}
-	s.writeWalkResult(w, r, rel, res, limit, offset)
+	s.runWalk(w, r, walk)
 }
 
 // buildWalk converts a JSON walk request to a Walk.
@@ -781,46 +778,68 @@ func (s *Server) buildWalk(req walkReq) (*mdm.Walk, error) {
 	return walk, nil
 }
 
-// writeWalkResult renders a federated query answer with the
-// already-validated limit/offset page (-1 = unbounded) and the format
-// URL parameter. Walk answers are materialized by the relational
-// engine, so paging slices the sorted relation; NDJSON still streams
-// the page row by row.
-func (s *Server) writeWalkResult(w http.ResponseWriter, r *http.Request, rel *mdm.Relation, res *mdm.RewriteResult, limit, offset int) {
-	rel.Sort() // deterministic row order, so pages partition the result
-	rows := rel.Rows
-	if offset > 0 {
-		if offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[offset:]
+// runWalk executes a walk through the streaming federation engine and
+// renders the answer under the shared paging/streaming contract: the
+// limit/offset page is pushed into the pipeline (a page costs
+// O(sources + page), not O(result)), the request context (bounded by
+// QueryTimeout) cancels both the source scatter and the drain, and
+// format=ndjson streams rows as they are produced.
+//
+// Error mapping matches the metadata SPARQL endpoints: a disconnect
+// reports 499, a timeout (the scatter's per-source deadline or the
+// query timeout) 504, a semantic failure 422 — all pre-header; an error
+// after the NDJSON header commits the 200 is reported as a trailing
+// {"error": ...} line so a still-connected client can tell a truncated
+// stream from a complete one. Rows stream in plan order, which is
+// deterministic for unchanged source snapshots, so pages partition the
+// result exactly as a full drain delivers it.
+func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk) {
+	limit, offset, err := pageParams(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	cur, res, err := s.sys.QueryPage(ctx, walk, limit, offset)
+	if err != nil {
+		failQuery(w, err)
+		return
+	}
+	defer cur.Close()
+
+	cells := func() []string {
+		row := cur.Row()
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.Text()
 		}
+		return out
 	}
-	if limit >= 0 && limit < len(rows) {
-		rows = rows[:limit]
-	}
+
 	if wantNDJSON(r) {
 		out := startNDJSON(w)
-		out.line(map[string]any{"columns": rel.Cols, "sparql": res.SPARQL})
-		for _, row := range rows {
-			cells := make([]string, len(row))
-			for i, v := range row {
-				cells[i] = v.Text()
-			}
-			out.line(cells)
+		out.line(map[string]any{"columns": cur.Columns(), "sparql": res.SPARQL})
+		for cur.Next(ctx) {
+			out.line(cells())
+		}
+		if err := cur.Err(); err != nil {
+			out.line(apiError{Error: err.Error()})
 		}
 		return
 	}
-	resp := queryResp{Columns: rel.Cols, SPARQL: res.SPARQL, CQs: len(res.CQs)}
+
+	rows := [][]string{}
+	for cur.Next(ctx) {
+		rows = append(rows, cells())
+	}
+	if err := cur.Err(); err != nil {
+		failQuery(w, err)
+		return
+	}
+	resp := queryResp{Columns: cur.Columns(), SPARQL: res.SPARQL, CQs: len(res.CQs), Rows: rows}
 	for _, cq := range res.CQs {
 		resp.Algebra = append(resp.Algebra, cq.Algebra)
-	}
-	for _, row := range rows {
-		cells := make([]string, len(row))
-		for i, v := range row {
-			cells[i] = v.Text()
-		}
-		resp.Rows = append(resp.Rows, cells)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

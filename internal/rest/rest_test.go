@@ -9,11 +9,14 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"mdm"
 	"mdm/internal/apisim"
 	"mdm/internal/rest"
+	"mdm/internal/schema"
 	"mdm/internal/usecase"
+	"mdm/internal/wrapper"
 )
 
 // client is a tiny JSON test client.
@@ -745,5 +748,170 @@ func TestClientDisconnectCancelsQuery(t *testing.T) {
 	rec = post("/api/query/sparql", `{"query":"PREFIX ex: <http://www.example.org/football/>\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\nSELECT ?playerName WHERE { ?p rdf:type ex:Player . ?p ex:playerName ?playerName . }"}`)
 	if rec.Code != 499 {
 		t.Fatalf("query/sparql status = %d, want 499 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// slowWalkSystem builds a system where the Fig8 walk's rewriting unions
+// in a wrapper that never answers (it blocks until its fetch context is
+// done), so walk endpoints stall inside the federation scatter phase.
+func slowWalkSystem(t *testing.T) *mdm.System {
+	t.Helper()
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	sys.Federation().SourceTimeout = 2 * time.Second // don't leak fills for 30s
+	slow := wrapper.NewFunc("wslow", usecase.SrcPlayers, f.W1.Signature().Attributes,
+		func(ctx context.Context) ([]schema.Doc, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	if _, err := sys.RegisterWrapper(slow); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.Ont.MappingOf("w1")
+	if !ok {
+		t.Fatal("w1 mapping missing")
+	}
+	m.Wrapper = "wslow"
+	if err := sys.DefineMapping(m); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+var fig8WalkBody = `{"select":[
+  {"concept":"http://schema.org/SportsTeam","feature":"http://www.example.org/football/teamName","alias":"teamName"},
+  {"concept":"http://www.example.org/football/Player","feature":"http://www.example.org/football/playerName","alias":"playerName"}],
+ "relations":[["http://www.example.org/football/Player","http://www.example.org/football/playsIn","http://schema.org/SportsTeam"]]}`
+
+// TestWalkSlowSourceTimeout504: a wrapper that outlives the query
+// timeout surfaces 504 from the walk endpoints (the scatter's deadline
+// maps to context.DeadlineExceeded).
+func TestWalkSlowSourceTimeout504(t *testing.T) {
+	sys := slowWalkSystem(t)
+	srv := rest.NewServer(sys)
+	srv.QueryTimeout = 50 * time.Millisecond
+
+	req := httptest.NewRequest("POST", "/api/query", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Fatalf("body = %s", rec.Body)
+	}
+}
+
+// TestWalkClientDisconnectMidFetch499: the client going away while a
+// source fetch is in flight cancels the scatter; the handler reports
+// 499 with the context error.
+func TestWalkClientDisconnectMidFetch499(t *testing.T) {
+	sys := slowWalkSystem(t)
+	srv := rest.NewServer(sys)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	req := httptest.NewRequest("POST", "/api/query", strings.NewReader(fig8WalkBody)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Fatalf("status = %d, want 499 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "context canceled") {
+		t.Fatalf("body = %s", rec.Body)
+	}
+}
+
+// TestSavedWalkRunPagingAndNDJSON: /api/walks/{name}/run honors the
+// same paging + NDJSON streaming contract as /api/query.
+func TestSavedWalkRunPagingAndNDJSON(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	c.do("POST", "/api/walks", map[string]any{
+		"name": "players",
+		"select": []map[string]string{
+			{"concept": "ex:Player", "feature": "ex:playerName", "alias": "playerName"},
+		},
+	}, 201)
+
+	full := c.do("POST", "/api/walks/players/run", nil, 200)
+	all := full["rows"].([]any)
+	if len(all) != 5 {
+		t.Fatalf("full rows = %d", len(all))
+	}
+	// Pages partition the stream in order.
+	var paged []any
+	for off := 0; off < 7; off += 2 {
+		page := c.do("POST", fmt.Sprintf("/api/walks/players/run?limit=2&offset=%d", off), nil, 200)
+		rows, _ := page["rows"].([]any)
+		paged = append(paged, rows...)
+	}
+	if len(paged) != 5 {
+		t.Fatalf("concatenated pages = %d rows", len(paged))
+	}
+	for i := range all {
+		if fmt.Sprint(paged[i]) != fmt.Sprint(all[i]) {
+			t.Fatalf("page row %d = %v, want %v", i, paged[i], all[i])
+		}
+	}
+
+	resp, err := c.http.Post(c.base+"/api/walks/players/run?format=ndjson&limit=3", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(body.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("ndjson lines = %d: %q", len(lines), body.String())
+	}
+	var hdr struct {
+		Columns []string `json:"columns"`
+		SPARQL  string   `json:"sparql"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || len(hdr.Columns) != 1 || hdr.SPARQL == "" {
+		t.Fatalf("ndjson header = %q (err %v)", lines[0], err)
+	}
+}
+
+// TestWalkQueryPagesPartitionStream: /api/query pages are slices of the
+// full result stream, in stream order.
+func TestWalkQueryPagesPartitionStream(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	walk := map[string]any{
+		"select": []map[string]string{
+			{"concept": "ex:Player", "feature": "ex:playerName", "alias": "playerName"},
+		},
+	}
+	full := c.do("POST", "/api/query", walk, 200)
+	all := full["rows"].([]any)
+	if len(all) != 5 {
+		t.Fatalf("full rows = %d", len(all))
+	}
+	var paged []any
+	for off := 0; off < 7; off += 3 {
+		page := c.do("POST", fmt.Sprintf("/api/query?limit=3&offset=%d", off), walk, 200)
+		rows, _ := page["rows"].([]any)
+		paged = append(paged, rows...)
+	}
+	if len(paged) != 5 {
+		t.Fatalf("concatenated pages = %d", len(paged))
+	}
+	for i := range all {
+		if fmt.Sprint(paged[i]) != fmt.Sprint(all[i]) {
+			t.Fatalf("page row %d = %v, want %v", i, paged[i], all[i])
+		}
 	}
 }

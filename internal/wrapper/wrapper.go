@@ -13,6 +13,7 @@ package wrapper
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -121,7 +122,19 @@ func NewHTTP(ctx context.Context, name, sourceID, url string, opts ...HTTPOption
 	return w, nil
 }
 
-// fetchDocs GETs the endpoint and flattens the payload.
+// maxPayloadBytes caps how much of a source payload a wrapper reads. It
+// is a var only so tests can lower it; treat it as a constant.
+var maxPayloadBytes = int64(64 << 20)
+
+// ErrPayloadTooLarge reports a source payload exceeding the wrapper
+// read cap. It is returned instead of silently flattening a truncated
+// (and therefore likely corrupt) document.
+var ErrPayloadTooLarge = errors.New("payload exceeds wrapper read cap")
+
+// fetchDocs GETs the endpoint and flattens the payload. The status code
+// is checked before the body is read — an error response's body is
+// diagnostics, not data — and payloads over the read cap fail with
+// ErrPayloadTooLarge rather than being truncated.
 func (w *HTTP) fetchDocs(ctx context.Context) ([]schema.Doc, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url, nil)
 	if err != nil {
@@ -132,12 +145,17 @@ func (w *HTTP) fetchDocs(ctx context.Context) ([]schema.Doc, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", w.url, resp.StatusCode)
+	}
+	// Read one byte past the cap so an exactly-cap-sized payload is
+	// distinguishable from an oversized one.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPayloadBytes+1))
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: status %d", w.url, resp.StatusCode)
+	if int64(len(body)) > maxPayloadBytes {
+		return nil, fmt.Errorf("GET %s: %w (%d byte cap)", w.url, ErrPayloadTooLarge, maxPayloadBytes)
 	}
 	format := w.format
 	if format == "" {

@@ -1,13 +1,18 @@
 package wrapper
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mdm/internal/relalg"
 	"mdm/internal/schema"
@@ -278,5 +283,108 @@ func TestWrapperIsRowSource(t *testing.T) {
 	rel, err := plan.Execute(context.Background())
 	if err != nil || rel.Len() != 2 {
 		t.Fatalf("plan over wrapper = %v, %v", rel, err)
+	}
+}
+
+// TestHTTPStatusCheckedBeforeBody: a non-200 response fails with the
+// status code — its body is never flattened as data, however large.
+func TestHTTPStatusCheckedBeforeBody(t *testing.T) {
+	healthy := atomic.Bool{}
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			// A huge error body must not trip the payload cap nor be
+			// parsed; the status decides first.
+			w.Write(bytes.Repeat([]byte("x"), 1<<20))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`[{"id":1}]`))
+	}))
+	defer srv.Close()
+
+	w, err := NewHTTP(context.Background(), "w", "s", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy.Store(false)
+	_, err = w.Fetch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("err = %v, want status 500", err)
+	}
+	if errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("status error misreported as payload cap: %v", err)
+	}
+}
+
+// TestHTTPPayloadCap: payloads over the read cap fail with a distinct
+// error instead of being silently truncated into a corrupt document.
+func TestHTTPPayloadCap(t *testing.T) {
+	prev := maxPayloadBytes
+	maxPayloadBytes = 64
+	t.Cleanup(func() { maxPayloadBytes = prev })
+
+	big := atomic.Bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if big.Load() {
+			fmt.Fprintf(w, `[{"id":1,"pad":%q}]`, strings.Repeat("x", 200))
+			return
+		}
+		w.Write([]byte(`[{"id":1}]`))
+	}))
+	defer srv.Close()
+
+	w, err := NewHTTP(context.Background(), "w", "s", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the cap: still fine.
+	if _, err := w.Fetch(context.Background()); err != nil {
+		t.Fatalf("fetch under cap: %v", err)
+	}
+	big.Store(true)
+	_, err = w.Fetch(context.Background())
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v, want ErrPayloadTooLarge", err)
+	}
+	// Signature drift probes fail the same way, not with a parse error.
+	if _, err := w.CurrentSignature(context.Background()); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("CurrentSignature err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+// TestHTTPFetchCtxCancel: canceling the context mid-fetch surfaces
+// context.Canceled (the REST layer maps it to 499).
+func TestHTTPFetchCtxCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	first := atomic.Bool{}
+	first.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if first.CompareAndSwap(true, false) { // signature probe
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`[{"id":1}]`))
+			return
+		}
+		select { // hang until the client goes away
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	w, err := NewHTTP(context.Background(), "w", "s", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := w.Fetch(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
 	}
 }

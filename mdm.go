@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 
 	"mdm/internal/bdi"
+	"mdm/internal/federate"
 	"mdm/internal/rdf"
 	"mdm/internal/rdf/turtle"
 	"mdm/internal/relalg"
@@ -65,6 +66,8 @@ type (
 	Violation = bdi.Violation
 	// Wrapper is the source-access interface.
 	Wrapper = wrapper.Wrapper
+	// WalkCursor streams a federated walk answer row by row.
+	WalkCursor = federate.Cursor
 	// Term is an RDF term.
 	Term = rdf.Term
 	// Triple is an RDF triple.
@@ -85,6 +88,7 @@ type System struct {
 	releases *release.Manager
 	meta     *store.Store
 	rewriter *rewrite.Rewriter
+	fed      *federate.Engine
 	// tdbStore is non-nil for persistent systems created with Open.
 	tdbStore *tdb.Store
 }
@@ -100,6 +104,7 @@ func New() *System {
 		releases: release.NewManager(ont, reg),
 		meta:     meta,
 		rewriter: rewrite.New(ont, reg),
+		fed:      federate.NewEngine(),
 	}
 }
 
@@ -126,6 +131,7 @@ func Open(dir string) (*System, error) {
 		releases: release.NewManager(ont, reg),
 		meta:     meta,
 		rewriter: rewrite.New(ont, reg),
+		fed:      federate.NewEngine(),
 		tdbStore: ts,
 	}, nil
 }
@@ -162,6 +168,7 @@ func FromParts(ont *bdi.Ontology, reg *wrapper.Registry) *System {
 		releases: release.NewManager(ont, reg),
 		meta:     meta,
 		rewriter: rewrite.New(ont, reg),
+		fed:      federate.NewEngine(),
 	}
 }
 
@@ -176,6 +183,11 @@ func (s *System) Metadata() *store.Store { return s.meta }
 
 // Releases exposes the release manager.
 func (s *System) Releases() *release.Manager { return s.releases }
+
+// Federation exposes the federated execution engine so deployments can
+// tune the scatter fan-out, the per-source fetch timeout, and the
+// source-snapshot cache TTL. Configure it before serving queries.
+func (s *System) Federation() *federate.Engine { return s.fed }
 
 // --- Prefixes and IRIs ---
 
@@ -274,29 +286,68 @@ func (s *System) Rewrite(w *Walk) (*RewriteResult, error) {
 	return s.rewriter.Rewrite(w)
 }
 
-// Query rewrites and executes a walk, returning the answer relation and
-// the rewriting artifacts (SPARQL, algebra) for inspection.
+// Query rewrites and executes a walk federated — source fetches run
+// concurrently through the federation engine — returning the
+// materialized answer relation and the rewriting artifacts (SPARQL,
+// algebra) for inspection. For streamed or paged delivery use
+// QueryCursor / QueryPage.
 func (s *System) Query(ctx context.Context, w *Walk) (*Relation, *RewriteResult, error) {
-	res, err := s.rewriter.Rewrite(w)
+	cur, res, err := s.QueryCursor(ctx, w)
 	if err != nil {
-		return nil, nil, err
+		return nil, res, err
 	}
-	rel, err := res.Plan.Execute(ctx)
+	defer cur.Close()
+	rel, err := cur.Materialize(ctx)
 	if err != nil {
 		return nil, res, fmt.Errorf("mdm: execute rewritten query: %w", err)
 	}
 	return rel, res, nil
 }
 
+// QueryCursor rewrites a walk and starts streaming federated execution:
+// the scatter phase fetches all distinct sources concurrently (through
+// the snapshot cache), then rows are produced on demand through
+// WalkCursor.Next with no per-operator materialization. It is QueryPage
+// without a page bound.
+func (s *System) QueryCursor(ctx context.Context, w *Walk) (*WalkCursor, *RewriteResult, error) {
+	return s.QueryPage(ctx, w, -1, -1)
+}
+
+// QueryPage is QueryCursor with a page bound pushed into the streaming
+// pipeline: when limit >= 0 at most limit rows are produced, when
+// offset > 0 that many are skipped first — the paging contract of the
+// REST walk endpoints. A page read costs O(sources + page), and for
+// unchanged source snapshots pages partition the full stream. Pass -1
+// to leave either unbounded.
+func (s *System) QueryPage(ctx context.Context, w *Walk, limit, offset int) (*WalkCursor, *RewriteResult, error) {
+	res, err := s.rewriter.Rewrite(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err := s.fed.RunPage(ctx, res.Plan, limit, offset)
+	if err != nil {
+		return nil, res, fmt.Errorf("mdm: execute rewritten query: %w", err)
+	}
+	return cur, res, nil
+}
+
 // QuerySPARQL accepts an ontology-mediated query written directly in
 // SPARQL (the fragment MDM itself generates for walks), translates it to
 // a walk, rewrites it over the LAV mappings and executes it federated.
 func (s *System) QuerySPARQL(ctx context.Context, query string) (*Relation, *RewriteResult, error) {
-	walk, err := rewrite.WalkFromSPARQL(s.ont, query)
+	walk, err := s.WalkFromSPARQL(query)
 	if err != nil {
 		return nil, nil, err
 	}
 	return s.Query(ctx, walk)
+}
+
+// WalkFromSPARQL translates an ontology-mediated SPARQL query (the
+// fragment MDM generates for walks) into a Walk without executing it —
+// the entry point for callers that want cursor-based execution of a
+// SPARQL-written OMQ via QueryCursor/QueryPage.
+func (s *System) WalkFromSPARQL(query string) (*Walk, error) {
+	return rewrite.WalkFromSPARQL(s.ont, query)
 }
 
 // SPARQL runs a SPARQL query over the ontology dataset itself (global
@@ -380,5 +431,6 @@ func ImportTriG(doc string) (*System, error) {
 		releases: release.NewManager(ont, reg),
 		meta:     meta,
 		rewriter: rewrite.New(ont, reg),
+		fed:      federate.NewEngine(),
 	}, nil
 }
