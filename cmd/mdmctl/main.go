@@ -36,6 +36,9 @@
 //	            streaming federated pipeline)
 //	-offset N   rows to skip (the cursor position)
 //	-ndjson     stream NDJSON rows to stdout as the server produces them
+//	-partial    (query and run) accept a degraded answer when a source
+//	            is down: healthy sources' rows are returned and a
+//	            warning naming the annotation is printed to stderr
 //
 // The JSON formats of mapping and query match the REST API bodies
 // (POST /api/mappings and POST /api/query).
@@ -170,7 +173,7 @@ func (c *client) run(cmd string, args []string) error {
 			return err
 		}
 		if len(rest) != 1 {
-			return fmt.Errorf("query [-limit N] [-offset N] [-ndjson] <file.json>")
+			return fmt.Errorf("query [-limit N] [-offset N] [-ndjson] [-partial] <file.json>")
 		}
 		return c.postFile("/api/query"+params, rest[0])
 	case "walks":
@@ -181,7 +184,7 @@ func (c *client) run(cmd string, args []string) error {
 			return err
 		}
 		if len(rest) != 1 {
-			return fmt.Errorf("run [-limit N] [-offset N] [-ndjson] <walk>")
+			return fmt.Errorf("run [-limit N] [-offset N] [-ndjson] [-partial] <walk>")
 		}
 		return c.post("/api/walks/"+url.PathEscape(rest[0])+"/run"+params, map[string]string{})
 	case "sparql":
@@ -216,6 +219,9 @@ func pageFlags(args []string) (params string, rest []string, err error) {
 			args = args[2:]
 		case "-ndjson":
 			q.Set("format", "ndjson")
+			args = args[1:]
+		case "-partial":
+			q.Set("partial", "1")
 			args = args[1:]
 		default:
 			if strings.HasPrefix(args[0], "-") {
@@ -282,6 +288,7 @@ func (c *client) post(path string, body any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	warnPartial(resp)
 	if isNDJSON(resp) {
 		_, err = io.Copy(os.Stdout, resp.Body)
 		return err
@@ -299,11 +306,21 @@ func (c *client) postFile(path, file string) error {
 		return err
 	}
 	defer resp.Body.Close()
+	warnPartial(resp)
 	if isNDJSON(resp) {
 		_, err = io.Copy(os.Stdout, resp.Body)
 		return err
 	}
 	return pretty(resp.Body, resp.StatusCode)
+}
+
+// warnPartial flags a degraded answer on stderr so scripts piping
+// stdout still see the completeness loss (details are in the body's
+// missing_sources/stale_sources annotation).
+func warnPartial(resp *http.Response) {
+	if resp.Header.Get("X-MDM-Partial") == "true" {
+		fmt.Fprintln(os.Stderr, "mdmctl: warning: partial result — some sources missing or stale (see missing_sources/stale_sources)")
+	}
 }
 
 // isNDJSON reports a streaming response; rows are copied to stdout as

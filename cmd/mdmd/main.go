@@ -5,6 +5,8 @@
 //
 //	mdmd [-addr :8085] [-data DIR] [-seed] [-simulate]
 //	     [-fanout N] [-source-timeout D] [-source-cache-ttl D]
+//	     [-retries N] [-breaker-threshold N] [-breaker-cooldown D]
+//	     [-partial] [-serve-stale] [-drain-timeout D]
 //
 //	-addr      listen address
 //	-data      persistence directory; the ontology dataset is loaded at
@@ -20,13 +22,39 @@
 //	-source-cache-ttl D   source-snapshot reuse window; 0 (default)
 //	                      dedups concurrent fetches without reusing
 //	                      completed snapshots
+//
+// Federation resilience knobs (see docs/ARCHITECTURE.md, "Federation
+// resilience"):
+//
+//	-retries N            retries per source fetch after the first
+//	                      attempt, with jittered exponential backoff
+//	                      (default 2; 0 disables)
+//	-breaker-threshold N  consecutive source-fault failures that trip a
+//	                      source's circuit breaker (default 5)
+//	-breaker-cooldown D   how long a tripped breaker fails fast before
+//	                      letting one probe through (default 10s)
+//	-partial              serve degraded walk answers by default: a
+//	                      failed source is annotated instead of failing
+//	                      the query (clients override per query with
+//	                      ?partial=0/1)
+//	-serve-stale          in partial mode, substitute a source's last
+//	                      good snapshot (marked stale) instead of
+//	                      dropping its rows
+//
+// Lifecycle:
+//
+//	-drain-timeout D      on SIGINT/SIGTERM, wait up to D for in-flight
+//	                      requests (including streaming NDJSON walks) to
+//	                      complete before exiting (default 10s)
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +77,12 @@ func main() {
 	fanout := flag.Int("fanout", federate.DefaultParallel, "max concurrent source fetches per walk")
 	sourceTimeout := flag.Duration("source-timeout", federate.DefaultSourceTimeout, "per-source fetch deadline")
 	cacheTTL := flag.Duration("source-cache-ttl", 0, "source-snapshot reuse window (0 = dedup only)")
+	retries := flag.Int("retries", federate.DefaultRetries, "retries per source fetch (0 = single attempt)")
+	breakerThreshold := flag.Int("breaker-threshold", federate.DefaultBreakerThreshold, "consecutive failures that trip a source's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", federate.DefaultBreakerCooldown, "open-breaker fail-fast window before a probe")
+	partial := flag.Bool("partial", false, "degrade walks on source failure by default (annotate instead of fail)")
+	serveStale := flag.Bool("serve-stale", false, "in partial mode, substitute a source's last good snapshot")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain window on shutdown")
 	flag.Parse()
 
 	sys, err := buildSystem(*dataDir, *seed)
@@ -59,6 +93,14 @@ func main() {
 	fed.Parallel = *fanout
 	fed.SourceTimeout = *sourceTimeout
 	fed.Cache = federate.NewCache(*cacheTTL)
+	fed.Retry.Max = *retries
+	fed.Breakers = federate.NewBreakerSet(*breakerThreshold, *breakerCooldown)
+	fed.PartialResults = *partial
+	fed.ServeStale = *serveStale
+	// Per-source breaker states next to the transition counters on
+	// GET /debug/vars (main runs once, so the Publish cannot collide).
+	expvar.Publish("mdm.federate.breaker.states",
+		expvar.Func(func() any { return fed.Breakers.States() }))
 
 	if *simulate {
 		provider := apisim.NewFootball()
@@ -68,7 +110,6 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           rest.NewServer(sys),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -76,8 +117,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mdmd: listen: %v", err)
+	}
 	log.Printf("mdmd: listening on %s (seeded=%v, data=%q)", *addr, *seed, *dataDir)
 
 	// Periodic snapshots when persistent.
@@ -98,22 +141,41 @@ func main() {
 		}()
 	}
 
-	select {
-	case <-ctx.Done():
-		log.Print("mdmd: shutting down")
-	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("mdmd: serve: %v", err)
-		}
+	if err := serveWithDrain(ctx, srv, ln, *drainTimeout); err != nil {
+		log.Fatalf("mdmd: serve: %v", err)
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	_ = srv.Shutdown(shutdownCtx)
 	if *dataDir != "" {
 		if err := persist(sys, *dataDir); err != nil {
 			log.Printf("mdmd: final snapshot: %v", err)
 		}
 	}
+}
+
+// serveWithDrain serves on ln until ctx is canceled (SIGINT/SIGTERM),
+// then drains: the listener closes immediately, but in-flight requests
+// — including streaming NDJSON walks, whose request contexts
+// http.Server.Shutdown deliberately does not cancel — get up to drain
+// to complete. Requests still running after the window are aborted.
+func serveWithDrain(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Printf("mdmd: shutting down (draining up to %v)", drain)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain window expired with requests still running: cut them.
+		_ = srv.Close()
+		return nil
+	}
+	return nil
 }
 
 // buildSystem assembles the system, loading a previous snapshot when the

@@ -63,12 +63,18 @@ func NewCache(ttl time.Duration) *Cache {
 // TTL returns the configured snapshot lifetime.
 func (c *Cache) TTL() time.Duration { return c.ttl }
 
-// Get returns the snapshot for src, fetching it (bounded by
-// fetchTimeout, 0 = unbounded) on a miss. Concurrent Gets for the same
+// FetchFunc obtains one source snapshot. The cache calls it exactly
+// once per fill (singleflight), so putting retries and breaker checks
+// inside it — as Engine.fetchResilient does — dedupes the whole retry
+// sequence across concurrent walks, not just the individual attempts.
+type FetchFunc func(ctx context.Context, src relalg.RowSource) (*relalg.Relation, error)
+
+// Get returns the snapshot for src, fetching it via fetch (nil means a
+// plain schema-checked fetch) on a miss. Concurrent Gets for the same
 // source share one fetch. ctx cancels only this caller's wait — the
 // shared fetch keeps running for other waiters — so a dropped client
 // surfaces ctx.Err() without failing its neighbors.
-func (c *Cache) Get(ctx context.Context, src relalg.RowSource, fetchTimeout time.Duration) (*relalg.Relation, error) {
+func (c *Cache) Get(ctx context.Context, src relalg.RowSource, fetch FetchFunc) (*relalg.Relation, error) {
 	key := src.Name()
 	c.mu.Lock()
 	ent := c.entries[key]
@@ -104,7 +110,7 @@ func (c *Cache) Get(ctx context.Context, src relalg.RowSource, fetchTimeout time
 	c.misses.Add(1)
 	expMisses.Add(1)
 
-	go c.fill(key, src, ent, fetchTimeout)
+	go c.fill(key, src, ent, fetch)
 	select {
 	case <-ent.ready:
 		return ent.rel, ent.err
@@ -113,23 +119,24 @@ func (c *Cache) Get(ctx context.Context, src relalg.RowSource, fetchTimeout time
 	}
 }
 
-// maxFill bounds a cache-owned fetch when the caller passed no
-// timeout. Detached fetches ride no caller's context, so an unbounded
-// one that hangs would wedge its entry (and every future Get for that
-// source) until process restart; a generous hard ceiling is safer than
-// none.
+// maxFill bounds a cache-owned fetch end to end, including any retries
+// and backoff the FetchFunc performs. Detached fetches ride no caller's
+// context, so an unbounded one that hangs would wedge its entry (and
+// every future Get for that source) until process restart; a generous
+// hard ceiling is safer than none.
 const maxFill = 5 * time.Minute
 
 // fill performs the cache-owned fetch for one entry. It runs detached
 // from every caller so an abandoned wait cannot cancel a shared fetch;
-// fetchTimeout (clamped to maxFill when unset) is the only bound.
-func (c *Cache) fill(key string, src relalg.RowSource, ent *cacheEntry, fetchTimeout time.Duration) {
-	if fetchTimeout <= 0 {
-		fetchTimeout = maxFill
+// maxFill is the only bound (the FetchFunc applies any per-attempt
+// timeout itself).
+func (c *Cache) fill(key string, src relalg.RowSource, ent *cacheEntry, fetch FetchFunc) {
+	if fetch == nil {
+		fetch = fetchSource
 	}
-	fctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+	fctx, cancel := context.WithTimeout(context.Background(), maxFill)
 	defer cancel()
-	rel, err := fetchSource(fctx, src)
+	rel, err := fetch(fctx, src)
 	c.mu.Lock()
 	ent.rel, ent.err = rel, err
 	ent.expires = c.now().Add(c.ttl)

@@ -53,7 +53,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rel, err := c.Get(context.Background(), src, time.Minute)
+			rel, err := c.Get(context.Background(), src, nil)
 			if err == nil && rel.Len() != 1 {
 				err = errors.New("bad relation")
 			}
@@ -89,7 +89,7 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 
 	// Dedup-only: a later Get refetches.
-	if _, err := c.Get(context.Background(), src, time.Minute); err != nil {
+	if _, err := c.Get(context.Background(), src, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := src.fetches.Load(); got != 2 {
@@ -109,18 +109,18 @@ func TestCacheTTL(t *testing.T) {
 	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
 
 	ctx := context.Background()
-	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+	if _, err := c.Get(ctx, src, nil); err != nil {
 		t.Fatal(err)
 	}
 	advance(30 * time.Second)
-	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+	if _, err := c.Get(ctx, src, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := src.fetches.Load(); got != 1 {
 		t.Fatalf("fetches inside TTL = %d, want 1", got)
 	}
 	advance(31 * time.Second) // past expiry
-	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+	if _, err := c.Get(ctx, src, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := src.fetches.Load(); got != 2 {
@@ -140,11 +140,11 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	src.err = errors.New("boom")
 	c := NewCache(time.Minute)
 	ctx := context.Background()
-	if _, err := c.Get(ctx, src, time.Minute); err == nil {
+	if _, err := c.Get(ctx, src, nil); err == nil {
 		t.Fatal("expected error")
 	}
 	src.err = nil
-	rel, err := c.Get(ctx, src, time.Minute)
+	rel, err := c.Get(ctx, src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestCacheWaiterCancelDoesNotPoisonFetch(t *testing.T) {
 	}
 	leader := make(chan res, 1)
 	go func() {
-		rel, err := c.Get(context.Background(), src, time.Minute)
+		rel, err := c.Get(context.Background(), src, nil)
 		leader <- res{rel, err}
 	}()
 	// Wait for the leader's fetch to start, then join and cancel.
@@ -182,7 +182,7 @@ func TestCacheWaiterCancelDoesNotPoisonFetch(t *testing.T) {
 	}
 	canceled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.Get(canceled, src, time.Minute); !errors.Is(err, context.Canceled) {
+	if _, err := c.Get(canceled, src, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled waiter err = %v, want Canceled", err)
 	}
 	close(src.release)
@@ -205,11 +205,11 @@ func TestCacheInvalidate(t *testing.T) {
 	close(src.release)
 	c := NewCache(time.Minute)
 	ctx := context.Background()
-	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+	if _, err := c.Get(ctx, src, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Invalidate("inv")
-	if _, err := c.Get(ctx, src, time.Minute); err != nil {
+	if _, err := c.Get(ctx, src, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := src.fetches.Load(); got != 2 {

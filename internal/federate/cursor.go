@@ -28,12 +28,31 @@ import (
 //
 // Cursors are not safe for concurrent use.
 type Cursor struct {
-	cols []string
-	it   iter
-	row  relalg.Row
-	err  error
-	done bool
+	cols     []string
+	it       iter
+	row      relalg.Row
+	err      error
+	done     bool
+	missing  []SourceError // partial mode: sources that contributed no rows
+	staleSrc []string      // partial mode: sources served from a stale snapshot
 }
+
+// Partial reports whether the result degrades completeness or
+// freshness: at least one source is missing or served stale. Always
+// false in strict mode (the query would have failed instead).
+func (c *Cursor) Partial() bool {
+	return len(c.missing) > 0 || len(c.staleSrc) > 0
+}
+
+// Missing lists the sources that contributed no rows, with each
+// failure's class, sorted by source name. The slice is shared — do not
+// mutate.
+func (c *Cursor) Missing() []SourceError { return c.missing }
+
+// StaleSources lists the sources whose rows came from an expired
+// last-good snapshot (Engine.ServeStale), sorted. The slice is shared —
+// do not mutate.
+func (c *Cursor) StaleSources() []string { return c.staleSrc }
 
 // Next advances to the next row, reporting whether one is available. It
 // returns false when the result is exhausted, the cursor is closed, or

@@ -52,17 +52,39 @@ type Engine struct {
 	// Parallel bounds the number of concurrent source fetches per
 	// scatter phase.
 	Parallel int
-	// SourceTimeout bounds each individual source fetch. For direct
-	// (cache-less) fetches, 0 means no bound beyond the caller's
+	// SourceTimeout bounds each individual source fetch attempt. For
+	// direct (cache-less) fetches, 0 means no bound beyond the caller's
 	// context; cache-owned fetches are detached from every caller's
-	// context and therefore always get a bound — 0 falls back to a
-	// hard ceiling (see cache.go maxFill) so a hung source cannot
-	// wedge its cache entry forever.
+	// context and always bounded end to end by a hard ceiling (see
+	// cache.go maxFill) so a hung source cannot wedge its cache entry
+	// forever.
 	SourceTimeout time.Duration
 	// Cache is the shared source-snapshot cache. Nil disables both
 	// snapshot reuse and singleflight dedup (every Run fetches its own
 	// snapshots).
 	Cache *Cache
+	// Retry governs per-source fetch retries (retry.go). The zero value
+	// disables retrying; NewEngine installs DefaultRetryPolicy. Retries
+	// happen inside the cache's singleflight fill, so concurrent walks
+	// waiting on one flaky source share a single retry sequence.
+	Retry RetryPolicy
+	// Breakers holds the per-source circuit breakers (breaker.go). Nil
+	// disables breaking; NewEngine installs a default set. An open
+	// breaker fails a source fast without issuing a fetch.
+	Breakers *BreakerSet
+	// PartialResults is the default degradation mode: when true, a
+	// failed source no longer fails the query — its rows are omitted
+	// (or served stale, see ServeStale) and the cursor reports it via
+	// Missing/StaleSources. Per-query override: RunOpts.Partial.
+	PartialResults bool
+	// ServeStale, in partial mode, substitutes the last successfully
+	// fetched snapshot for a broken source instead of dropping its rows,
+	// reporting the source via Cursor.StaleSources. The last-good store
+	// is only populated while ServeStale is on.
+	ServeStale bool
+
+	staleMu sync.Mutex
+	stale   map[string]*relalg.Relation // last good snapshot per source
 }
 
 // Default engine knobs. DefaultParallel bounds the scatter fan-out;
@@ -74,14 +96,51 @@ const (
 )
 
 // NewEngine returns an engine with default fan-out, a default per-source
-// timeout, and a dedup-only cache (TTL 0: concurrent walks share one
-// fetch, completed snapshots are not reused).
+// timeout, a dedup-only cache (TTL 0: concurrent walks share one fetch,
+// completed snapshots are not reused), default retries, and default
+// circuit breakers. Degradation (PartialResults, ServeStale) is off.
 func NewEngine() *Engine {
 	return &Engine{
 		Parallel:      DefaultParallel,
 		SourceTimeout: DefaultSourceTimeout,
 		Cache:         NewCache(0),
+		Retry:         DefaultRetryPolicy(),
+		Breakers:      NewBreakerSet(0, 0),
 	}
+}
+
+// SourceError describes one source that contributed no (or stale) rows
+// to a partial result.
+type SourceError struct {
+	// Source is the wrapper name.
+	Source string `json:"source"`
+	// Class is the failure's ErrClass (the REST annotation contract).
+	Class ErrClass `json:"class"`
+	// Err is the underlying fetch error (not serialized).
+	Err error `json:"-"`
+}
+
+// PartialMode selects a query's degradation behavior.
+type PartialMode int
+
+const (
+	// PartialDefault defers to Engine.PartialResults.
+	PartialDefault PartialMode = iota
+	// PartialOff forces strict mode: the first source error fails the
+	// query (PR 5 semantics).
+	PartialOff
+	// PartialOn forces degradation: healthy sources stream, failed ones
+	// are annotated on the cursor.
+	PartialOn
+)
+
+// RunOpts parameterizes RunWith. Limit/Offset follow RunPage's
+// contract: limit < 0 unbounded, limit 0 a legitimate empty page,
+// offset <= 0 no skip.
+type RunOpts struct {
+	Limit   int
+	Offset  int
+	Partial PartialMode
 }
 
 // Run starts federated execution of a plan: it scatters the source
@@ -89,7 +148,7 @@ func NewEngine() *Engine {
 // until every source snapshot is available (or one fetch fails); the
 // operator pipeline itself does no source I/O.
 func (e *Engine) Run(ctx context.Context, plan relalg.Plan) (*Cursor, error) {
-	return e.RunPage(ctx, plan, -1, -1)
+	return e.RunWith(ctx, plan, RunOpts{Limit: -1, Offset: -1})
 }
 
 // RunPage is Run with a page bound pushed into the pipeline: when
@@ -97,7 +156,22 @@ func (e *Engine) Run(ctx context.Context, plan relalg.Plan) (*Cursor, error) {
 // offset rows are skipped. A satisfied limit stops all upstream work.
 // Pass -1 to leave either unbounded.
 func (e *Engine) RunPage(ctx context.Context, plan relalg.Plan, limit, offset int) (*Cursor, error) {
-	snaps, err := e.scatter(ctx, plan)
+	return e.RunWith(ctx, plan, RunOpts{Limit: limit, Offset: offset})
+}
+
+// RunWith is RunPage with per-query options. In partial mode the
+// returned cursor may carry degradation annotations — check
+// Cursor.Partial/Missing/StaleSources; in strict mode a source failure
+// is returned here, before any row streams.
+func (e *Engine) RunWith(ctx context.Context, plan relalg.Plan, opts RunOpts) (*Cursor, error) {
+	partial := e.PartialResults
+	switch opts.Partial {
+	case PartialOn:
+		partial = true
+	case PartialOff:
+		partial = false
+	}
+	snaps, missing, staleSrc, err := e.scatter(ctx, plan, partial)
 	if err != nil {
 		return nil, err
 	}
@@ -105,12 +179,48 @@ func (e *Engine) RunPage(ctx context.Context, plan relalg.Plan, limit, offset in
 	if err != nil {
 		return nil, err
 	}
-	if limit == 0 {
+	if opts.Limit == 0 {
 		it = emptyIter{}
-	} else if offset > 0 || limit > 0 {
-		it = &pageIter{src: it, skip: max(offset, 0), limit: limit}
+	} else if opts.Offset > 0 || opts.Limit > 0 {
+		it = &pageIter{src: it, skip: max(opts.Offset, 0), limit: opts.Limit}
 	}
-	return &Cursor{cols: plan.Columns(), it: it}, nil
+	return &Cursor{cols: plan.Columns(), it: it, missing: missing, staleSrc: staleSrc}, nil
+}
+
+// Forget drops all per-source state the engine holds for a wrapper
+// name: the cached snapshot, the circuit breaker record, and the
+// serve-stale fallback. Call it when a wrapper is re-registered or
+// removed — the name may now denote a different source, so yesterday's
+// snapshot and failure history must not outlive it.
+func (e *Engine) Forget(name string) {
+	if e.Cache != nil {
+		e.Cache.Invalidate(name)
+	}
+	if e.Breakers != nil {
+		e.Breakers.Reset(name)
+	}
+	e.staleMu.Lock()
+	delete(e.stale, name)
+	e.staleMu.Unlock()
+}
+
+// rememberStale records a source's last good snapshot for serve-stale
+// fallback.
+func (e *Engine) rememberStale(name string, rel *relalg.Relation) {
+	e.staleMu.Lock()
+	if e.stale == nil {
+		e.stale = map[string]*relalg.Relation{}
+	}
+	e.stale[name] = rel
+	e.staleMu.Unlock()
+}
+
+// lastGood returns the serve-stale fallback snapshot for a source, or
+// nil.
+func (e *Engine) lastGood(name string) *relalg.Relation {
+	e.staleMu.Lock()
+	defer e.staleMu.Unlock()
+	return e.stale[name]
 }
 
 // collectScans gathers the plan's Scan leaves, deduplicated by source
@@ -129,11 +239,20 @@ func collectScans(p relalg.Plan, dst map[string]relalg.RowSource) {
 }
 
 // scatter fetches every distinct source of the plan concurrently with
-// bounded parallelism. The first error cancels the outstanding fetches
-// and is returned; sibling errors caused by that cancellation are
-// dropped, so the caller sees the root cause (a canceled client maps to
+// bounded parallelism.
+//
+// In strict mode the first error cancels the outstanding fetches and is
+// returned; sibling errors caused by that cancellation are dropped, so
+// the caller sees the root cause (a canceled client maps to
 // context.Canceled, a timed-out source to context.DeadlineExceeded).
-func (e *Engine) scatter(ctx context.Context, plan relalg.Plan) (map[string]*relalg.Relation, error) {
+//
+// In partial mode source failures don't cancel anything: a failed
+// source contributes its last good snapshot (ServeStale, reported in
+// the stale list) or an empty relation (reported in the missing list,
+// with the failure's class). Only the caller's own context terminates
+// the whole scatter. Both report lists are sorted by source name so
+// annotations are deterministic.
+func (e *Engine) scatter(ctx context.Context, plan relalg.Plan, partial bool) (snaps map[string]*relalg.Relation, missing []SourceError, staleSrc []string, err error) {
 	sources := map[string]relalg.RowSource{}
 	collectScans(plan, sources)
 	names := make([]string, 0, len(sources))
@@ -152,10 +271,10 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan) (map[string]*rel
 	var (
 		mu       sync.Mutex
 		firstErr error
-		snaps    = make(map[string]*relalg.Relation, len(sources))
 		wg       sync.WaitGroup
 		sem      = make(chan struct{}, parallel)
 	)
+	snaps = make(map[string]*relalg.Relation, len(sources))
 	for _, name := range names {
 		src := sources[name]
 		wg.Add(1)
@@ -170,34 +289,122 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan) (map[string]*rel
 			rel, err := e.fetch(sctx, src)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
+			if err == nil {
+				snaps[src.Name()] = rel
+				if e.ServeStale {
+					e.rememberStale(src.Name(), rel)
+				}
+				return
+			}
+			if !partial {
 				if firstErr == nil {
 					firstErr = err
 					cancel()
 				}
 				return
 			}
-			snaps[src.Name()] = rel
+			class := Classify(err)
+			if class == ClassCanceled && ctx.Err() != nil {
+				// The caller is gone; the post-wait ctx check surfaces
+				// it. Not a source fault, so nothing to annotate.
+				return
+			}
+			if e.ServeStale {
+				if old := e.lastGood(src.Name()); old != nil {
+					snaps[src.Name()] = old
+					staleSrc = append(staleSrc, src.Name())
+					return
+				}
+			}
+			snaps[src.Name()] = relalg.NewRelation(src.Columns()...)
+			missing = append(missing, SourceError{Source: src.Name(), Class: class, Err: err})
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, nil, firstErr
 	}
 	// A canceled caller can make workers exit before fetching (and
 	// before any fetch records an error); surface the cancellation
 	// instead of an incomplete snapshot set.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return snaps, nil
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Source < missing[j].Source })
+	sort.Strings(staleSrc)
+	return snaps, missing, staleSrc, nil
 }
 
 // fetch obtains one source snapshot, through the cache when configured.
 func (e *Engine) fetch(ctx context.Context, src relalg.RowSource) (*relalg.Relation, error) {
 	if e.Cache != nil {
-		return e.Cache.Get(ctx, src, e.SourceTimeout)
+		return e.Cache.Get(ctx, src, e.fetchResilient)
 	}
+	return e.fetchResilient(ctx, src)
+}
+
+// fetchResilient is one source fetch with the resilience layer applied:
+// breaker check, per-attempt timeout, classify, retry with jittered
+// backoff. It is the Cache's FetchFunc, so when the cache is on the
+// whole sequence runs once per singleflight fill — N concurrent walks
+// waiting on a flaky source share one retry ladder, and exactly one
+// goroutine records breaker outcomes per fill (N waiters don't multiply
+// a single failure into N breaker strikes).
+func (e *Engine) fetchResilient(ctx context.Context, src relalg.RowSource) (*relalg.Relation, error) {
+	var br *Breaker
+	if e.Breakers != nil {
+		br = e.Breakers.For(src.Name())
+	}
+	attempts := 1 + e.Retry.Max
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := e.Retry.wait(ctx, attempt-1); err != nil {
+				// The fill (or caller) died mid-backoff; the last real
+				// fetch error is more informative than the timer's.
+				return nil, lastErr
+			}
+		}
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				if lastErr != nil {
+					// The breaker tripped mid-ladder (concurrent fills
+					// against the same dead source); surface the real
+					// fetch error, not the suppression.
+					return nil, lastErr
+				}
+				return nil, fmt.Errorf("federate: source %s: %w", src.Name(), err)
+			}
+		}
+		rel, err := e.fetchOnce(ctx, src)
+		class := Classify(err)
+		if br != nil {
+			switch {
+			case err == nil:
+				br.RecordSuccess()
+			case class.sourceFault():
+				br.RecordFailure()
+				// Cancellations and request-shaped errors (4xx, schema,
+				// payload cap) neither trip nor reset the breaker.
+			}
+		}
+		if err == nil {
+			return rel, nil
+		}
+		lastErr = err
+		if !class.Retryable() {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// fetchOnce is a single schema-checked fetch attempt under the
+// per-source timeout.
+func (e *Engine) fetchOnce(ctx context.Context, src relalg.RowSource) (*relalg.Relation, error) {
 	if e.SourceTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.SourceTimeout)
@@ -215,8 +422,8 @@ func fetchSource(ctx context.Context, src relalg.RowSource) (*relalg.Relation, e
 		return nil, fmt.Errorf("federate: source %s: %w", src.Name(), err)
 	}
 	if len(rel.Cols) != len(src.Columns()) {
-		return nil, fmt.Errorf("federate: source %s returned %d columns, declared %d",
-			src.Name(), len(rel.Cols), len(src.Columns()))
+		return nil, fmt.Errorf("federate: source %s returned %d columns, declared %d: %w",
+			src.Name(), len(rel.Cols), len(src.Columns()), errSchema)
 	}
 	return rel, nil
 }

@@ -27,6 +27,16 @@
 //	           a header line {"vars":[...]} (or {"columns":[...]} for
 //	           walk results), then one JSON array of cell strings per
 //	           row, flushed as produced
+//	partial=1|0
+//	           (walk endpoints) override the engine's degradation mode
+//	           for this query: with partial on, a failed source no
+//	           longer fails the walk — the healthy sources' rows stream
+//	           and the response carries an X-MDM-Partial: true header
+//	           plus completeness annotations (missing_sources with one
+//	           error class per failed source, stale_sources for
+//	           serve-stale substitutions) in the JSON document or the
+//	           NDJSON header line; the fields are omitted entirely for
+//	           complete results
 //
 // limit/offset override a LIMIT/OFFSET written in the query itself.
 // Every query runs under the client's request context: a dropped
@@ -47,6 +57,7 @@ import (
 	"time"
 
 	"mdm"
+	"mdm/internal/federate"
 	"mdm/internal/schema"
 	"mdm/internal/sparql"
 	"mdm/internal/store"
@@ -154,15 +165,34 @@ func fail(w http.ResponseWriter, status int, err error) {
 
 // failQuery maps evaluation errors: a canceled request context reports
 // 499 (the client is gone; the status is for logs), the server-side
-// query timeout reports 504, everything else is a semantic failure.
+// query timeout reports 504, a circuit-breaker fast-fail 503 (the
+// source is known-down; retry after its cooldown), everything else is a
+// semantic failure.
 func failQuery(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.Canceled):
 		fail(w, statusClientClosedRequest, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		fail(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, federate.ErrBreakerOpen):
+		fail(w, http.StatusServiceUnavailable, err)
 	default:
 		fail(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// partialParam reads the tristate partial URL parameter: absent defers
+// to the engine's configured default.
+func partialParam(r *http.Request) (federate.PartialMode, error) {
+	switch v := r.URL.Query().Get("partial"); v {
+	case "":
+		return federate.PartialDefault, nil
+	case "1", "true":
+		return federate.PartialOn, nil
+	case "0", "false":
+		return federate.PartialOff, nil
+	default:
+		return 0, fmt.Errorf("rest: bad partial %q", v)
 	}
 }
 
@@ -564,6 +594,10 @@ type queryResp struct {
 	SPARQL  string     `json:"sparql"`
 	Algebra []string   `json:"algebra"`
 	CQs     int        `json:"cqs"`
+	// Degradation annotations, present only for partial results.
+	Partial        bool              `json:"partial,omitempty"`
+	MissingSources []mdm.SourceError `json:"missing_sources,omitempty"`
+	StaleSources   []string          `json:"stale_sources,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -787,7 +821,8 @@ func (s *Server) buildWalk(req walkReq) (*mdm.Walk, error) {
 //
 // Error mapping matches the metadata SPARQL endpoints: a disconnect
 // reports 499, a timeout (the scatter's per-source deadline or the
-// query timeout) 504, a semantic failure 422 — all pre-header; an error
+// query timeout) 504, a circuit-breaker fast-fail 503, a semantic
+// failure 422 — all pre-header; an error
 // after the NDJSON header commits the 200 is reported as a trailing
 // {"error": ...} line so a still-connected client can tell a truncated
 // stream from a complete one. Rows stream in plan order, which is
@@ -799,14 +834,24 @@ func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk)
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
+	mode, err := partialParam(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
-	cur, res, err := s.sys.QueryPage(ctx, walk, limit, offset)
+	cur, res, err := s.sys.QueryRun(ctx, walk, mdm.QueryOpts{Limit: limit, Offset: offset, Partial: mode})
 	if err != nil {
 		failQuery(w, err)
 		return
 	}
 	defer cur.Close()
+	if cur.Partial() {
+		// Before the status line commits: degraded completeness is
+		// visible without parsing the body.
+		w.Header().Set("X-MDM-Partial", "true")
+	}
 
 	cells := func() []string {
 		row := cur.Row()
@@ -819,7 +864,17 @@ func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk)
 
 	if wantNDJSON(r) {
 		out := startNDJSON(w)
-		out.line(map[string]any{"columns": cur.Columns(), "sparql": res.SPARQL})
+		head := map[string]any{"columns": cur.Columns(), "sparql": res.SPARQL}
+		if cur.Partial() {
+			head["partial"] = true
+			if m := cur.Missing(); len(m) > 0 {
+				head["missing_sources"] = m
+			}
+			if st := cur.StaleSources(); len(st) > 0 {
+				head["stale_sources"] = st
+			}
+		}
+		out.line(head)
 		for cur.Next(ctx) {
 			out.line(cells())
 		}
@@ -837,7 +892,10 @@ func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk)
 		failQuery(w, err)
 		return
 	}
-	resp := queryResp{Columns: cur.Columns(), SPARQL: res.SPARQL, CQs: len(res.CQs), Rows: rows}
+	resp := queryResp{
+		Columns: cur.Columns(), SPARQL: res.SPARQL, CQs: len(res.CQs), Rows: rows,
+		Partial: cur.Partial(), MissingSources: cur.Missing(), StaleSources: cur.StaleSources(),
+	}
 	for _, cq := range res.CQs {
 		resp.Algebra = append(resp.Algebra, cq.Algebra)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"mdm"
 	"mdm/internal/apisim"
+	"mdm/internal/federate"
 	"mdm/internal/rest"
 	"mdm/internal/schema"
 	"mdm/internal/usecase"
@@ -913,5 +914,189 @@ func TestWalkQueryPagesPartitionStream(t *testing.T) {
 		if fmt.Sprint(paged[i]) != fmt.Sprint(all[i]) {
 			t.Fatalf("page row %d = %v, want %v", i, paged[i], all[i])
 		}
+	}
+}
+
+// downWalkSystem is slowWalkSystem's sibling: the players-side wrapper
+// fails instantly with a 503 instead of stalling. Retries are disabled
+// so each query costs exactly one fetch attempt per source.
+func downWalkSystem(t *testing.T) *mdm.System {
+	t.Helper()
+	f := usecase.MustNew()
+	sys := mdm.FromParts(f.Ont, f.Reg)
+	sys.Federation().Retry.Max = 0
+	down := wrapper.NewFunc("wdown", usecase.SrcPlayers, f.W1.Signature().Attributes,
+		func(ctx context.Context) ([]schema.Doc, error) {
+			return nil, &wrapper.StatusError{URL: "http://down.example/players", Code: 503}
+		})
+	if _, err := sys.RegisterWrapper(down); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.Ont.MappingOf("w1")
+	if !ok {
+		t.Fatal("w1 mapping missing")
+	}
+	m.Wrapper = "wdown"
+	if err := sys.DefineMapping(m); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestWalkPartialAnnotatedJSON: ?partial=1 turns a failed source into a
+// 200 with X-MDM-Partial and a missing_sources annotation instead of an
+// error status; without the parameter the same walk keeps PR 5's strict
+// failure.
+func TestWalkPartialAnnotatedJSON(t *testing.T) {
+	sys := downWalkSystem(t)
+	srv := rest.NewServer(sys)
+
+	req := httptest.NewRequest("POST", "/api/query?partial=1", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %s)", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-MDM-Partial"); got != "true" {
+		t.Fatalf("X-MDM-Partial = %q, want true", got)
+	}
+	var resp struct {
+		Partial        bool `json:"partial"`
+		MissingSources []struct {
+			Source string `json:"source"`
+			Class  string `json:"class"`
+		} `json:"missing_sources"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial || len(resp.MissingSources) != 1 ||
+		resp.MissingSources[0].Source != "wdown" || resp.MissingSources[0].Class != "http_5xx" {
+		t.Fatalf("annotation = %+v, want partial with wdown/http_5xx", resp)
+	}
+
+	// Strict (no parameter): unchanged failure semantics.
+	req = httptest.NewRequest("POST", "/api/query", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("strict status = %d, want 422 (body %s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("X-MDM-Partial") != "" {
+		t.Fatal("strict failure must not carry X-MDM-Partial")
+	}
+}
+
+// TestWalkPartialNDJSONHeaderAnnotation: the NDJSON header line carries
+// the partial/missing_sources annotation; healthy walks' headers stay
+// free of the new fields (backward compatibility).
+func TestWalkPartialNDJSONHeaderAnnotation(t *testing.T) {
+	sys := downWalkSystem(t)
+	srv := rest.NewServer(sys)
+
+	req := httptest.NewRequest("POST", "/api/query?partial=1&format=ndjson", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (body %s)", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-MDM-Partial"); got != "true" {
+		t.Fatalf("X-MDM-Partial = %q, want true", got)
+	}
+	lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	var hdr struct {
+		Columns        []string         `json:"columns"`
+		Partial        bool             `json:"partial"`
+		MissingSources []map[string]any `json:"missing_sources"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header %q: %v", lines[0], err)
+	}
+	if !hdr.Partial || len(hdr.MissingSources) != 1 || hdr.MissingSources[0]["source"] != "wdown" {
+		t.Fatalf("header annotation = %+v", hdr)
+	}
+
+	// Healthy system: no partial fields in the header at all.
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	resp, err := c.http.Post(c.base+"/api/query?format=ndjson&partial=1", "application/json",
+		strings.NewReader(`{"select":[{"concept":"ex:Player","feature":"ex:playerName","alias":"playerName"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-MDM-Partial"); got != "" {
+		t.Fatalf("healthy X-MDM-Partial = %q, want unset", got)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(body.String(), "\n", 2)[0]
+	if strings.Contains(head, "partial") || strings.Contains(head, "missing_sources") {
+		t.Fatalf("healthy header leaks partial fields: %s", head)
+	}
+}
+
+// TestWalkBreakerOpen503: once the failing source's breaker trips,
+// strict walks fail fast with 503 Service Unavailable.
+func TestWalkBreakerOpen503(t *testing.T) {
+	sys := downWalkSystem(t)
+	sys.Federation().Breakers = federate.NewBreakerSet(1, time.Hour)
+	srv := rest.NewServer(sys)
+
+	post := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/api/query", strings.NewReader(fig8WalkBody))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := post(); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("first status = %d, want 422 (trips the breaker)", rec.Code)
+	}
+	rec := post()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second status = %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "circuit breaker open") {
+		t.Fatalf("body = %s", rec.Body)
+	}
+}
+
+// TestWalkPartialParamValidation: ?partial must be boolean-ish; a
+// ?partial=0 override beats an engine-level default.
+func TestWalkPartialParamValidation(t *testing.T) {
+	sys := downWalkSystem(t)
+	sys.Federation().PartialResults = true // daemon-level -partial
+	srv := rest.NewServer(sys)
+
+	req := httptest.NewRequest("POST", "/api/query?partial=maybe", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("partial=maybe status = %d, want 400", rec.Code)
+	}
+
+	// Engine default: degraded 200.
+	req = httptest.NewRequest("POST", "/api/query", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-MDM-Partial") != "true" {
+		t.Fatalf("default status = %d, X-MDM-Partial = %q, want 200/true", rec.Code, rec.Header().Get("X-MDM-Partial"))
+	}
+
+	// Explicit opt-out restores strict failure.
+	req = httptest.NewRequest("POST", "/api/query?partial=0", strings.NewReader(fig8WalkBody))
+	req.Header.Set("Content-Type", "application/json")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("partial=0 status = %d, want 422", rec.Code)
 	}
 }

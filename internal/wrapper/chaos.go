@@ -1,0 +1,183 @@
+package wrapper
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"mdm/internal/relalg"
+)
+
+// ErrInjected is the default failure a Chaos wrapper injects. It is a
+// 503 StatusError, so the federation retry classifier treats it as a
+// transient, retryable source failure — the common production flavour.
+var ErrInjected error = &StatusError{URL: "chaos://injected", Code: http.StatusServiceUnavailable}
+
+// ChaosStep is one scripted Fetch outcome of a Chaos wrapper.
+type ChaosStep struct {
+	// Err, when non-nil, fails the fetch with this error. Nil means the
+	// fetch succeeds (delegating to the wrapped wrapper).
+	Err error
+	// Latency is added before the outcome (on top of the wrapper-wide
+	// latency), honoring context cancellation during the wait.
+	Latency time.Duration
+}
+
+// Chaos wraps a Wrapper with deterministic fault injection for tests
+// and soak harnesses: scripted failure sequences, a permanent outage
+// switch, seeded random flakes and latency injection. Signature probes
+// (CurrentSignature) pass through untouched — chaos applies to Fetch
+// only, mimicking a source whose data endpoint flaps while its schema
+// stays discoverable.
+//
+// Outcome precedence per Fetch: the next scripted step if any remain,
+// else the Down error if set, else a seeded flake draw. Given the same
+// seed and the same sequence of Fetch calls, the injected outcomes are
+// identical across runs; concurrent fetches serialize their draws under
+// one lock, so determinism holds per call order (which a deterministic
+// harness controls).
+//
+// Configuration methods return the receiver for chaining and are safe
+// to call concurrently with Fetch (a mid-test Heal is a valid event).
+type Chaos struct {
+	// Wrapper is the wrapped inner wrapper; Name/Columns/Signature/
+	// SourceID/CurrentSignature delegate to it.
+	Wrapper
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	script    []ChaosStep
+	down      error
+	flakeRate float64
+	flakeErr  error
+	latency   time.Duration
+	fetches   int
+	failures  int
+}
+
+// NewChaos wraps inner with a fault injector seeded for deterministic
+// flake draws.
+func NewChaos(inner Wrapper, seed int64) *Chaos {
+	return &Chaos{Wrapper: inner, rng: rand.New(rand.NewSource(seed)), flakeErr: ErrInjected}
+}
+
+// Script appends scripted steps, consumed one per Fetch before any
+// other fault source is consulted.
+func (c *Chaos) Script(steps ...ChaosStep) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.script = append(c.script, steps...)
+	return c
+}
+
+// FailNext scripts the next n fetches to fail with err (ErrInjected
+// when err is nil).
+func (c *Chaos) FailNext(n int, err error) *Chaos {
+	if err == nil {
+		err = ErrInjected
+	}
+	steps := make([]ChaosStep, n)
+	for i := range steps {
+		steps[i] = ChaosStep{Err: err}
+	}
+	return c.Script(steps...)
+}
+
+// Down makes every unscripted fetch fail with err (ErrInjected when
+// nil) until Heal — a source outage.
+func (c *Chaos) Down(err error) *Chaos {
+	if err == nil {
+		err = ErrInjected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = err
+	return c
+}
+
+// Heal clears the outage and any unconsumed script; flake injection
+// keeps its configuration.
+func (c *Chaos) Heal() *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = nil
+	c.script = nil
+	return c
+}
+
+// Flake makes each unscripted, non-down fetch fail with probability
+// rate (drawn from the seeded generator) using err (ErrInjected when
+// nil).
+func (c *Chaos) Flake(rate float64, err error) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flakeRate = rate
+	if err != nil {
+		c.flakeErr = err
+	}
+	return c
+}
+
+// WithLatency injects d of latency into every fetch, before the
+// outcome.
+func (c *Chaos) WithLatency(d time.Duration) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latency = d
+	return c
+}
+
+// Fetches returns how many Fetch calls the wrapper has seen — the
+// instrument for breaker fail-fast assertions (an open breaker must
+// stop this counter).
+func (c *Chaos) Fetches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetches
+}
+
+// Failures returns how many fetches were failed by injection.
+func (c *Chaos) Failures() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures
+}
+
+// Fetch implements relalg.RowSource with the configured faults.
+func (c *Chaos) Fetch(ctx context.Context) (*relalg.Relation, error) {
+	c.mu.Lock()
+	c.fetches++
+	var injected error
+	latency := c.latency
+	switch {
+	case len(c.script) > 0:
+		step := c.script[0]
+		c.script = c.script[1:]
+		injected = step.Err
+		latency += step.Latency
+	case c.down != nil:
+		injected = c.down
+	case c.flakeRate > 0 && c.rng.Float64() < c.flakeRate:
+		injected = c.flakeErr
+	}
+	if injected != nil {
+		c.failures++
+	}
+	c.mu.Unlock()
+
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if injected != nil {
+		return nil, injected
+	}
+	return c.Wrapper.Fetch(ctx)
+}

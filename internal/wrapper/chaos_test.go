@@ -1,0 +1,113 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mdm/internal/relalg"
+	"mdm/internal/schema"
+)
+
+func chaosInner(t *testing.T) Wrapper {
+	t.Helper()
+	return NewMem("w", "src", []schema.Doc{{"id": relalg.Int(1)}}, nil)
+}
+
+// TestChaosScriptPrecedence: scripted steps consume first, then the
+// outage switch, then flakes; Heal clears script and outage but keeps
+// the flake configuration.
+func TestChaosScriptPrecedence(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("boom")
+	c := NewChaos(chaosInner(t), 1).
+		Script(ChaosStep{Err: boom}, ChaosStep{}).
+		Down(nil).
+		Flake(1.0, nil)
+
+	if _, err := c.Fetch(ctx); !errors.Is(err, boom) {
+		t.Fatalf("fetch 1: err = %v, want scripted boom", err)
+	}
+	// Second scripted step is a success, beating both Down and Flake.
+	if rel, err := c.Fetch(ctx); err != nil || rel.Len() != 1 {
+		t.Fatalf("fetch 2: rel = %v, err = %v, want scripted success", rel, err)
+	}
+	// Script exhausted: the outage takes over.
+	if _, err := c.Fetch(ctx); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fetch 3: err = %v, want ErrInjected (down)", err)
+	}
+	// Heal clears the outage; rate-1.0 flakes still fire.
+	c.Heal()
+	if _, err := c.Fetch(ctx); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fetch 4: err = %v, want ErrInjected (flake survives Heal)", err)
+	}
+	if c.Fetches() != 4 || c.Failures() != 3 {
+		t.Fatalf("counters = %d fetches / %d failures, want 4 / 3", c.Fetches(), c.Failures())
+	}
+}
+
+// TestChaosDeterministicBySeed: the same seed yields the same flake
+// outcome sequence; a different seed (eventually) diverges.
+func TestChaosDeterministicBySeed(t *testing.T) {
+	ctx := context.Background()
+	draw := func(seed int64) []bool {
+		c := NewChaos(chaosInner(t), seed).Flake(0.5, nil)
+		outs := make([]bool, 64)
+		for i := range outs {
+			_, err := c.Fetch(ctx)
+			outs[i] = err != nil
+		}
+		return outs
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fetch %d", i)
+		}
+	}
+	other := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 64-draw sequences")
+	}
+}
+
+// TestChaosLatencyHonorsCancel: an injected-latency fetch aborts with
+// the context error when canceled mid-wait.
+func TestChaosLatencyHonorsCancel(t *testing.T) {
+	c := NewChaos(chaosInner(t), 1).WithLatency(time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Fetch(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fetch blocked %v despite cancellation", elapsed)
+	}
+}
+
+// TestChaosPassThrough: a quiet Chaos is transparent — data, name and
+// signature probes all reach the inner wrapper.
+func TestChaosPassThrough(t *testing.T) {
+	inner := chaosInner(t)
+	c := NewChaos(inner, 7)
+	if c.Name() != inner.Name() {
+		t.Fatalf("Name = %q, want %q", c.Name(), inner.Name())
+	}
+	rel, err := c.Fetch(context.Background())
+	if err != nil || rel.Len() != 1 {
+		t.Fatalf("rel = %v, err = %v", rel, err)
+	}
+	if c.Fetches() != 1 || c.Failures() != 0 {
+		t.Fatalf("counters = %d / %d, want 1 / 0", c.Fetches(), c.Failures())
+	}
+}

@@ -131,6 +131,22 @@ var maxPayloadBytes = int64(64 << 20)
 // (and therefore likely corrupt) document.
 var ErrPayloadTooLarge = errors.New("payload exceeds wrapper read cap")
 
+// StatusError reports a non-200 response from a wrapped endpoint. It is
+// a typed error (rather than a formatted string) so callers — the
+// federation retry classifier in particular — can distinguish a
+// server-side failure worth retrying (5xx, 429) from a client-side
+// request error that will fail identically on every attempt (4xx).
+type StatusError struct {
+	// URL is the fetched endpoint.
+	URL string
+	// Code is the HTTP status code of the response.
+	Code int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("GET %s: status %d", e.URL, e.Code)
+}
+
 // fetchDocs GETs the endpoint and flattens the payload. The status code
 // is checked before the body is read — an error response's body is
 // diagnostics, not data — and payloads over the read cap fail with
@@ -146,7 +162,7 @@ func (w *HTTP) fetchDocs(ctx context.Context) ([]schema.Doc, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: status %d", w.url, resp.StatusCode)
+		return nil, &StatusError{URL: w.url, Code: resp.StatusCode}
 	}
 	// Read one byte past the cap so an exactly-cap-sized payload is
 	// distinguishable from an oversized one.

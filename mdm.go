@@ -68,6 +68,10 @@ type (
 	Wrapper = wrapper.Wrapper
 	// WalkCursor streams a federated walk answer row by row.
 	WalkCursor = federate.Cursor
+	// QueryOpts parameterizes QueryRun (page bounds + degradation mode).
+	QueryOpts = federate.RunOpts
+	// SourceError annotates one source missing from a partial result.
+	SourceError = federate.SourceError
 	// Term is an RDF term.
 	Term = rdf.Term
 	// Triple is an RDF triple.
@@ -248,12 +252,17 @@ func (s *System) AddSource(sourceID, label string) error {
 }
 
 // RegisterWrapper releases a wrapper: registry + source graph + release
-// log, with schema diffing against the source's previous wrapper.
+// log, with schema diffing against the source's previous wrapper. Any
+// federation state held under the wrapper's name — cached source
+// snapshot, circuit-breaker record, serve-stale fallback — is dropped,
+// so a re-registered (renamed back / repointed) wrapper is fetched
+// fresh rather than served its predecessor's rows.
 func (s *System) RegisterWrapper(w Wrapper) (Release, error) {
 	rel, err := s.releases.Register(w)
 	if err != nil {
 		return Release{}, err
 	}
+	s.fed.Forget(w.Name())
 	_, _ = s.meta.Insert("releases", store.Doc{
 		"seq": int64(rel.Seq), "kind": string(rel.Kind), "source": rel.SourceID,
 		"wrapper": rel.Wrapper, "breaking": rel.Breaking, "signature": rel.Signature,
@@ -320,11 +329,20 @@ func (s *System) QueryCursor(ctx context.Context, w *Walk) (*WalkCursor, *Rewrit
 // unchanged source snapshots pages partition the full stream. Pass -1
 // to leave either unbounded.
 func (s *System) QueryPage(ctx context.Context, w *Walk, limit, offset int) (*WalkCursor, *RewriteResult, error) {
+	return s.QueryRun(ctx, w, QueryOpts{Limit: limit, Offset: offset})
+}
+
+// QueryRun is QueryPage with full per-query options, including the
+// degradation mode: QueryOpts.Partial overrides the engine-wide
+// PartialResults default for this query. In partial mode a failed
+// source no longer fails the walk — check WalkCursor.Partial/Missing/
+// StaleSources for completeness annotations.
+func (s *System) QueryRun(ctx context.Context, w *Walk, opts QueryOpts) (*WalkCursor, *RewriteResult, error) {
 	res, err := s.rewriter.Rewrite(w)
 	if err != nil {
 		return nil, nil, err
 	}
-	cur, err := s.fed.RunPage(ctx, res.Plan, limit, offset)
+	cur, err := s.fed.RunWith(ctx, res.Plan, opts)
 	if err != nil {
 		return nil, res, fmt.Errorf("mdm: execute rewritten query: %w", err)
 	}

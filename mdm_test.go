@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"mdm"
+	"mdm/internal/federate"
 	"mdm/internal/relalg"
 	"mdm/internal/schema"
 	"mdm/internal/usecase"
@@ -378,5 +380,51 @@ SELECT ?playerName WHERE {
 	}
 	if _, _, err := sys.QuerySPARQL(context.Background(), "garbage"); err == nil {
 		t.Error("bad SPARQL accepted")
+	}
+}
+
+// TestReRegisterWrapperInvalidatesCacheAndBreaker: swapping a wrapper
+// under the same name must not leave the federation serving the old
+// wrapper's cached snapshot or failing fast on its tripped breaker.
+func TestReRegisterWrapperInvalidatesCacheAndBreaker(t *testing.T) {
+	sys := buildSystem(t)
+	fed := sys.Federation()
+	fed.Cache = federate.NewCache(time.Hour) // snapshots outlive the swap
+	fed.Breakers = federate.NewBreakerSet(1, time.Hour)
+
+	walk := mdm.NewWalk().SelectAs(sys.IRI("ex:Player"), sys.IRI("ex:playerName"), "player")
+	query := func() string {
+		t.Helper()
+		rel, _, err := sys.Query(context.Background(), walk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel.Table()
+	}
+	if got := query(); !strings.Contains(got, "Alice") {
+		t.Fatalf("seed rows missing Alice:\n%s", got)
+	}
+	// Simulate the old wrapper having tripped its breaker before the swap.
+	fed.Breakers.For("w1").RecordFailure()
+
+	if !sys.Wrappers().Remove("w1") {
+		t.Fatal("w1 not removed")
+	}
+	w1b := wrapper.NewMem("w1", "players-api", []schema.Doc{
+		{"id": relalg.Int(3), "pName": relalg.String("Carol"), "teamId": relalg.Int(10)},
+	}, nil)
+	if _, err := sys.RegisterWrapper(w1b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without RegisterWrapper's Forget hook the hour-long cache entry
+	// would still answer with Alice — or the open breaker would fail the
+	// query outright.
+	got := query()
+	if strings.Contains(got, "Alice") || !strings.Contains(got, "Carol") {
+		t.Fatalf("rows after re-registration:\n%s\nwant Carol only", got)
+	}
+	if st := fed.Breakers.States()["w1"]; st != "closed" {
+		t.Fatalf("w1 breaker after re-registration = %q, want closed", st)
 	}
 }
