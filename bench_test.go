@@ -367,20 +367,32 @@ SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w }`
 
 // BenchmarkSPARQLJoinRows measures the ID-row join core on a wide
 // 3-pattern BGP over ~10k triples producing ~9k solution rows, the
-// shape where per-solution allocation dominates.
+// shape where per-solution allocation dominates. The seq variant pins
+// the single-goroutine pipeline; par lets the planner use the
+// morsel-parallel join (identical to seq when GOMAXPROCS=1, so run
+// with -cpu 1,4 to see the scaling).
 func BenchmarkSPARQLJoinRows(b *testing.B) {
 	ds := joinRowsDataset()
-	q := sparql.MustParse(joinRowsQuery)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := sparql.Eval(ds, q)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Len() != 9000 {
-			b.Fatalf("rows = %d", res.Len())
-		}
+	defer sparql.SetParallelism(0)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			sparql.SetParallelism(tc.workers)
+			q := sparql.MustParse(joinRowsQuery)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sparql.Eval(ds, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != 9000 {
+					b.Fatalf("rows = %d", res.Len())
+				}
+			}
+		})
 	}
 }
 

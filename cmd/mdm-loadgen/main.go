@@ -1,0 +1,310 @@
+// Command mdm-loadgen is a closed-loop serving benchmark for a live
+// mdmd instance: N concurrent clients each issue one request, wait for
+// the full response, and immediately issue the next, over a mixed
+// SPARQL-metadata / federated-walk workload. It reports p50/p95/p99
+// latency and sustained RPS as JSON, so CI can publish a serving
+// baseline (BENCH_serve.json) next to the micro benchmarks.
+//
+// The workload assumes the mdmd football seed (-seed): the SPARQL
+// queries read the seeded global graph, the walk queries span the
+// seeded in-memory wrappers.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// op is one workload element: a POST body for a fixed endpoint.
+type op struct {
+	Name string
+	Path string
+	Body []byte
+}
+
+// sparqlOps query the seeded metadata graphs through /api/sparql.
+var sparqlOps = []op{
+	{
+		Name: "sparql-concepts",
+		Path: "/api/sparql",
+		Body: mustBody(`PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?c ?f WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> {
+    ?c rdf:type G:Concept .
+    ?c G:hasFeature ?f .
+  }
+}`),
+	},
+	{
+		Name: "sparql-features-paged",
+		Path: "/api/sparql?limit=10&offset=5",
+		Body: mustBody(`PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+SELECT ?c ?f WHERE {
+  GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> { ?c G:hasFeature ?f . }
+}`),
+	},
+}
+
+// walkOps run federated walks (rewriting + wrapper scatter) through
+// /api/query/sparql.
+var walkOps = []op{
+	{
+		Name: "walk-players-teams",
+		Path: "/api/query/sparql",
+		Body: mustBody(`PREFIX ex: <http://www.example.org/football/>
+PREFIX sc: <http://schema.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?teamName ?playerName WHERE {
+  ?t rdf:type sc:SportsTeam .
+  ?t ex:teamName ?teamName .
+  ?p rdf:type ex:Player .
+  ?p ex:playerName ?playerName .
+  ?p ex:playsIn ?t .
+}`),
+	},
+}
+
+func mustBody(query string) []byte {
+	b, err := json.Marshal(map[string]string{"query": query})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+type config struct {
+	base     string
+	clients  int
+	duration time.Duration
+	warmup   time.Duration
+	walkFrac float64
+	out      string
+}
+
+// sample is one completed request.
+type sample struct {
+	op  string
+	lat time.Duration
+	err bool
+}
+
+// opStats aggregates one op's samples in the report.
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+}
+
+// report is the JSON document written to -out.
+type report struct {
+	Target    string             `json:"target"`
+	Clients   int                `json:"clients"`
+	DurationS float64            `json:"duration_s"`
+	WalkFrac  float64            `json:"walk_frac"`
+	Requests  int                `json:"requests"`
+	Errors    int                `json:"errors"`
+	RPS       float64            `json:"rps"`
+	P50ms     float64            `json:"p50_ms"`
+	P95ms     float64            `json:"p95_ms"`
+	P99ms     float64            `json:"p99_ms"`
+	MaxMs     float64            `json:"max_ms"`
+	PerOp     map[string]opStats `json:"per_op"`
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.base, "addr", "http://127.0.0.1:8085", "base URL of the mdmd instance")
+	flag.IntVar(&cfg.clients, "clients", 8, "concurrent closed-loop clients")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured load window")
+	flag.DurationVar(&cfg.warmup, "warmup", 2*time.Second, "unmeasured warmup window")
+	flag.Float64Var(&cfg.walkFrac, "walk-frac", 0.25, "fraction of requests that are federated walks")
+	flag.StringVar(&cfg.out, "out", "", "write the JSON report to this file (default stdout only)")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatalf("mdm-loadgen: %v", err)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(enc, '\n'), 0o644); err != nil {
+			log.Fatalf("mdm-loadgen: %v", err)
+		}
+	}
+	fmt.Println(string(enc))
+	if rep.Errors > 0 {
+		log.Fatalf("mdm-loadgen: %d/%d requests failed", rep.Errors, rep.Requests)
+	}
+}
+
+// run executes the closed loop and aggregates the report. It is the
+// whole benchmark minus flag parsing, so tests can drive it against an
+// httptest server.
+func run(cfg config) (*report, error) {
+	if cfg.clients < 1 {
+		return nil, fmt.Errorf("clients must be >= 1")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitReady(client, cfg.base, 15*time.Second); err != nil {
+		return nil, err
+	}
+	if cfg.warmup > 0 {
+		loadWindow(client, cfg, cfg.warmup)
+	}
+	start := time.Now()
+	samples := loadWindow(client, cfg, cfg.duration)
+	elapsed := time.Since(start)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no requests completed in %v", cfg.duration)
+	}
+
+	all := make([]time.Duration, 0, len(samples))
+	perOp := map[string][]sample{}
+	errs := 0
+	for _, s := range samples {
+		all = append(all, s.lat)
+		perOp[s.op] = append(perOp[s.op], s)
+		if s.err {
+			errs++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := &report{
+		Target:    cfg.base,
+		Clients:   cfg.clients,
+		DurationS: elapsed.Seconds(),
+		WalkFrac:  cfg.walkFrac,
+		Requests:  len(samples),
+		Errors:    errs,
+		RPS:       float64(len(samples)) / elapsed.Seconds(),
+		P50ms:     ms(quantile(all, 0.50)),
+		P95ms:     ms(quantile(all, 0.95)),
+		P99ms:     ms(quantile(all, 0.99)),
+		MaxMs:     ms(all[len(all)-1]),
+		PerOp:     map[string]opStats{},
+	}
+	for name, ss := range perOp {
+		lats := make([]time.Duration, 0, len(ss))
+		oerrs := 0
+		for _, s := range ss {
+			lats = append(lats, s.lat)
+			if s.err {
+				oerrs++
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.PerOp[name] = opStats{
+			Count:  len(ss),
+			Errors: oerrs,
+			P50ms:  ms(quantile(lats, 0.50)),
+			P95ms:  ms(quantile(lats, 0.95)),
+			P99ms:  ms(quantile(lats, 0.99)),
+		}
+	}
+	return rep, nil
+}
+
+// loadWindow runs the closed loop for the window and returns every
+// client's samples.
+func loadWindow(client *http.Client, cfg config, window time.Duration) []sample {
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var wg sync.WaitGroup
+	out := make([][]sample, cfg.clients)
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			// Deterministic per-client stream: run-to-run workload mix
+			// stays comparable across baselines.
+			rng := rand.New(rand.NewSource(int64(idx) + 1))
+			for ctx.Err() == nil {
+				o := pick(rng, cfg.walkFrac)
+				t0 := time.Now()
+				failed := doOp(ctx, client, cfg.base, o)
+				lat := time.Since(t0)
+				if ctx.Err() != nil && failed {
+					break // deadline hit mid-request; not a server error
+				}
+				out[idx] = append(out[idx], sample{op: o.Name, lat: lat, err: failed})
+			}
+		}(c)
+	}
+	wg.Wait()
+	var all []sample
+	for _, s := range out {
+		all = append(all, s...)
+	}
+	return all
+}
+
+func pick(rng *rand.Rand, walkFrac float64) op {
+	if rng.Float64() < walkFrac {
+		return walkOps[rng.Intn(len(walkOps))]
+	}
+	return sparqlOps[rng.Intn(len(sparqlOps))]
+}
+
+// doOp issues one request and fully drains the response; closed-loop
+// latency includes reading the body, matching what a client observes.
+func doOp(ctx context.Context, client *http.Client, base string, o op) (failed bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+o.Path, bytes.NewReader(o.Body))
+	if err != nil {
+		return true
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return true
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err != nil || resp.StatusCode != http.StatusOK
+}
+
+// waitReady polls /api/stats until the server answers, bounding how
+// long CI waits for the booted mdmd.
+func waitReady(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(base + "/api/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v: %v", base, patience, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

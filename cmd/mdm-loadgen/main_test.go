@@ -1,0 +1,71 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mdm"
+	"mdm/internal/rest"
+	"mdm/internal/usecase"
+)
+
+// TestRunAgainstSeededServer drives the whole closed loop against an
+// in-process mdmd equivalent (seeded system behind the REST mux): every
+// workload op must succeed and the report must be internally
+// consistent. This pins the op bodies to the seed fixture — if either
+// drifts, CI's serve-bench job would silently publish an all-error
+// baseline.
+func TestRunAgainstSeededServer(t *testing.T) {
+	f := usecase.MustNew()
+	srv := httptest.NewServer(rest.NewServer(mdm.FromParts(f.Ont, f.Reg)))
+	defer srv.Close()
+
+	rep, err := run(config{
+		base:     srv.URL,
+		clients:  4,
+		duration: 500 * time.Millisecond,
+		warmup:   100 * time.Millisecond,
+		walkFrac: 0.5, // force both op families into the short window
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d of %d (workload drifted from the seed fixture?): %+v",
+			rep.Errors, rep.Requests, rep.PerOp)
+	}
+	if rep.RPS <= 0 {
+		t.Fatalf("rps = %v", rep.RPS)
+	}
+	if rep.P50ms <= 0 || rep.P50ms > rep.P95ms || rep.P95ms > rep.P99ms || rep.P99ms > rep.MaxMs {
+		t.Fatalf("inconsistent percentiles: p50=%v p95=%v p99=%v max=%v",
+			rep.P50ms, rep.P95ms, rep.P99ms, rep.MaxMs)
+	}
+	for _, name := range []string{"sparql-concepts", "walk-players-teams"} {
+		st, ok := rep.PerOp[name]
+		if !ok || st.Count == 0 {
+			t.Fatalf("op %s never ran: %+v", name, rep.PerOp)
+		}
+		if st.Errors != 0 {
+			t.Fatalf("op %s: %d errors", name, st.Errors)
+		}
+	}
+}
+
+// TestQuantile pins the nearest-rank indexing on tiny sample sets.
+func TestQuantile(t *testing.T) {
+	s := []time.Duration{1, 2, 3, 4}
+	if q := quantile(s, 0.50); q != 2 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := quantile(s, 0.99); q != 3 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty = %v", q)
+	}
+}

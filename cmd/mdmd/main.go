@@ -66,6 +66,7 @@ import (
 	"mdm/internal/apisim"
 	"mdm/internal/federate"
 	"mdm/internal/rest"
+	"mdm/internal/sparql"
 	"mdm/internal/usecase"
 )
 
@@ -83,8 +84,10 @@ func main() {
 	partial := flag.Bool("partial", false, "degrade walks on source failure by default (annotate instead of fail)")
 	serveStale := flag.Bool("serve-stale", false, "in partial mode, substitute a source's last good snapshot")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain window on shutdown")
+	parallel := flag.Int("parallel", 0, "SPARQL join worker budget (0 = GOMAXPROCS-derived, 1 = sequential)")
 	flag.Parse()
 
+	sparql.SetParallelism(*parallel)
 	sys, err := buildSystem(*dataDir, *seed)
 	if err != nil {
 		log.Fatalf("mdmd: %v", err)

@@ -363,9 +363,16 @@ func (e *Engine) fetchResilient(ctx context.Context, src relalg.RowSource) (*rel
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if err := e.Retry.wait(ctx, attempt-1); err != nil {
-				// The fill (or caller) died mid-backoff; the last real
-				// fetch error is more informative than the timer's.
-				return nil, lastErr
+				// The fill (or caller) died mid-backoff. Surface the
+				// context error so Classify sees a cancellation, not the
+				// prior attempt's (retryable, usually network) failure —
+				// callers must not count a canceled walk as a source
+				// fault. Keep the last fetch error as detail.
+				if lastErr != nil {
+					return nil, fmt.Errorf("federate: source %s: %w (last attempt: %v)",
+						src.Name(), err, lastErr)
+				}
+				return nil, err
 			}
 		}
 		if br != nil {

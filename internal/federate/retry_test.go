@@ -174,6 +174,44 @@ func TestEngineRetryBudgetExhausted(t *testing.T) {
 	}
 }
 
+// TestEngineCancelDuringBackoff: canceling the caller's context while
+// the retry ladder sleeps must abort the wait immediately — well under
+// the configured backoff — and surface an error that classifies as a
+// cancellation, not as the prior attempt's network/5xx failure.
+func TestEngineCancelDuringBackoff(t *testing.T) {
+	down := &seqSource{name: "down", rel: relalg.NewRelation("a"), errs: []error{
+		&wrapper.StatusError{URL: "u", Code: 503},
+		&wrapper.StatusError{URL: "u", Code: 503},
+	}}
+	eng := NewEngine()
+	eng.Breakers = nil
+	// Real sleep (no instantSleep): a 30s base backoff that only a
+	// prompt ctx abort can get us out of within the test timeout.
+	eng.Retry = RetryPolicy{Max: 2, BaseDelay: 30 * time.Second, MaxDelay: time.Minute}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+
+	start := time.Now()
+	_, err := eng.Run(ctx, relalg.NewScan(down))
+	elapsed := time.Since(start)
+
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancel mid-backoff took %v, want well under the 30s backoff", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if got := Classify(err); got != ClassCanceled {
+		t.Fatalf("Classify(%v) = %q, want %q", err, got, ClassCanceled)
+	}
+	if n := down.fetches.Load(); n != 1 {
+		t.Fatalf("fetches = %d, want 1 (canceled before the retry fired)", n)
+	}
+}
+
 // TestEngineTerminalErrorsNotRetried: 4xx, payload-cap and schema
 // failures fail on the first attempt — retrying cannot fix the request.
 func TestEngineTerminalErrorsNotRetried(t *testing.T) {

@@ -286,6 +286,129 @@ func (g *Graph) AppendMatchIDs(dst []TermID, s, p, o TermID) []TermID {
 	return dst
 }
 
+// AppendMatchIDsShard is the range-partitioned variant of
+// AppendMatchIDs for parallel consumers: the pattern's match set is
+// split into `shards` disjoint subsets and only subset `shard`
+// (0 ≤ shard < shards) is appended. The union of all shards is exactly
+// the AppendMatchIDs set, and for a fixed graph state a triple always
+// lands in the same shard, so concurrent workers can each scan one
+// shard under their own read-lock acquisition and cover the pattern
+// without coordination or overlap.
+//
+// Which triple position partitions the set is unspecified — it is
+// chosen per pattern shape so that, where the index structure allows,
+// whole sub-maps outside the shard are skipped rather than filtered
+// element-wise. shards <= 1 degenerates to AppendMatchIDs.
+func (g *Graph) AppendMatchIDsShard(dst []TermID, s, p, o TermID, shard, shards int) []TermID {
+	if shards <= 1 {
+		return g.AppendMatchIDs(dst, s, p, o)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.eachMatchIDsShardLocked(s, p, o, uint32(shard), uint32(shards), func(a, b, c TermID) bool {
+		dst = append(dst, a, b, c)
+		return true
+	})
+	return dst
+}
+
+// eachMatchIDsShardLocked mirrors eachMatchIDsLocked but emits only the
+// triples whose partition coordinate falls in the given shard. For the
+// shapes with two or three free positions the coordinate is the chosen
+// index's next iteration level, so off-shard sub-maps are skipped
+// wholesale; for the single-free-position shapes the leaf set is
+// filtered element-wise (those match sets are the small ones).
+func (g *Graph) eachMatchIDsShardLocked(s, p, o TermID, shard, shards uint32, fn func(s, p, o TermID) bool) bool {
+	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
+	switch {
+	case !sAny && !pAny && !oAny:
+		if shard != 0 {
+			return true
+		}
+		return g.eachMatchIDsLocked(s, p, o, fn)
+	case !sAny && !pAny: // s p ? — filter objects
+		if m2, ok := g.spo[s]; ok {
+			for obj := range m2[p] {
+				if uint32(obj)%shards != shard {
+					continue
+				}
+				if !fn(s, p, obj) {
+					return false
+				}
+			}
+		}
+	case !sAny && !oAny: // s ? o — filter predicates
+		if m2, ok := g.osp[o]; ok {
+			for pred := range m2[s] {
+				if uint32(pred)%shards != shard {
+					continue
+				}
+				if !fn(s, pred, o) {
+					return false
+				}
+			}
+		}
+	case !pAny && !oAny: // ? p o — filter subjects
+		if m2, ok := g.pos[p]; ok {
+			for subj := range m2[o] {
+				if uint32(subj)%shards != shard {
+					continue
+				}
+				if !fn(subj, p, o) {
+					return false
+				}
+			}
+		}
+	case !sAny: // s ? ? — partition by predicate, skipping sub-maps
+		for pred, m3 := range g.spo[s] {
+			if uint32(pred)%shards != shard {
+				continue
+			}
+			for obj := range m3 {
+				if !fn(s, pred, obj) {
+					return false
+				}
+			}
+		}
+	case !pAny: // ? p ? — partition by object, skipping sub-maps
+		for obj, m3 := range g.pos[p] {
+			if uint32(obj)%shards != shard {
+				continue
+			}
+			for subj := range m3 {
+				if !fn(subj, p, obj) {
+					return false
+				}
+			}
+		}
+	case !oAny: // ? ? o — partition by subject, skipping sub-maps
+		for subj, m3 := range g.osp[o] {
+			if uint32(subj)%shards != shard {
+				continue
+			}
+			for pred := range m3 {
+				if !fn(subj, pred, o) {
+					return false
+				}
+			}
+		}
+	default: // ? ? ? — partition by subject, skipping sub-trees
+		for subj, m2 := range g.spo {
+			if uint32(subj)%shards != shard {
+				continue
+			}
+			for pred, m3 := range m2 {
+				for obj := range m3 {
+					if !fn(subj, pred, obj) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
 // CountIDs is the ID-level variant of Count: pattern components are
 // dictionary IDs with AnyID as the wildcard. Like Count it is computed
 // from index map lengths and allocates nothing.

@@ -639,6 +639,33 @@ SELECT ?c ?f WHERE { GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/g
 	c.do("POST", "/api/sparql?offset=x", q, 400)
 }
 
+// TestSPARQLPagingOffsetOverflow: an offset near MaxInt64 must produce
+// an empty page, not an integer-overflowed top-k capacity. Regression
+// for the limit+offset overflow in the bounded paging path.
+func TestSPARQLPagingOffsetOverflow(t *testing.T) {
+	c, provider := setupServer(t)
+	stewardSetup(t, c, provider)
+	q := map[string]string{
+		"query": `PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+SELECT ?c ?f WHERE { GRAPH <http://www.essi.upc.edu/~snadal/BDIOntology/Global/graph> { ?c G:hasFeature ?f . } }`,
+	}
+	for _, off := range []string{"9223372036854775807", "9223372036854775806"} {
+		page := c.do("POST", "/api/sparql?limit=1&offset="+off, q, 200)
+		if rows, _ := page["rows"].([]any); len(rows) != 0 {
+			t.Fatalf("offset=%s: got %d rows, want empty page", off, len(rows))
+		}
+	}
+	// An offset one past the actual result size still pages normally.
+	page := c.do("POST", "/api/sparql?limit=1&offset=5", q, 200)
+	if rows, _ := page["rows"].([]any); len(rows) != 0 {
+		t.Fatalf("offset=5: got %d rows past the end", len(rows))
+	}
+	page = c.do("POST", "/api/sparql?limit=1&offset=4", q, 200)
+	if rows, _ := page["rows"].([]any); len(rows) != 1 {
+		t.Fatalf("offset=4 limit=1: got %d rows, want 1", len(rows))
+	}
+}
+
 // TestWalkQueryPagingAndNDJSON: the federated walk endpoints honor the
 // same paging/streaming parameters.
 func TestWalkQueryPagingAndNDJSON(t *testing.T) {

@@ -84,6 +84,15 @@ type triplePlan struct {
 	hash     bool
 	keySlots []int
 	keyPos   []uint8
+
+	// Parallelism decision: parCost is the pattern's estimated join work
+	// in emitted-match units (input rows × (1 + fanout), recorded by
+	// chooseJoin); plan marks par on root-level hash patterns whose cost
+	// clears parallelMinWork when the evaluation's worker budget allows,
+	// and chainRoot fuses consecutive marked patterns into one
+	// morselJoinIter (see parallel.go).
+	parCost float64
+	par     bool
 }
 
 func (*triplePlan) patternPlan() {}
@@ -275,6 +284,7 @@ func (e *evaluator) chooseJoin(p *triplePlan, pc *planCtx) {
 	default:
 		p.hash = pc.rows >= hashJoinMinRows && build < pc.rows*(nestedLoopRowTax-1)
 	}
+	p.parCost = pc.rows * (1 + fanout)
 	pc.rows = math.Max(1, pc.rows*fanout)
 }
 
@@ -361,6 +371,7 @@ type cachedPlan struct {
 	version uint64
 	dictLen int
 	mode    int32
+	par     int
 	root    *groupPlan
 }
 
@@ -374,12 +385,26 @@ type cachedPlan struct {
 // estimates behind pattern order and join choice may go stale — a
 // performance matter only — while matching itself always runs against
 // the live indexes.
+// Revalidation under concurrent interning is benign by construction:
+// Version is an atomic counter, Dict.Len takes the dictionary's read
+// lock, and both are read *before* planning. A writer interning a new
+// term between those reads and the Store caches a plan stamped with the
+// pre-intern dictLen, so the very next evaluation observes a larger
+// Dict.Len and recompiles — the stale plan can be used at most for the
+// evaluation that compiled it, which is exactly the non-snapshot
+// semantics every evaluation already has (matching runs against live
+// indexes either way). The parallel workers never touch this path: a
+// plan is compiled and its par flags marked on the caller's goroutine
+// before any worker goroutine exists, and workers treat the plan and
+// its tables as read-only.
 func (e *evaluator) plan(q *Query) (*groupPlan, error) {
 	mode := joinMode
+	par := e.planParallelism(q)
+	e.par = par
 	ver := e.ds.Version()
 	dictLen := e.dict.Len()
 	if c := q.plan.Load(); c != nil && c.ds == e.ds && c.version == ver &&
-		c.dictLen == dictLen && c.mode == mode {
+		c.dictLen == dictLen && c.mode == mode && c.par == par {
 		return c.root, nil
 	}
 	pc := &planCtx{rows: 1, bound: make([]bool, len(e.lay.names))}
@@ -387,7 +412,14 @@ func (e *evaluator) plan(q *Query) (*groupPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	q.plan.Store(&cachedPlan{ds: e.ds, version: ver, dictLen: dictLen, mode: mode, root: root})
+	if par > 1 {
+		for _, pat := range root.patterns {
+			if tp, ok := pat.(*triplePlan); ok && tp.hash && !tp.dead {
+				tp.par = parMode == parForceOn || tp.parCost >= parallelMinWork
+			}
+		}
+	}
+	q.plan.Store(&cachedPlan{ds: e.ds, version: ver, dictLen: dictLen, mode: mode, par: par, root: root})
 	return root, nil
 }
 
@@ -395,29 +427,34 @@ func (e *evaluator) plan(q *Query) (*groupPlan, error) {
 func (e *evaluator) chain(gp *groupPlan, src rowIter) rowIter {
 	it := src
 	for _, p := range gp.patterns {
-		switch pl := p.(type) {
-		case *triplePlan:
-			if pl.hash {
-				it = &hashJoinIter{e: e, src: it, p: pl, scratch: e.newRow(), chain: -1}
-				break
-			}
-			ti := &tripleIter{e: e, src: it, p: pl, scratch: e.newRow()}
-			ti.emit = ti.emitMatch
-			it = ti
-		case *optionalPlan:
-			it = &optionalIter{e: e, src: it, p: pl}
-		case *unionPlan:
-			it = &unionIter{e: e, src: it, p: pl}
-		case *graphPlan:
-			it = &graphIter{e: e, src: it, p: pl, scratch: e.newRow()}
-		case *inlineGroupPlan:
-			it = e.chain(pl.sub, it)
-		case *deadPlan:
-			it = emptyIter{}
-		}
+		it = e.chainOne(p, it)
 	}
 	if len(gp.filters) > 0 {
 		it = &filterIter{e: e, src: it, exprs: gp.filters}
+	}
+	return it
+}
+
+// chainOne instantiates one planned pattern as an operator over it.
+func (e *evaluator) chainOne(p patternPlan, it rowIter) rowIter {
+	switch pl := p.(type) {
+	case *triplePlan:
+		if pl.hash {
+			return &hashJoinIter{e: e, src: it, p: pl, scratch: e.newRow(), chain: -1}
+		}
+		ti := &tripleIter{e: e, src: it, p: pl, scratch: e.newRow()}
+		ti.emit = ti.emitMatch
+		return ti
+	case *optionalPlan:
+		return &optionalIter{e: e, src: it, p: pl}
+	case *unionPlan:
+		return &unionIter{e: e, src: it, p: pl}
+	case *graphPlan:
+		return &graphIter{e: e, src: it, p: pl, scratch: e.newRow()}
+	case *inlineGroupPlan:
+		return e.chain(pl.sub, it)
+	case *deadPlan:
+		return emptyIter{}
 	}
 	return it
 }
@@ -573,18 +610,37 @@ func (e *evaluator) hashTable(p *triplePlan) *hashTable {
 	if t, ok := e.tables[p]; ok {
 		return t
 	}
-	raw := p.g.AppendMatchIDs(nil, p.sID, p.pID, p.oID)
-	if p.spSame || p.soSame || p.poSame {
-		kept := raw[:0]
-		for i := 0; i < len(raw); i += 3 {
-			ms, mp, mo := raw[i], raw[i+1], raw[i+2]
-			if p.spSame && ms != mp || p.soSame && ms != mo || p.poSame && mp != mo {
-				continue
-			}
-			kept = append(kept, ms, mp, mo)
-		}
-		raw = kept
+	raw := filterSameViolations(p.g.AppendMatchIDs(nil, p.sID, p.pID, p.oID), p)
+	t := newChainTable(raw, p)
+	if e.tables == nil {
+		e.tables = make(map[*triplePlan]*hashTable)
 	}
+	e.tables[p] = t
+	return t
+}
+
+// filterSameViolations drops the triplets of raw that violate the
+// pattern's repeated-variable equalities, in place.
+func filterSameViolations(raw []rdf.TermID, p *triplePlan) []rdf.TermID {
+	if !p.spSame && !p.soSame && !p.poSame {
+		return raw
+	}
+	kept := raw[:0]
+	for i := 0; i < len(raw); i += 3 {
+		ms, mp, mo := raw[i], raw[i+1], raw[i+2]
+		if p.spSame && ms != mp || p.soSame && ms != mo || p.poSame && mp != mo {
+			continue
+		}
+		kept = append(kept, ms, mp, mo)
+	}
+	return kept
+}
+
+// newChainTable builds the intrusive-chain table over raw, a flat
+// (s, p, o) triplet slice already filtered for repeated-variable
+// violations. Shared by the sequential build (evaluator.hashTable) and
+// the per-partition parallel builds (evaluator.parTable).
+func newChainTable(raw []rdf.TermID, p *triplePlan) *hashTable {
 	n := len(raw) / 3
 	t := &hashTable{rows: raw, next: make([]int32, n)}
 	if len(p.keySlots) == 1 {
@@ -611,10 +667,6 @@ func (e *evaluator) hashTable(p *triplePlan) *hashTable {
 			t.head[k] = int32(i)
 		}
 	}
-	if e.tables == nil {
-		e.tables = make(map[*triplePlan]*hashTable)
-	}
-	e.tables[p] = t
 	return t
 }
 
@@ -633,6 +685,13 @@ type hashJoinIter struct {
 	scratch []rdf.TermID // the emitted row; rewritten per match
 	cur     []rdf.TermID // the borrowed input row being extended
 	tab     *hashTable
+	// pt, when set, replaces the lazily built single table: the probe
+	// selects the partition of each row's key hash (tab then names the
+	// current partition), and the unbound-key linear fallback walks
+	// every partition via pi. Set only inside morsel workers, which
+	// receive their tables pre-built (see parallel.go).
+	pt      *partitionedTable
+	pi      int   // next partition for the linear fallback when pt != nil
 	chain   int32 // next candidate triplet in cur's bucket chain, -1 done
 	linear  bool  // fallback: scan all triplets for cur
 	pos     int   // next triplet offset when linear
@@ -645,8 +704,14 @@ func (it *hashJoinIter) next() []rdf.TermID {
 		for {
 			var base int
 			if it.linear {
-				if it.pos >= len(it.tab.rows) {
-					break
+				if it.tab == nil || it.pos >= len(it.tab.rows) {
+					if it.pt == nil || it.pi >= len(it.pt.parts) {
+						break
+					}
+					it.tab = it.pt.parts[it.pi]
+					it.pi++
+					it.pos = 0
+					continue
 				}
 				base = it.pos
 				it.pos += 3
@@ -683,13 +748,32 @@ func (it *hashJoinIter) next() []rdf.TermID {
 		if row == nil {
 			return nil
 		}
-		if it.tab == nil {
+		if it.tab == nil && it.pt == nil {
 			it.tab = it.e.hashTable(p)
 		}
 		it.cur = row
 		copy(it.scratch, row)
-		it.pos, it.chain, it.linear = 0, -1, false
+		it.pos, it.chain, it.linear, it.pi = 0, -1, false, 0
 		switch {
+		case it.pt != nil:
+			// Partitioned probe: hash the key to its partition, then the
+			// usual bucket lookup within it. An unbound key slot falls
+			// back to scanning every partition, which together hold
+			// exactly the single table's triplets.
+			it.tab = nil
+			if key, ok := p.probeKey(row); ok {
+				t := it.pt.part(key)
+				it.tab = t
+				if t.head1 != nil {
+					if h, hit := t.head1[key[0]]; hit {
+						it.chain = h
+					}
+				} else if h, hit := t.head[key]; hit {
+					it.chain = h
+				}
+			} else {
+				it.linear = true
+			}
 		case it.tab.head1 != nil:
 			if v := row[p.keySlots[0]]; v != unboundID {
 				if h, hit := it.tab.head1[v]; hit {
@@ -1350,7 +1434,7 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 	for i := range init {
 		init[i] = unboundID
 	}
-	src := e.chain(gp, &onceIter{row: init})
+	src := e.chainRoot(gp, &onceIter{row: init})
 	c := &Cursor{e: e, form: q.Form}
 	if q.Form == FormAsk {
 		c.it = &pageIter{src: src, limit: 1}
@@ -1383,6 +1467,17 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 		}
 		c.it = &pageIter{src: it, skip: q.Offset, limit: q.Limit}
 	case q.Limit > 0:
+		if q.Offset > math.MaxInt-q.Limit {
+			// offset+limit would overflow int (a hostile offset near
+			// MaxInt, reachable through REST paging): the bounded top-k
+			// cannot represent the page cut, so run the unbounded
+			// canonical barrier and skip past the offset instead — the
+			// same rows for any offset, without the overflowed capacity
+			// silently dropping the whole result.
+			var it rowIter = &canonIter{e: e, src: src, slots: c.slots, distinct: q.Distinct}
+			c.it = &pageIter{src: it, skip: q.Offset, limit: q.Limit}
+			break
+		}
 		// Canonical order with a page bound: keep only offset+limit rows.
 		top := &topKIter{e: e, src: src, slots: c.slots, k: q.Offset + q.Limit, distinct: q.Distinct}
 		c.it = &pageIter{src: top, skip: q.Offset, limit: q.Limit}

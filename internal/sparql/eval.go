@@ -193,6 +193,14 @@ type evaluator struct {
 	// (OPTIONAL, UNION, GRAPH) share one build instead of re-scanning.
 	tables map[*triplePlan]*hashTable
 
+	// ptables caches the partitioned build sides of parallel segments,
+	// and par is the worker budget this evaluation planned with (set by
+	// plan; <= 1 means sequential). Morsel workers run on private
+	// evaluators — see parallel.go — so neither field is ever touched
+	// off the caller's goroutine.
+	ptables map[*triplePlan]*partitionedTable
+	par     int
+
 	// ctx is the caller's context for the in-flight Next call; err
 	// latches the first failure (typically ctx.Err()) and makes every
 	// operator wind down: next() returns nil once err is set.

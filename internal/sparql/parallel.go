@@ -1,0 +1,419 @@
+package sparql
+
+import (
+	"math/bits"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mdm/internal/rdf"
+)
+
+// This file implements morsel-driven intra-query parallelism behind the
+// Cursor contract. The planner marks root-level hash-join patterns
+// whose estimated work clears a threshold (plan/chooseJoin in
+// cursor.go); chainRoot fuses each maximal run of marked patterns into
+// one morselJoinIter, which executes the run as a parallel pipeline
+// segment:
+//
+//	build  — each pattern's match set is scanned shard-by-shard
+//	         (rdf.Graph.AppendMatchIDsShard) by the worker pool and
+//	         radix-partitioned by join-key hash into per-partition
+//	         chain tables, so no two build workers ever write the
+//	         same table (partitionedTable / evaluator.parTable);
+//	probe  — input rows are pulled in super-batches on the caller's
+//	         goroutine, split into contiguous per-worker morsels, and
+//	         each worker drains a private chain of hashJoinIters (its
+//	         own evaluator: arena, error latch, captured context) over
+//	         its morsel into a private output slab;
+//	merge  — the caller concatenates worker slabs in worker order,
+//	         which restores the input-stream order of the morsels.
+//
+// All goroutines live strictly inside a single Next call: a super-batch
+// spawns the pool, waits for it, and only then returns rows, so the
+// cursor still "holds no locks or goroutines between Next calls" and an
+// abandoned cursor leaks nothing. Cancellation is the same poll as the
+// sequential path — every worker polls the context captured at batch
+// start every few thousand candidates, so one ctx cancellation stops
+// the whole pool within a polling quantum.
+//
+// Determinism: the merge keeps the operator-level stream in input
+// order, and every SELECT pipeline ends in a canonical-order barrier (a
+// total order over the projected columns), so a full drain is
+// byte-identical to the sequential path's output. The spec harness
+// asserts this under forced-parallel mode.
+
+const (
+	// maxParWorkers caps the GOMAXPROCS-derived default worker count;
+	// beyond this the merge and batching overheads outgrow the win for
+	// the row counts this engine sees.
+	maxParWorkers = 8
+
+	// morselRows is the number of input rows per worker per
+	// super-batch. Large enough to amortize the per-batch goroutine
+	// spawn (microseconds) over thousands of probes, small enough to
+	// bound latency to first row and per-batch memory.
+	morselRows = 1024
+
+	// parallelMinWork is the planner threshold, in the cost model's
+	// "emitted match" units (rows × (1 + fanout), see chooseJoin): below
+	// it the fixed cost of sharded builds and a worker pool exceeds the
+	// join work being split. The justifying benchmark is
+	// BenchmarkParallelJoinDrain (see docs/QUERY_PLANNING.md).
+	parallelMinWork = 4096
+)
+
+// parWorkers is the configured worker budget: 0 = automatic
+// (GOMAXPROCS, capped), 1 = parallelism off, n>1 = exactly n workers.
+var parWorkers atomic.Int32
+
+func init() {
+	// MDM_SPARQL_PARALLEL is the opt-out/override environment knob:
+	// "off" (or "1") disables intra-query parallelism process-wide,
+	// an integer fixes the worker count, unset/auto derives it from
+	// GOMAXPROCS. Tests that need a deterministic sequential engine
+	// set MDM_SPARQL_PARALLEL=off.
+	switch v := os.Getenv("MDM_SPARQL_PARALLEL"); v {
+	case "", "auto":
+	case "off":
+		parWorkers.Store(1)
+	default:
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			parWorkers.Store(int32(n))
+		}
+	}
+}
+
+// SetParallelism sets the intra-query worker budget: 0 restores the
+// automatic GOMAXPROCS-derived default, 1 disables parallel execution,
+// n > 1 uses exactly n workers. Safe to call concurrently with running
+// queries; in-flight evaluations keep the budget they planned with.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parWorkers.Store(int32(n))
+}
+
+// parallelism resolves the current worker budget.
+func parallelism() int {
+	if n := parWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > maxParWorkers {
+		n = maxParWorkers
+	}
+	return n
+}
+
+// parMode forces the planner's parallelism decision; the spec harness
+// uses parForceOn to run every randomized case through the morsel
+// machinery regardless of size. Like joinMode it is mutated only by
+// tests, between evaluations.
+var parMode = parAuto
+
+const (
+	parAuto int32 = iota
+	parForceOn
+	parForceOff
+)
+
+// planParallelism decides the worker budget one evaluation plans with.
+// ASK queries stay sequential (they want any one row, not a drained
+// batch), as do variable-free queries (zero-width rows cannot be
+// slab-split) and any query when the budget is 1.
+func (e *evaluator) planParallelism(q *Query) int {
+	if parMode == parForceOff {
+		return 1
+	}
+	if q.Form == FormAsk || len(e.lay.names) == 0 {
+		return 1
+	}
+	n := parallelism()
+	if parMode == parForceOn && n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// partitionedTable is a hash-join build side split by join-key hash
+// into power-of-two many independent chain tables: partition i holds
+// exactly the matches whose key hashes there, so build workers write
+// disjoint tables and a keyed probe touches one partition. parts has
+// length 1 for keyless (cartesian) patterns.
+type partitionedTable struct {
+	parts []*hashTable
+	shift uint // partition index = keyHash >> shift
+}
+
+func (pt *partitionedTable) part(k joinKey) *hashTable {
+	return pt.parts[partIndex(k, pt.shift)]
+}
+
+// partIndex hashes a join key to a partition. Fibonacci-style mixing
+// per component keeps dense sequential TermIDs from striping, and the
+// top bits select the partition so the map hash (which uses low bits)
+// stays independent within a partition.
+func partIndex(k joinKey, shift uint) int {
+	h := uint64(k[0])*0x9E3779B97F4A7C15 ^ uint64(k[1])*0xC2B2AE3D27D4EB4F ^ uint64(k[2])*0x165667B19E3779F9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	return int(h >> shift)
+}
+
+// parTable returns (building on first use) the partitioned build side
+// for one parallel hash-join pattern. The scan phase runs one worker
+// per index shard (concurrent read-locked scans), each bucketing its
+// matches by key partition; the build phase runs one worker per
+// partition, each assembling its chain table from the scanners'
+// buckets. No bucket is written by more than one goroutine in either
+// phase.
+func (e *evaluator) parTable(p *triplePlan, workers int) *partitionedTable {
+	if t, ok := e.ptables[p]; ok {
+		return t
+	}
+	nparts := 1
+	if len(p.keySlots) > 0 {
+		for nparts < workers {
+			nparts <<= 1
+		}
+	}
+	shift := uint(64 - bits.TrailingZeros(uint(nparts)))
+	buckets := make([][][]rdf.TermID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			raw := filterSameViolations(p.g.AppendMatchIDsShard(nil, p.sID, p.pID, p.oID, w, workers), p)
+			if nparts == 1 {
+				buckets[w] = [][]rdf.TermID{raw}
+				return
+			}
+			bs := make([][]rdf.TermID, nparts)
+			for i := 0; i < len(raw); i += 3 {
+				pi := partIndex(p.matchKey(raw[i], raw[i+1], raw[i+2]), shift)
+				bs[pi] = append(bs[pi], raw[i], raw[i+1], raw[i+2])
+			}
+			buckets[w] = bs
+		}(w)
+	}
+	wg.Wait()
+	pt := &partitionedTable{parts: make([]*hashTable, nparts), shift: shift}
+	for pi := 0; pi < nparts; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			n := 0
+			for w := range buckets {
+				n += len(buckets[w][pi])
+			}
+			rows := make([]rdf.TermID, 0, n)
+			for w := range buckets {
+				rows = append(rows, buckets[w][pi]...)
+			}
+			pt.parts[pi] = newChainTable(rows, p)
+		}(pi)
+	}
+	wg.Wait()
+	if e.ptables == nil {
+		e.ptables = make(map[*triplePlan]*partitionedTable)
+	}
+	e.ptables[p] = pt
+	return pt
+}
+
+// sliceRows replays a flat slab of copied rows as a rowIter; it is the
+// refillable seed of one worker's probe chain.
+type sliceRows struct {
+	rows []rdf.TermID
+	w    int
+	pos  int
+}
+
+func (s *sliceRows) next() []rdf.TermID {
+	if s.pos >= len(s.rows) {
+		return nil
+	}
+	r := s.rows[s.pos : s.pos+s.w : s.pos+s.w]
+	s.pos += s.w
+	return r
+}
+
+// morselWorker is one lane of the pool: a private evaluator (arena,
+// error latch, per-batch context), a persistent probe chain re-seeded
+// every super-batch, and an output slab reused across batches.
+type morselWorker struct {
+	we    *evaluator
+	seed  sliceRows
+	chain rowIter
+	out   []rdf.TermID
+}
+
+// morselJoinIter executes a fused run of parallel hash-join patterns as
+// morsel-parallel pipeline segments. See the file comment for the
+// dataflow and the ordering/cancellation guarantees.
+type morselJoinIter struct {
+	e     *evaluator
+	src   rowIter
+	plans []*triplePlan
+
+	inited  bool
+	srcDone bool
+	workers []*morselWorker
+	in      []rdf.TermID // copied input rows of the current super-batch
+	wi      int          // worker whose output slab is being drained
+	pos     int          // ID offset into that slab
+}
+
+func newMorselJoin(e *evaluator, src rowIter, plans []*triplePlan) *morselJoinIter {
+	return &morselJoinIter{e: e, src: src, plans: plans}
+}
+
+// init builds every segment table (partitioned, in parallel) and the
+// per-worker probe chains. Tables are built on the caller's goroutine
+// before any worker exists and are never written afterwards, so the
+// pool shares them read-only.
+func (it *morselJoinIter) init() {
+	it.inited = true
+	nw := it.e.par
+	pts := make([]*partitionedTable, len(it.plans))
+	for i, p := range it.plans {
+		if !p.dead {
+			pts[i] = it.e.parTable(p, nw)
+		}
+	}
+	w := len(it.e.lay.names)
+	it.workers = make([]*morselWorker, nw)
+	for i := range it.workers {
+		mw := &morselWorker{we: &evaluator{ds: it.e.ds, dict: it.e.dict, lay: it.e.lay}}
+		mw.seed.w = w
+		var chain rowIter = &mw.seed
+		for pi, p := range it.plans {
+			chain = &hashJoinIter{e: mw.we, src: chain, p: p, scratch: mw.we.newRow(), chain: -1, pt: pts[pi]}
+		}
+		mw.chain = chain
+		it.workers[i] = mw
+	}
+}
+
+func (it *morselJoinIter) next() []rdf.TermID {
+	w := len(it.e.lay.names)
+	for {
+		for it.wi < len(it.workers) {
+			mw := it.workers[it.wi]
+			if it.pos < len(mw.out) {
+				r := mw.out[it.pos : it.pos+w : it.pos+w]
+				it.pos += w
+				return r
+			}
+			it.wi++
+			it.pos = 0
+		}
+		if it.srcDone || !it.e.poll() {
+			return nil
+		}
+		if !it.inited {
+			it.init()
+		}
+		if !it.runBatch(w) {
+			return nil
+		}
+	}
+}
+
+// runBatch pulls the next super-batch of input rows on the caller's
+// goroutine, fans contiguous morsels out across the pool, and blocks
+// until every worker has drained its share. It reports false when
+// evaluation is over (source exhausted with nothing pulled, or a
+// failure latched). Input rows are copied into the batch slab because
+// borrowed rows expire on the next upstream pull.
+func (it *morselJoinIter) runBatch(w int) bool {
+	it.wi, it.pos = 0, 0
+	it.in = it.in[:0]
+	target := len(it.workers) * morselRows * w
+	for len(it.in) < target {
+		row := it.src.next()
+		if row == nil {
+			it.srcDone = true
+			break
+		}
+		it.in = append(it.in, row...)
+	}
+	if it.e.err != nil {
+		return false
+	}
+	n := len(it.in) / w
+	if n == 0 {
+		return false
+	}
+	chunk := (n + len(it.workers) - 1) / len(it.workers)
+	ctx := it.e.ctx
+	var wg sync.WaitGroup
+	for i, mw := range it.workers {
+		lo := min(i*chunk, n)
+		hi := min(lo+chunk, n)
+		mw.out = mw.out[:0]
+		if lo >= hi {
+			continue
+		}
+		mw.we.ctx = ctx
+		mw.seed.rows = it.in[lo*w : hi*w]
+		mw.seed.pos = 0
+		wg.Add(1)
+		go func(mw *morselWorker) {
+			defer wg.Done()
+			for {
+				r := mw.chain.next()
+				if r == nil {
+					return
+				}
+				mw.out = append(mw.out, r...)
+			}
+		}(mw)
+	}
+	wg.Wait()
+	for _, mw := range it.workers {
+		if mw.we.err != nil {
+			it.e.err = mw.we.err
+			return false
+		}
+	}
+	return true
+}
+
+// chainRoot instantiates the root group like chain, but fuses each
+// maximal run of consecutive parallel-marked hash-join patterns into
+// one morselJoinIter so a chain of probes parallelizes as a unit
+// (intermediate rows never leave the worker). Only the root group
+// parallelizes: sub-groups (OPTIONAL/UNION/GRAPH bodies) are
+// instantiated per input row and stay sequential.
+func (e *evaluator) chainRoot(gp *groupPlan, src rowIter) rowIter {
+	if e.par <= 1 {
+		return e.chain(gp, src)
+	}
+	it := src
+	var seg []*triplePlan
+	flush := func() {
+		if len(seg) > 0 {
+			it = newMorselJoin(e, it, seg)
+			seg = nil
+		}
+	}
+	for _, p := range gp.patterns {
+		if tp, ok := p.(*triplePlan); ok && tp.par {
+			seg = append(seg, tp)
+			continue
+		}
+		flush()
+		it = e.chainOne(p, it)
+	}
+	flush()
+	if len(gp.filters) > 0 {
+		it = &filterIter{e: e, src: it, exprs: gp.filters}
+	}
+	return it
+}

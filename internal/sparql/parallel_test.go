@@ -1,0 +1,273 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"mdm/internal/rdf"
+)
+
+// Deterministic coverage for the morsel-parallel join path (parallel.go):
+// byte-identical output vs the sequential engine, cancellation through
+// worker polls, the partitioned build's equivalence to the single-table
+// build, and the offset-overflow clamp in EvalCursor. The randomized
+// spec harness additionally runs every generated case under forced
+// parallelism (checkJoinStrategies).
+
+// withParMode runs f with the planner's parallelism decision forced,
+// restoring the previous mode even when f fails the test.
+func withParMode(t testing.TB, mode int32, f func()) {
+	t.Helper()
+	old := parMode
+	parMode = mode
+	defer func() { parMode = old }()
+	f()
+}
+
+// withParWorkers runs f with a fixed worker budget.
+func withParWorkers(t testing.TB, n int, f func()) {
+	t.Helper()
+	old := parWorkers.Load()
+	SetParallelism(n)
+	defer parWorkers.Store(old)
+	f()
+}
+
+// drainTable evaluates q and renders the full result; the canonical
+// order is total over projected columns, so two engines that agree must
+// agree byte for byte.
+func drainTable(t *testing.T, ds *rdf.Dataset, q *Query) string {
+	t.Helper()
+	res, err := Eval(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Table()
+}
+
+// TestParallelFullDrainByteIdentical pins the tentpole ordering
+// guarantee: a full drain under forced parallelism (several worker
+// counts, including more workers than morsels) renders exactly the
+// sequential engine's bytes.
+func TestParallelFullDrainByteIdentical(t *testing.T) {
+	ds, q := joinFixture()
+	var want string
+	withParMode(t, parForceOff, func() {
+		want = drainTable(t, ds, q)
+	})
+	if want == "" {
+		t.Fatal("empty sequential drain")
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		withParMode(t, parForceOn, func() {
+			withParWorkers(t, workers, func() {
+				if got := drainTable(t, ds, q); got != want {
+					t.Fatalf("workers=%d: parallel drain differs from sequential (lengths %d vs %d)",
+						workers, len(got), len(want))
+				}
+			})
+		})
+	}
+}
+
+// TestParallelLimitEqualsSequentialPage: the bounded top-k page over the
+// parallel stream must match the sequential page exactly.
+func TestParallelLimitEqualsSequentialPage(t *testing.T) {
+	ds, base := joinFixture()
+	src := `
+PREFIX ex: <http://ex.org/>
+SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w } LIMIT 25 OFFSET 13`
+	_ = base
+	q := MustParse(src)
+	var want string
+	withParMode(t, parForceOff, func() {
+		want = drainTable(t, ds, q)
+	})
+	withParMode(t, parForceOn, func() {
+		withParWorkers(t, 4, func() {
+			// Fresh Query so the plan cache cannot mask a paging bug.
+			if got := drainTable(t, ds, MustParse(src)); got != want {
+				t.Fatalf("parallel page differs from sequential:\n%s\nvs\n%s", got, want)
+			}
+		})
+	})
+}
+
+// TestParallelCancelMidJoin: a context that cancels partway through the
+// drain must stop the worker pool and surface context.Canceled, exactly
+// like the sequential engine.
+func TestParallelCancelMidJoin(t *testing.T) {
+	ds, q := joinFixture()
+	withParMode(t, parForceOn, func() {
+		withParWorkers(t, 4, func() {
+			ctx := &countdownCtx{Context: context.Background()}
+			ctx.n.Store(500) // far fewer polls than the 9000 result rows
+			cur, err := EvalCursor(ds, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := 0
+			for cur.Next(ctx) {
+				rows++
+			}
+			if rows != 0 {
+				t.Fatalf("Next yielded %d rows under a canceled context", rows)
+			}
+			if !errors.Is(cur.Err(), context.Canceled) {
+				t.Fatalf("Err() = %v, want context.Canceled", cur.Err())
+			}
+		})
+	})
+}
+
+// TestParTableCoversSequential: white-box check that every partitioned
+// build holds exactly the single-table build's triplets — partitions
+// disjoint, union complete — for every hash pattern of the join
+// fixture's plan.
+func TestParTableCoversSequential(t *testing.T) {
+	ds, q := joinFixture()
+	withJoinMode(t, joinForceHash, func() {
+		e := &evaluator{ds: ds, dict: ds.Dict(), lay: q.layout(), ctx: context.Background()}
+		root, err := e.plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		for _, pat := range root.patterns {
+			p, ok := pat.(*triplePlan)
+			if !ok || !p.hash || p.dead {
+				continue
+			}
+			checked++
+			want := map[[3]rdf.TermID]int{}
+			seq := e.hashTable(p)
+			for i := 0; i < len(seq.rows); i += 3 {
+				want[[3]rdf.TermID{seq.rows[i], seq.rows[i+1], seq.rows[i+2]}]++
+			}
+			for _, workers := range []int{2, 4, 5} {
+				e.ptables = nil // force a rebuild per worker count
+				pt := e.parTable(p, workers)
+				got := map[[3]rdf.TermID]int{}
+				total := 0
+				for _, part := range pt.parts {
+					for i := 0; i < len(part.rows); i += 3 {
+						k := [3]rdf.TermID{part.rows[i], part.rows[i+1], part.rows[i+2]}
+						got[k]++
+						total++
+						if len(p.keySlots) > 0 {
+							if pt.part(p.matchKey(k[0], k[1], k[2])) != part {
+								t.Fatalf("workers=%d: triplet %v stored outside its key partition", workers, k)
+							}
+						}
+					}
+				}
+				if total != len(want) || len(got) != len(want) {
+					t.Fatalf("workers=%d: partitioned build has %d triplets (%d distinct), sequential %d",
+						workers, total, len(got), len(want))
+				}
+				for k, n := range want {
+					if got[k] != n {
+						t.Fatalf("workers=%d: triplet %v count %d vs sequential %d", workers, k, got[k], n)
+					}
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatal("plan contained no hash patterns to check")
+		}
+	})
+}
+
+// TestOffsetOverflowClamped: an offset near MaxInt must yield an empty
+// page (there are never MaxInt rows), not an overflowed top-k capacity
+// that silently misbehaves. Regression for the REST paging sweep; the
+// HTTP-level test lives in internal/rest.
+func TestOffsetOverflowClamped(t *testing.T) {
+	ds, q := joinFixture()
+	for _, offset := range []int{math.MaxInt, math.MaxInt - 1, math.MaxInt64 - 100} {
+		q.Limit, q.Offset = 1, offset
+		q.plan.Store(nil)
+		res, err := Eval(ds, q)
+		if err != nil {
+			t.Fatalf("offset=%d: %v", offset, err)
+		}
+		if res.Len() != 0 {
+			t.Fatalf("offset=%d: got %d rows, want empty page", offset, res.Len())
+		}
+	}
+	// The boundary that still fits must keep working as a normal page.
+	q.Limit, q.Offset = 1, 8999
+	q.plan.Store(nil)
+	res, err := Eval(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("offset=8999 limit=1: got %d rows, want 1", res.Len())
+	}
+}
+
+// benchParDrain evaluates a LIMIT 1 variant of the three-pattern join:
+// the bounded top-k tail keeps the canonical barrier out of the
+// measurement, so the timing isolates the hash-join build and probe the
+// parallel path is meant to speed up.
+func benchParDrain(b *testing.B, ds *rdf.Dataset, q *Query, want int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Eval(ds, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != want {
+			b.Fatalf("rows = %d, want %d", res.Len(), want)
+		}
+	}
+}
+
+// BenchmarkParallelJoinDrain compares the sequential and morsel-parallel
+// join pipelines on the BenchmarkSPARQLJoinRows-scale input. Run with
+// -cpu 1,4 to see the GOMAXPROCS-derived scaling; the "par" variant
+// degenerates to sequential at -cpu 1 by design. The "small" variants
+// justify the parallelMinWork planner threshold: at ~100 result rows
+// the forced-parallel path shows the fixed build/pool overhead the
+// threshold exists to avoid.
+func BenchmarkParallelJoinDrain(b *testing.B) {
+	ds, _ := joinFixture()
+	src := `
+PREFIX ex: <http://ex.org/>
+SELECT ?a ?c ?w WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c . ?a ex:p2 ?w } LIMIT 1`
+	small := rdf.NewDataset()
+	g := small.Default()
+	for x := 0; x < 100; x++ {
+		g.MustAdd(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://ex.org/n0_%d", x)),
+			rdf.IRI("http://ex.org/p0"),
+			rdf.IRI(fmt.Sprintf("http://ex.org/n1_%d", x%10))))
+		g.MustAdd(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://ex.org/n0_%d", x)),
+			rdf.IRI("http://ex.org/p2"),
+			rdf.IntLit(int64(x))))
+	}
+	for m := 0; m < 10; m++ {
+		g.MustAdd(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://ex.org/n1_%d", m)),
+			rdf.IRI("http://ex.org/p1"),
+			rdf.IntLit(int64(m))))
+	}
+	b.Run("seq", func(b *testing.B) {
+		withParMode(b, parForceOff, func() { benchParDrain(b, ds, MustParse(src), 1) })
+	})
+	b.Run("par", func(b *testing.B) {
+		withParMode(b, parAuto, func() { benchParDrain(b, ds, MustParse(src), 1) })
+	})
+	b.Run("small-seq", func(b *testing.B) {
+		withParMode(b, parForceOff, func() { benchParDrain(b, small, MustParse(src), 1) })
+	})
+	b.Run("small-par", func(b *testing.B) {
+		withParMode(b, parForceOn, func() { benchParDrain(b, small, MustParse(src), 1) })
+	})
+}

@@ -289,18 +289,38 @@ func TestConcurrentQueriesDuringAppends(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// A join fixture big enough that the planner's cost threshold picks
+	// the morsel-parallel hash join on its own (parCost >= 4096), so the
+	// parallel build/probe workers race real concurrent Dict interning.
+	for i := 0; i < 3000; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("j%d", i)), ex("p1"), ex(fmt.Sprintf("m%d", i%50)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 50; k++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("m%d", k)), ex("p2"), rdf.IntLit(int64(k)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sparql.SetParallelism(4)
+	defer sparql.SetParallelism(0)
+
 	ds := s.Dataset()
 	const query = `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . FILTER (?o >= 0) }`
 	const graphQuery = `SELECT ?g ?s WHERE { GRAPH ?g { ?s <http://ex/p> ?o } }`
+	const joinQuery = `SELECT ?a ?c WHERE { ?a <http://ex/p1> ?b . ?b <http://ex/p2> ?c }`
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	var qerr atomic.Value
-	for w := 0; w < 4; w++ {
+	for w := 0; w < 6; w++ {
 		wg.Add(1)
 		q := query
-		if w%2 == 1 {
+		switch w % 3 {
+		case 1:
 			q = graphQuery
+		case 2:
+			q = joinQuery
 		}
 		go func() {
 			defer wg.Done()
@@ -338,5 +358,12 @@ func TestConcurrentQueriesDuringAppends(t *testing.T) {
 	}
 	if want := 20 + 100; res.Len() != want { // 150 appends, every 3rd into a named graph
 		t.Fatalf("rows after appends = %d, want %d", res.Len(), want)
+	}
+	res, err = sparql.Run(ds, joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3000 {
+		t.Fatalf("parallel join rows = %d, want 3000", res.Len())
 	}
 }
