@@ -28,6 +28,7 @@
 //	walks                              list saved walks
 //	run     [flags] <walk>             run a saved walk by name
 //	sparql  [flags] <query>            run SPARQL over the metadata
+//	compact                            force a full storage compaction
 //
 // query, run and sparql accept paging/streaming flags, mapped to the
 // REST query parameters:
@@ -196,6 +197,8 @@ func (c *client) run(cmd string, args []string) error {
 			return fmt.Errorf("sparql [-limit N] [-offset N] [-ndjson] <query>")
 		}
 		return c.post("/api/sparql"+params, map[string]string{"query": rest[0]})
+	case "compact":
+		return c.post("/api/admin/compact", map[string]string{})
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

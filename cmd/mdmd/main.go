@@ -4,16 +4,36 @@
 // Usage:
 //
 //	mdmd [-addr :8085] [-data DIR] [-seed] [-simulate]
+//	     [-fsync MODE] [-fsync-interval D]
+//	     [-compact-interval D] [-compact-wal-threshold N]
 //	     [-fanout N] [-source-timeout D] [-source-cache-ttl D]
 //	     [-retries N] [-breaker-threshold N] [-breaker-cooldown D]
 //	     [-partial] [-serve-stale] [-drain-timeout D]
 //
 //	-addr      listen address
-//	-data      persistence directory; the ontology dataset is loaded at
-//	           startup and snapshotted on shutdown and periodically
-//	-seed      preload the paper's football use case (in-memory wrappers)
+//	-data      persistence directory; the ontology dataset lives in a
+//	           segment store under DIR/ontology (WAL tail + immutable
+//	           segments; see docs/STORAGE.md). A DIR/ontology.trig file
+//	           from an older deployment is migrated on first start.
+//	-seed      preload the paper's football use case (in-memory wrappers;
+//	           the seeded system stays in-memory and, with -data, is
+//	           snapshotted as ontology.trig for migration on restart)
 //	-simulate  also start the simulated football REST provider and print
 //	           its URL (endpoints for players/teams/leagues/countries)
+//
+// Storage engine knobs (see internal/tdb and docs/STORAGE.md):
+//
+//	-fsync MODE           WAL durability: "none" (default; flush to the
+//	                      OS on every append, no fsync), "always" (fsync
+//	                      per append), or "batch" (background fsync every
+//	                      -fsync-interval)
+//	-fsync-interval D     batched fsync window for -fsync=batch
+//	                      (default 5ms)
+//	-compact-interval D   background storage maintenance tick: seals WAL
+//	                      tails into segments and garbage-collects the
+//	                      term dictionary (default 1m; 0 disables)
+//	-compact-wal-threshold N  WAL records that trigger a background
+//	                      checkpoint at the next tick (default 4096)
 //
 // Federated execution knobs (see internal/federate):
 //
@@ -67,6 +87,7 @@ import (
 	"mdm/internal/federate"
 	"mdm/internal/rest"
 	"mdm/internal/sparql"
+	"mdm/internal/tdb"
 	"mdm/internal/usecase"
 )
 
@@ -75,6 +96,10 @@ func main() {
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
 	seed := flag.Bool("seed", false, "preload the football demo fixture")
 	simulate := flag.Bool("simulate", false, "start the simulated football provider")
+	fsyncMode := flag.String("fsync", "none", `WAL fsync mode: "none", "always" or "batch"`)
+	fsyncInterval := flag.Duration("fsync-interval", 5*time.Millisecond, "batched fsync window (-fsync=batch)")
+	compactInterval := flag.Duration("compact-interval", time.Minute, "background storage maintenance tick (0 = disabled)")
+	compactWALThreshold := flag.Int("compact-wal-threshold", 4096, "WAL records that trigger a background checkpoint")
 	fanout := flag.Int("fanout", federate.DefaultParallel, "max concurrent source fetches per walk")
 	sourceTimeout := flag.Duration("source-timeout", federate.DefaultSourceTimeout, "per-source fetch deadline")
 	cacheTTL := flag.Duration("source-cache-ttl", 0, "source-snapshot reuse window (0 = dedup only)")
@@ -88,7 +113,22 @@ func main() {
 	flag.Parse()
 
 	sparql.SetParallelism(*parallel)
-	sys, err := buildSystem(*dataDir, *seed)
+	storeOpts := mdm.StoreOptions{
+		SyncInterval:        *fsyncInterval,
+		CompactInterval:     *compactInterval,
+		CompactWALThreshold: *compactWALThreshold,
+	}
+	switch *fsyncMode {
+	case "none":
+		storeOpts.Sync = tdb.SyncNone
+	case "always":
+		storeOpts.Sync = tdb.SyncAlways
+	case "batch":
+		storeOpts.Sync = tdb.SyncBatch
+	default:
+		log.Fatalf("mdmd: -fsync %q: want none, always or batch", *fsyncMode)
+	}
+	sys, err := buildSystem(*dataDir, *seed, storeOpts)
 	if err != nil {
 		log.Fatalf("mdmd: %v", err)
 	}
@@ -126,8 +166,10 @@ func main() {
 	}
 	log.Printf("mdmd: listening on %s (seeded=%v, data=%q)", *addr, *seed, *dataDir)
 
-	// Periodic snapshots when persistent.
-	if *dataDir != "" {
+	// Storage-backed systems (-data without -seed) persist through the
+	// segment store's WAL and background compactor; the legacy TriG
+	// snapshot ticker only serves the in-memory seeded fixture.
+	if *dataDir != "" && sys.Storage() == nil {
 		go func() {
 			t := time.NewTicker(30 * time.Second)
 			defer t.Stop()
@@ -147,7 +189,11 @@ func main() {
 	if err := serveWithDrain(ctx, srv, ln, *drainTimeout); err != nil {
 		log.Fatalf("mdmd: serve: %v", err)
 	}
-	if *dataDir != "" {
+	if sys.Storage() != nil {
+		if err := sys.Close(); err != nil {
+			log.Printf("mdmd: close: %v", err)
+		}
+	} else if *dataDir != "" {
 		if err := persist(sys, *dataDir); err != nil {
 			log.Printf("mdmd: final snapshot: %v", err)
 		}
@@ -181,29 +227,26 @@ func serveWithDrain(ctx context.Context, srv *http.Server, ln net.Listener, drai
 	return nil
 }
 
-// buildSystem assembles the system, loading a previous snapshot when the
-// data directory holds one.
-func buildSystem(dataDir string, seed bool) (*mdm.System, error) {
-	if dataDir != "" {
-		snap := filepath.Join(dataDir, "ontology.trig")
-		if data, err := os.ReadFile(snap); err == nil {
-			log.Printf("mdmd: loading snapshot %s", snap)
-			sys, err := mdm.ImportTriG(string(data))
-			if err != nil {
-				return nil, err
-			}
-			// Wrappers are live code and cannot be restored from a
-			// snapshot; the steward re-registers them over the API.
-			log.Print("mdmd: note: wrappers must be re-registered after a restart")
-			return sys, nil
-		}
-	}
+// buildSystem assembles the system. A data directory (without -seed)
+// opens the persistent segment store, migrating a legacy ontology.trig
+// snapshot on first start. The seeded fixture stays in-memory: its
+// wrappers are live closures that cannot be persisted.
+func buildSystem(dataDir string, seed bool, opts mdm.StoreOptions) (*mdm.System, error) {
 	if seed {
 		f, err := usecase.New()
 		if err != nil {
 			return nil, err
 		}
-		sys := mdm.FromParts(f.Ont, f.Reg)
+		return mdm.FromParts(f.Ont, f.Reg), nil
+	}
+	if dataDir != "" {
+		sys, err := mdm.OpenWith(dataDir, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Wrappers are live code and cannot be restored from storage;
+		// the steward re-registers them over the API.
+		log.Print("mdmd: note: wrappers must be re-registered after a restart")
 		return sys, nil
 	}
 	return mdm.New(), nil

@@ -11,10 +11,12 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mdm"
 )
 
 func TestBuildSystemFresh(t *testing.T) {
-	sys, err := buildSystem("", false)
+	sys, err := buildSystem("", false, mdm.StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +26,7 @@ func TestBuildSystemFresh(t *testing.T) {
 }
 
 func TestBuildSystemSeeded(t *testing.T) {
-	sys, err := buildSystem("", true)
+	sys, err := buildSystem("", true, mdm.StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestBuildSystemSeeded(t *testing.T) {
 
 func TestPersistAndReload(t *testing.T) {
 	dir := t.TempDir()
-	sys, err := buildSystem("", true)
+	sys, err := buildSystem("", true, mdm.StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestPersistAndReload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reload from the snapshot.
-	sys2, err := buildSystem(dir, false)
+	sys2, err := buildSystem(dir, false, mdm.StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func TestPersistAndReload(t *testing.T) {
 func TestBuildSystemCorruptSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	os.WriteFile(filepath.Join(dir, "ontology.trig"), []byte("bad <"), 0o644)
-	if _, err := buildSystem(dir, false); err == nil {
+	if _, err := buildSystem(dir, false, mdm.StoreOptions{}); err == nil {
 		t.Error("corrupt snapshot accepted")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mdm/internal/rdf"
 	"mdm/internal/schema"
@@ -87,20 +88,18 @@ var (
 	ErrAttrNotInWrapper = errors.New("bdi: attribute does not belong to wrapper")
 )
 
-// Ontology is a thread-safe BDI ontology over an RDF dataset.
+// Ontology is a thread-safe BDI ontology over an RDF dataset. The
+// dataset reference is an atomic pointer: readers resolve it without a
+// lock, and Rebind swaps in a replacement dataset (the tdb compactor's
+// epoch hand-over) while o.mu blocks every mutator.
 type Ontology struct {
 	mu sync.RWMutex
-	ds *rdf.Dataset
+	ds atomic.Pointer[rdf.Dataset]
 }
 
 // New creates an empty ontology with the BDI prefixes bound.
 func New() *Ontology {
-	o := &Ontology{ds: rdf.NewDataset()}
-	pm := o.ds.Prefixes()
-	pm.Bind("G", NSGlobal)
-	pm.Bind("S", NSSource)
-	pm.Bind("sc", NSSchema)
-	return o
+	return FromDataset(rdf.NewDataset())
 }
 
 // FromDataset wraps an existing dataset (e.g. loaded from tdb) as an
@@ -110,18 +109,40 @@ func FromDataset(ds *rdf.Dataset) *Ontology {
 	pm.Bind("G", NSGlobal)
 	pm.Bind("S", NSSource)
 	pm.Bind("sc", NSSchema)
-	return &Ontology{ds: ds}
+	o := &Ontology{}
+	o.ds.Store(ds)
+	return o
 }
 
 // Dataset exposes the underlying dataset (read-mostly; mutate through
-// Ontology methods so constraints hold).
-func (o *Ontology) Dataset() *rdf.Dataset { return o.ds }
+// Ontology methods so constraints hold). The reference is only stable
+// until the storage layer compacts; callers that stream results across
+// other operations should pin a storage snapshot instead (see mdm).
+func (o *Ontology) Dataset() *rdf.Dataset { return o.ds.Load() }
+
+// dset is the internal accessor mirroring Dataset.
+func (o *Ontology) dset() *rdf.Dataset { return o.ds.Load() }
+
+// Rebind runs swap with every ontology mutator quiesced (o.mu held
+// exclusively) and re-points the ontology at the dataset swap returns.
+// A nil result (the storage layer failed to seal the replacement)
+// leaves the current dataset in place. This is the tdb compactor's
+// quiescence window: between swap's snapshot of the old dataset and the
+// atomic re-point, no writer can mutate through the ontology, so the
+// swapped-in dataset misses nothing.
+func (o *Ontology) Rebind(swap func(old *rdf.Dataset) *rdf.Dataset) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if next := swap(o.ds.Load()); next != nil {
+		o.ds.Store(next)
+	}
+}
 
 // Global returns the global graph.
-func (o *Ontology) Global() *rdf.Graph { return o.ds.Graph(GlobalGraphName) }
+func (o *Ontology) Global() *rdf.Graph { return o.dset().Graph(GlobalGraphName) }
 
 // Source returns the source graph.
-func (o *Ontology) Source() *rdf.Graph { return o.ds.Graph(SourceGraphName) }
+func (o *Ontology) Source() *rdf.Graph { return o.dset().Graph(SourceGraphName) }
 
 // --- IRI builders ---
 
@@ -499,8 +520,8 @@ func (o *Ontology) DefineMapping(m Mapping) error {
 		_ = aIRI
 	}
 	// All valid: (re)write the named graph.
-	o.ds.DropGraph(w)
-	ng := o.ds.Graph(w)
+	o.dset().DropGraph(w)
+	ng := o.dset().Graph(w)
 	for _, t := range m.Subgraph {
 		ng.MustAdd(t)
 	}
@@ -515,7 +536,7 @@ func (o *Ontology) MappingOf(wrapperName string) (Mapping, bool) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	w := WrapperIRI(wrapperName)
-	g, ok := o.ds.Lookup(w)
+	g, ok := o.dset().Lookup(w)
 	if !ok {
 		return Mapping{}, false
 	}
@@ -549,7 +570,7 @@ func (o *Ontology) MappedWrappers() []string {
 	defer o.mu.RUnlock()
 	var out []string
 	prefix := NSSource + "wrapper/"
-	for _, name := range o.ds.GraphNames() {
+	for _, name := range o.dset().GraphNames() {
 		if strings.HasPrefix(name.Value, prefix) {
 			escaped := strings.TrimPrefix(name.Value, prefix)
 			if un, err := url.PathUnescape(escaped); err == nil {
@@ -572,7 +593,7 @@ func (o *Ontology) WrappersCovering(concept rdf.Term) []string {
 	o.mu.RUnlock()
 	var out []string
 	for _, wname := range o.MappedWrappers() {
-		g, ok := o.ds.Lookup(WrapperIRI(wname))
+		g, ok := o.dset().Lookup(WrapperIRI(wname))
 		if !ok {
 			continue
 		}
@@ -592,7 +613,7 @@ func (o *Ontology) WrappersCovering(concept rdf.Term) []string {
 func (o *Ontology) WrapperProvidesFeature(wrapperName string, concept, feature rdf.Term) bool {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	g, ok := o.ds.Lookup(WrapperIRI(wrapperName))
+	g, ok := o.dset().Lookup(WrapperIRI(wrapperName))
 	if !ok {
 		return false
 	}
@@ -614,7 +635,7 @@ func (o *Ontology) WrapperProvidesFeature(wrapperName string, concept, feature r
 func (o *Ontology) AttributeForFeature(wrapperName string, feature rdf.Term) (string, bool) {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	g, ok := o.ds.Lookup(WrapperIRI(wrapperName))
+	g, ok := o.dset().Lookup(WrapperIRI(wrapperName))
 	if !ok {
 		return "", false
 	}
@@ -631,7 +652,7 @@ func (o *Ontology) AttributeForFeature(wrapperName string, feature rdf.Term) (st
 func (o *Ontology) WrapperCoversRelation(wrapperName string, t rdf.Triple) bool {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
-	g, ok := o.ds.Lookup(WrapperIRI(wrapperName))
+	g, ok := o.dset().Lookup(WrapperIRI(wrapperName))
 	if !ok {
 		return false
 	}

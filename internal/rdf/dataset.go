@@ -199,6 +199,58 @@ func (d *Dataset) Clone() *Dataset {
 	return out
 }
 
+// CompactedClone rebuilds the dataset against a FRESH dictionary that
+// contains only terms still referenced by live triples or graph names —
+// the dictionary-GC primitive behind tdb's storage compaction. TermIDs
+// are NOT preserved: every live term is re-interned in first-seen scan
+// order, so consumers keyed on (dataset identity, Version, Dict.Len) —
+// the SPARQL plan cache — treat the result as a brand-new dataset.
+//
+// The prefix registry is SHARED with the receiver, not cloned: when the
+// compactor swaps a compacted dataset in for the live one, prefix binds
+// racing the swap must not be lost, and prefixes only affect rendering,
+// never data, so pinned readers of the old epoch seeing a later bind is
+// harmless.
+//
+// CompactedClone is not a point-in-time snapshot under concurrent
+// writers: each graph is scanned under its own read lock, so triples
+// added to an already-scanned graph mid-clone are missed. Callers that
+// need consistency (the tdb compactor) must quiesce writers for the
+// duration — see tdb.Store.Compact.
+func (d *Dataset) CompactedClone() *Dataset {
+	out := NewDataset()
+	out.prefixes = d.prefixes
+	oldTerms := d.dict.Snapshot()
+	// remap[oldID] = newID, lazily filled; AnyID marks "not yet mapped".
+	remap := make([]TermID, len(oldTerms))
+	for i := range remap {
+		remap[i] = AnyID
+	}
+	move := func(src, dst *Graph) {
+		src.EachMatchIDs(AnyID, AnyID, AnyID, func(s, p, o TermID) bool {
+			for _, id := range [3]TermID{s, p, o} {
+				if remap[id] == AnyID {
+					remap[id] = out.dict.Intern(oldTerms[id])
+				}
+			}
+			dst.AddIDs(remap[s], remap[p], remap[o])
+			return true
+		})
+	}
+	move(d.Default(), out.def)
+	for _, name := range d.GraphNames() {
+		g, ok := d.Lookup(name)
+		if !ok {
+			continue // dropped concurrently between GraphNames and Lookup
+		}
+		// Graph creation interns the name and preserves empty graphs, so
+		// the compacted dataset has the same graph set (and the same
+		// Version-relevant structure) as the original.
+		move(g, out.Graph(name))
+	}
+	return out
+}
+
 // PrefixMap maps prefix labels (e.g. "rdfs") to namespace IRIs and back.
 // It is safe for concurrent use.
 type PrefixMap struct {

@@ -335,3 +335,43 @@ func TestDatasetVersionBumpsOnStructuralChange(t *testing.T) {
 		t.Fatal("version unchanged after Attach of a named graph")
 	}
 }
+
+func TestDatasetCompactedClone(t *testing.T) {
+	ds := NewDataset()
+	ds.Prefixes().Bind("ex", "http://ex.org/")
+	ex := func(s string) Term { return IRI("http://ex.org/" + s) }
+	for i := 0; i < 50; i++ {
+		ds.Default().MustAdd(T(ex("s"), ex("p"), Lit(string(rune('a'+i%26))+"-dead")))
+	}
+	live := T(ex("s"), ex("p"), Lit("live"))
+	ds.Default().MustAdd(live)
+	g := ds.Graph(ex("g"))
+	g.MustAdd(T(ex("ns"), ex("np"), Lit("named-live")))
+	for i := 0; i < 50; i++ {
+		ds.Default().Remove(T(ex("s"), ex("p"), Lit(string(rune('a'+i%26))+"-dead")))
+	}
+
+	got := ds.CompactedClone()
+	if got.Len() != ds.Len() {
+		t.Fatalf("clone Len = %d, want %d", got.Len(), ds.Len())
+	}
+	if !got.Default().Has(live) {
+		t.Fatal("live default-graph triple missing from clone")
+	}
+	ng, ok := got.Lookup(ex("g"))
+	if !ok || ng.Len() != 1 {
+		t.Fatalf("named graph in clone = %v, %v", ng, ok)
+	}
+	if got.Dict().Len() >= ds.Dict().Len() {
+		t.Fatalf("dict not GC'd: %d -> %d terms", ds.Dict().Len(), got.Dict().Len())
+	}
+	// Prefixes are shared by design (see CompactedClone doc).
+	if iri, ok := got.Prefixes().Expand("ex:x"); !ok || iri != "http://ex.org/x" {
+		t.Fatalf("prefix lost: %q, %v", iri, ok)
+	}
+	// Clone is independent at the triple level.
+	got.Default().Remove(live)
+	if !ds.Default().Has(live) {
+		t.Fatal("removing from clone mutated source")
+	}
+}

@@ -57,6 +57,33 @@ func (d *Dict) Intern(t Term) TermID {
 	return id
 }
 
+// InternBatch interns every term of ts under a single lock acquisition,
+// writing the assigned IDs into out (which must have len(ts)). The
+// terms slice is grown once up front, and an empty dictionary gets a
+// map presized for the batch — this is the segment-load fast path,
+// where a cold open interns the whole dictionary block at once.
+func (d *Dict) InternBatch(ts []Term, out []TermID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if need := len(d.terms) + len(ts); cap(d.terms) < need {
+		grown := make([]Term, len(d.terms), need)
+		copy(grown, d.terms)
+		d.terms = grown
+	}
+	if len(d.ids) == 0 {
+		d.ids = make(map[Term]TermID, len(ts))
+	}
+	for i, t := range ts {
+		id, ok := d.ids[t]
+		if !ok {
+			id = TermID(len(d.terms))
+			d.ids[t] = id
+			d.terms = append(d.terms, t)
+		}
+		out[i] = id
+	}
+}
+
 // ID returns the ID of t without interning; ok is false when t has never
 // been interned.
 func (d *Dict) ID(t Term) (TermID, bool) {

@@ -251,3 +251,34 @@ func BenchmarkGraphEachMatch(b *testing.B) {
 		}
 	}
 }
+
+func TestDictInternBatch(t *testing.T) {
+	d := NewDict()
+	pre := d.Intern(Lit("already-here"))
+	batch := []Term{
+		IRI("http://ex.org/a"),
+		Lit("already-here"), // pre-existing
+		IRI("http://ex.org/b"),
+		IRI("http://ex.org/a"), // duplicate within the batch
+		LangLit("hi", "en"),
+	}
+	out := make([]TermID, len(batch))
+	d.InternBatch(batch, out)
+	if out[1] != pre {
+		t.Fatalf("pre-existing term re-assigned: %d != %d", out[1], pre)
+	}
+	if out[0] != out[3] {
+		t.Fatalf("in-batch duplicate got two IDs: %d, %d", out[0], out[3])
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	for i, term := range batch {
+		if id := d.Intern(term); id != out[i] {
+			t.Fatalf("Intern(%v) = %d, batch said %d", term, id, out[i])
+		}
+		if got, ok := d.Term(out[i]); !ok || got != term {
+			t.Fatalf("Term(%d) = %v, %v", out[i], got, ok)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"sync"
 )
@@ -27,60 +28,339 @@ type Graph struct {
 
 // idIndex is a three-level hash index over dictionary-encoded triples.
 // The meaning of the levels depends on the permutation (spo, pos, osp).
-type idIndex map[TermID]map[TermID]map[TermID]struct{}
+// Below the first level sits an idMid, which keeps the (second, third)
+// pairs of a low-fan-out key in a single pointer-free pair list instead
+// of nested maps: most first-level keys (a subject's predicates, an
+// object's referring subjects) have a handful of triples, and per-key
+// map headers plus bucket arrays would dominate both allocation count
+// and GC scan time on a bulk load.
+type idIndex map[TermID]idMid
+
+// bc is one (second, third)-position pair in an idMid pair list.
+type bc struct{ b, c TermID }
+
+// midSpill is the pair count beyond which an idMid trades its
+// linear-scan pair list for nested maps.
+const midSpill = 16
+
+// idMid holds the lower two levels of an idIndex under one first-level
+// ID: logically a map from second-level ID to the set of third-level
+// IDs. Up to midSpill pairs it is an unordered pair list (one
+// pointer-free allocation, linear probes over dense uint32s); past that
+// it spills to a map of idSets and stays there. idMid is held by value
+// in the index, so add and remove return the updated value for the
+// caller to store back.
+type idMid struct {
+	small []bc
+	big   map[TermID]idSet
+}
+
+func (m idMid) has(b, c TermID) bool {
+	if m.big != nil {
+		return m.big[b].has(c)
+	}
+	for _, p := range m.small {
+		if p.b == b && p.c == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (m idMid) empty() bool {
+	return len(m.small) == 0 && len(m.big) == 0
+}
+
+// totalLen returns the number of pairs (triples under this first-level
+// key).
+func (m idMid) totalLen() int {
+	if m.big != nil {
+		n := 0
+		for _, s := range m.big {
+			n += s.len()
+		}
+		return n
+	}
+	return len(m.small)
+}
+
+// setLen returns the size of the third-level set under b.
+func (m idMid) setLen(b TermID) int {
+	if m.big != nil {
+		return m.big[b].len()
+	}
+	n := 0
+	for _, p := range m.small {
+		if p.b == b {
+			n++
+		}
+	}
+	return n
+}
+
+// distinctB returns the number of distinct second-level IDs.
+func (m idMid) distinctB() int {
+	if m.big != nil {
+		return len(m.big)
+	}
+	n := 0
+	for i, p := range m.small {
+		dup := false
+		for _, q := range m.small[:i] {
+			if q.b == p.b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n
+}
+
+func (m idMid) add(b, c TermID) (idMid, bool) {
+	if m.big != nil {
+		s, added := m.big[b].add(c)
+		if added {
+			m.big[b] = s
+		}
+		return m, added
+	}
+	for _, p := range m.small {
+		if p.b == b && p.c == c {
+			return m, false
+		}
+	}
+	if len(m.small) >= midSpill {
+		big := make(map[TermID]idSet, len(m.small)+1)
+		for _, p := range m.small {
+			s, _ := big[p.b].add(p.c)
+			big[p.b] = s
+		}
+		s, _ := big[b].add(c)
+		big[b] = s
+		return idMid{big: big}, true
+	}
+	m.small = append(m.small, bc{b, c})
+	return m, true
+}
+
+func (m idMid) remove(b, c TermID) (idMid, bool) {
+	if m.big != nil {
+		s, removed := m.big[b].remove(c)
+		if !removed {
+			return m, false
+		}
+		if s.len() == 0 {
+			delete(m.big, b)
+		} else {
+			m.big[b] = s
+		}
+		return m, true
+	}
+	for i, p := range m.small {
+		if p.b == b && p.c == c {
+			last := len(m.small) - 1
+			m.small[i] = m.small[last]
+			m.small = m.small[:last]
+			return m, true
+		}
+	}
+	return m, false
+}
+
+// items iterates every (second, third) pair in unspecified order.
+func (m idMid) items() iter.Seq2[TermID, TermID] {
+	return func(yield func(TermID, TermID) bool) {
+		if m.big != nil {
+			for b, s := range m.big {
+				for c := range s.items() {
+					if !yield(b, c) {
+						return
+					}
+				}
+			}
+			return
+		}
+		for _, p := range m.small {
+			if !yield(p.b, p.c) {
+				return
+			}
+		}
+	}
+}
+
+// setItems iterates the third-level set under b.
+func (m idMid) setItems(b TermID) iter.Seq[TermID] {
+	if m.big != nil {
+		return m.big[b].items()
+	}
+	return func(yield func(TermID) bool) {
+		for _, p := range m.small {
+			if p.b == b && !yield(p.c) {
+				return
+			}
+		}
+	}
+}
+
+func (m idMid) clone() idMid {
+	if m.big != nil {
+		big := make(map[TermID]idSet, len(m.big))
+		for b, s := range m.big {
+			big[b] = s.clone()
+		}
+		return idMid{big: big}
+	}
+	if m.small == nil {
+		return idMid{}
+	}
+	return idMid{small: append(make([]bc, 0, len(m.small)), m.small...)}
+}
+
+// idSetSpill is the leaf size beyond which an idSet trades its
+// linear-scan slice for a map. Linear membership probes on ≤16 dense
+// uint32s are faster than a map lookup, and the slice keeps the leaf
+// pointer-free.
+const idSetSpill = 16
+
+// idSet is the leaf of an idIndex: the set of third-position IDs under
+// a fixed (first, second) pair. Small sets live in an unordered slice;
+// once a set outgrows idSetSpill it spills to a map and stays there.
+// idSet is held by value in the index, so add and remove return the
+// updated set for the caller to store back.
+type idSet struct {
+	small []TermID
+	big   map[TermID]struct{}
+}
+
+func (s idSet) has(c TermID) bool {
+	if s.big != nil {
+		_, ok := s.big[c]
+		return ok
+	}
+	for _, v := range s.small {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (s idSet) len() int {
+	if s.big != nil {
+		return len(s.big)
+	}
+	return len(s.small)
+}
+
+func (s idSet) add(c TermID) (idSet, bool) {
+	if s.big != nil {
+		if _, dup := s.big[c]; dup {
+			return s, false
+		}
+		s.big[c] = struct{}{}
+		return s, true
+	}
+	for _, v := range s.small {
+		if v == c {
+			return s, false
+		}
+	}
+	if len(s.small) >= idSetSpill {
+		big := make(map[TermID]struct{}, len(s.small)+1)
+		for _, v := range s.small {
+			big[v] = struct{}{}
+		}
+		big[c] = struct{}{}
+		return idSet{big: big}, true
+	}
+	s.small = append(s.small, c)
+	return s, true
+}
+
+func (s idSet) remove(c TermID) (idSet, bool) {
+	if s.big != nil {
+		if _, ok := s.big[c]; !ok {
+			return s, false
+		}
+		delete(s.big, c)
+		return s, true
+	}
+	for i, v := range s.small {
+		if v == c {
+			last := len(s.small) - 1
+			s.small[i] = s.small[last]
+			s.small = s.small[:last]
+			return s, true
+		}
+	}
+	return s, false
+}
+
+// items iterates the set in unspecified order; yield false stops early.
+func (s idSet) items() iter.Seq[TermID] {
+	return func(yield func(TermID) bool) {
+		if s.big != nil {
+			for v := range s.big {
+				if !yield(v) {
+					return
+				}
+			}
+			return
+		}
+		for _, v := range s.small {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+func (s idSet) clone() idSet {
+	if s.big != nil {
+		big := make(map[TermID]struct{}, len(s.big))
+		for v := range s.big {
+			big[v] = struct{}{}
+		}
+		return idSet{big: big}
+	}
+	if s.small == nil {
+		return idSet{}
+	}
+	return idSet{small: append(make([]TermID, 0, len(s.small)), s.small...)}
+}
 
 func (ix idIndex) add(a, b, c TermID) bool {
-	m2, ok := ix[a]
-	if !ok {
-		m2 = make(map[TermID]map[TermID]struct{})
-		ix[a] = m2
+	mid, added := ix[a].add(b, c)
+	if added {
+		ix[a] = mid
 	}
-	m3, ok := m2[b]
-	if !ok {
-		m3 = make(map[TermID]struct{})
-		m2[b] = m3
-	}
-	if _, dup := m3[c]; dup {
-		return false
-	}
-	m3[c] = struct{}{}
-	return true
+	return added
 }
 
 func (ix idIndex) remove(a, b, c TermID) bool {
-	m2, ok := ix[a]
+	mid, ok := ix[a]
 	if !ok {
 		return false
 	}
-	m3, ok := m2[b]
-	if !ok {
+	mid, removed := mid.remove(b, c)
+	if !removed {
 		return false
 	}
-	if _, ok := m3[c]; !ok {
-		return false
-	}
-	delete(m3, c)
-	if len(m3) == 0 {
-		delete(m2, b)
-		if len(m2) == 0 {
-			delete(ix, a)
-		}
+	if mid.empty() {
+		delete(ix, a)
+	} else {
+		ix[a] = mid
 	}
 	return true
 }
 
 func (ix idIndex) clone() idIndex {
 	out := make(idIndex, len(ix))
-	for a, m2 := range ix {
-		n2 := make(map[TermID]map[TermID]struct{}, len(m2))
-		for b, m3 := range m2 {
-			n3 := make(map[TermID]struct{}, len(m3))
-			for c := range m3 {
-				n3[c] = struct{}{}
-			}
-			n2[b] = n3
-		}
-		out[a] = n2
+	for a, mid := range ix {
+		out[a] = mid.clone()
 	}
 	return out
 }
@@ -132,6 +412,139 @@ func (g *Graph) addLocked(t Triple) bool {
 	g.osp.add(o, s, p)
 	g.n++
 	return true
+}
+
+// AddIDs inserts a triple given directly by dictionary IDs, reporting
+// whether it was newly added. The IDs must have been assigned by the
+// graph's own dictionary (Dict().Intern on this graph's dict); the
+// caller is responsible for that invariant — AddIDs does not validate
+// it. It is the bulk-load fast path used by the segment store and by
+// dictionary compaction: re-encoding a triple whose terms are already
+// interned costs three map probes over uint32 keys instead of three
+// Term-struct hashes.
+func (g *Graph) AddIDs(s, p, o TermID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.add(s, p, o) {
+		return false
+	}
+	g.pos.add(p, o, s)
+	g.osp.add(o, s, p)
+	g.n++
+	return true
+}
+
+// BulkAddIDs inserts a batch of ID triples under one lock acquisition,
+// building the three permutation indexes concurrently (they are
+// disjoint structures, so the only coordination needed is the batch
+// barrier at the end). It reports how many triples were newly added.
+// Like AddIDs, the IDs must come from the graph's own dictionary. This
+// is the segment-load fast path: on a cold store open the index build
+// dominates, and splitting it across cores cuts open latency roughly by
+// the number of permutations.
+func (g *Graph) BulkAddIDs(tr [][3]TermID) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n == 0 && len(g.spo) == 0 {
+		// Fresh graph: presize each index's outer map by the number of
+		// first-level runs in the batch — an upper bound on its distinct
+		// key count, exact for sorted input — so the load never pays an
+		// incremental rehash.
+		g.spo = make(idIndex, runCount(tr, 0))
+		g.pos = make(idIndex, runCount(tr, 1))
+		g.osp = make(idIndex, runCount(tr, 2))
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		bulkAdd(g.pos, tr, 1, 2, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		bulkAdd(g.osp, tr, 2, 0, 1)
+	}()
+	added := bulkAdd(g.spo, tr, 0, 1, 2)
+	wg.Wait()
+	g.n += added
+	return added
+}
+
+// bulkAdd inserts tr into one permutation index, reading the levels
+// from positions ai/bi/ci of each triple. Segment data arrives in long
+// same-subject (and often same-predicate) runs, so the two upper index
+// levels are cached across iterations — a run costs one outer-map
+// lookup instead of one per triple.
+// runCount returns the number of maximal same-value runs at triple
+// position i — an upper bound on the distinct values there.
+func runCount(tr [][3]TermID, i int) int {
+	runs := 0
+	var last TermID
+	for k, t := range tr {
+		if k == 0 || t[i] != last {
+			runs++
+			last = t[i]
+		}
+	}
+	return runs
+}
+
+// bulkArenaChunk sizes the shared pair-list backing array bulkAdd hands
+// out to fresh first-level keys.
+const bulkArenaChunk = 8192
+
+func bulkAdd(ix idIndex, tr [][3]TermID, ai, bi, ci int) int {
+	added := 0
+	var (
+		haveRun     bool
+		lastA       TermID
+		cur         idMid
+		dirty       bool
+		arena       []bc
+		arenaBacked bool
+	)
+	flush := func() {
+		if !haveRun {
+			return
+		}
+		if arenaBacked && cur.big == nil {
+			// Freeze the pair list at its exact length so a later append
+			// reallocates instead of clobbering the next key's arena
+			// share, then advance the arena past the consumed prefix.
+			used := len(cur.small)
+			cur.small = cur.small[:used:used]
+			arena = arena[used:]
+		}
+		if dirty {
+			ix[lastA] = cur
+		}
+	}
+	for _, t := range tr {
+		a, b, c := t[ai], t[bi], t[ci]
+		if !haveRun || a != lastA {
+			flush()
+			cur = ix[a]
+			arenaBacked = false
+			if cur.small == nil && cur.big == nil {
+				// Fresh key: build its pair list in the shared arena so a
+				// load of many low-fan-out keys costs one allocation per
+				// chunk instead of one per key.
+				if len(arena) <= midSpill {
+					arena = make([]bc, bulkArenaChunk)
+				}
+				cur.small = arena[:0]
+				arenaBacked = true
+			}
+			lastA, haveRun, dirty = a, true, false
+		}
+		var did bool
+		if cur, did = cur.add(b, c); did {
+			added++
+			dirty = true
+		}
+	}
+	flush()
+	return added
 }
 
 // MustAdd inserts a triple and panics on structural invalidity. It is a
@@ -195,16 +608,7 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	m2, ok := g.spo[s]
-	if !ok {
-		return false
-	}
-	m3, ok := m2[p]
-	if !ok {
-		return false
-	}
-	_, ok = m3[o]
-	return ok
+	return g.spo[s].has(p, o)
 }
 
 // Len returns the number of stored triples.
@@ -313,11 +717,11 @@ func (g *Graph) AppendMatchIDsShard(dst []TermID, s, p, o TermID, shard, shards 
 }
 
 // eachMatchIDsShardLocked mirrors eachMatchIDsLocked but emits only the
-// triples whose partition coordinate falls in the given shard. For the
-// shapes with two or three free positions the coordinate is the chosen
-// index's next iteration level, so off-shard sub-maps are skipped
-// wholesale; for the single-free-position shapes the leaf set is
-// filtered element-wise (those match sets are the small ones).
+// triples whose partition coordinate falls in the given shard. The
+// coordinate is the chosen index's second iteration level (or the leaf
+// set for single-free-position shapes), so for a fixed graph state a
+// triple always lands in the same shard; the fully-free shape skips
+// whole off-shard subtrees by subject.
 func (g *Graph) eachMatchIDsShardLocked(s, p, o TermID, shard, shards uint32, fn func(s, p, o TermID) bool) bool {
 	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
 	switch {
@@ -327,81 +731,67 @@ func (g *Graph) eachMatchIDsShardLocked(s, p, o TermID, shard, shards uint32, fn
 		}
 		return g.eachMatchIDsLocked(s, p, o, fn)
 	case !sAny && !pAny: // s p ? — filter objects
-		if m2, ok := g.spo[s]; ok {
-			for obj := range m2[p] {
-				if uint32(obj)%shards != shard {
-					continue
-				}
-				if !fn(s, p, obj) {
-					return false
-				}
-			}
-		}
-	case !sAny && !oAny: // s ? o — filter predicates
-		if m2, ok := g.osp[o]; ok {
-			for pred := range m2[s] {
-				if uint32(pred)%shards != shard {
-					continue
-				}
-				if !fn(s, pred, o) {
-					return false
-				}
-			}
-		}
-	case !pAny && !oAny: // ? p o — filter subjects
-		if m2, ok := g.pos[p]; ok {
-			for subj := range m2[o] {
-				if uint32(subj)%shards != shard {
-					continue
-				}
-				if !fn(subj, p, o) {
-					return false
-				}
-			}
-		}
-	case !sAny: // s ? ? — partition by predicate, skipping sub-maps
-		for pred, m3 := range g.spo[s] {
-			if uint32(pred)%shards != shard {
-				continue
-			}
-			for obj := range m3 {
-				if !fn(s, pred, obj) {
-					return false
-				}
-			}
-		}
-	case !pAny: // ? p ? — partition by object, skipping sub-maps
-		for obj, m3 := range g.pos[p] {
+		for obj := range g.spo[s].setItems(p) {
 			if uint32(obj)%shards != shard {
 				continue
 			}
-			for subj := range m3 {
-				if !fn(subj, p, obj) {
-					return false
-				}
+			if !fn(s, p, obj) {
+				return false
 			}
 		}
-	case !oAny: // ? ? o — partition by subject, skipping sub-maps
-		for subj, m3 := range g.osp[o] {
+	case !sAny && !oAny: // s ? o — filter predicates
+		for pred := range g.osp[o].setItems(s) {
+			if uint32(pred)%shards != shard {
+				continue
+			}
+			if !fn(s, pred, o) {
+				return false
+			}
+		}
+	case !pAny && !oAny: // ? p o — filter subjects
+		for subj := range g.pos[p].setItems(o) {
 			if uint32(subj)%shards != shard {
 				continue
 			}
-			for pred := range m3 {
-				if !fn(subj, pred, o) {
-					return false
-				}
+			if !fn(subj, p, o) {
+				return false
+			}
+		}
+	case !sAny: // s ? ? — partition by predicate
+		for pred, obj := range g.spo[s].items() {
+			if uint32(pred)%shards != shard {
+				continue
+			}
+			if !fn(s, pred, obj) {
+				return false
+			}
+		}
+	case !pAny: // ? p ? — partition by object
+		for obj, subj := range g.pos[p].items() {
+			if uint32(obj)%shards != shard {
+				continue
+			}
+			if !fn(subj, p, obj) {
+				return false
+			}
+		}
+	case !oAny: // ? ? o — partition by subject
+		for subj, pred := range g.osp[o].items() {
+			if uint32(subj)%shards != shard {
+				continue
+			}
+			if !fn(subj, pred, o) {
+				return false
 			}
 		}
 	default: // ? ? ? — partition by subject, skipping sub-trees
-		for subj, m2 := range g.spo {
+		for subj, mid := range g.spo {
 			if uint32(subj)%shards != shard {
 				continue
 			}
-			for pred, m3 := range m2 {
-				for obj := range m3 {
-					if !fn(subj, pred, obj) {
-						return false
-					}
+			for pred, obj := range mid.items() {
+				if !fn(subj, pred, obj) {
+					return false
 				}
 			}
 		}
@@ -444,27 +834,27 @@ func (g *Graph) DistinctCountIDs(s, p, o TermID, pos int) (n int, ok bool) {
 		case pAny && oAny:
 			return len(g.spo), true
 		case !pAny && !oAny:
-			return len(g.pos[p][o]), true
+			return g.pos[p].setLen(o), true
 		case pAny:
-			return len(g.osp[o]), true
+			return g.osp[o].distinctB(), true
 		}
 	case 1: // distinct predicates
 		switch {
 		case sAny && oAny:
 			return len(g.pos), true
 		case !sAny && !oAny:
-			return len(g.osp[o][s]), true
+			return g.osp[o].setLen(s), true
 		case oAny:
-			return len(g.spo[s]), true
+			return g.spo[s].distinctB(), true
 		}
 	case 2: // distinct objects
 		switch {
 		case sAny && pAny:
 			return len(g.osp), true
 		case !sAny && !pAny:
-			return len(g.spo[s][p]), true
+			return g.spo[s].setLen(p), true
 		case sAny:
-			return len(g.pos[p]), true
+			return g.pos[p].distinctB(), true
 		}
 	}
 	return 0, false
@@ -495,68 +885,50 @@ func (g *Graph) eachMatchIDsLocked(s, p, o TermID, fn func(s, p, o TermID) bool)
 	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
 	switch {
 	case !sAny && !pAny && !oAny:
-		if m2, ok := g.spo[s]; ok {
-			if m3, ok := m2[p]; ok {
-				if _, ok := m3[o]; ok {
-					return fn(s, p, o)
-				}
-			}
+		if g.spo[s].has(p, o) {
+			return fn(s, p, o)
 		}
 	case !sAny && !pAny: // s p ?
-		if m2, ok := g.spo[s]; ok {
-			for obj := range m2[p] {
-				if !fn(s, p, obj) {
-					return false
-				}
+		for obj := range g.spo[s].setItems(p) {
+			if !fn(s, p, obj) {
+				return false
 			}
 		}
 	case !sAny && !oAny: // s ? o
-		if m2, ok := g.osp[o]; ok {
-			for pred := range m2[s] {
-				if !fn(s, pred, o) {
-					return false
-				}
+		for pred := range g.osp[o].setItems(s) {
+			if !fn(s, pred, o) {
+				return false
 			}
 		}
 	case !pAny && !oAny: // ? p o
-		if m2, ok := g.pos[p]; ok {
-			for subj := range m2[o] {
-				if !fn(subj, p, o) {
-					return false
-				}
+		for subj := range g.pos[p].setItems(o) {
+			if !fn(subj, p, o) {
+				return false
 			}
 		}
 	case !sAny: // s ? ?
-		for pred, m3 := range g.spo[s] {
-			for obj := range m3 {
-				if !fn(s, pred, obj) {
-					return false
-				}
+		for pred, obj := range g.spo[s].items() {
+			if !fn(s, pred, obj) {
+				return false
 			}
 		}
 	case !pAny: // ? p ?
-		for obj, m3 := range g.pos[p] {
-			for subj := range m3 {
-				if !fn(subj, p, obj) {
-					return false
-				}
+		for obj, subj := range g.pos[p].items() {
+			if !fn(subj, p, obj) {
+				return false
 			}
 		}
 	case !oAny: // ? ? o
-		for subj, m3 := range g.osp[o] {
-			for pred := range m3 {
-				if !fn(subj, pred, o) {
-					return false
-				}
+		for subj, pred := range g.osp[o].items() {
+			if !fn(subj, pred, o) {
+				return false
 			}
 		}
 	default: // ? ? ?
-		for subj, m2 := range g.spo {
-			for pred, m3 := range m2 {
-				for obj := range m3 {
-					if !fn(subj, pred, obj) {
-						return false
-					}
+		for subj, mid := range g.spo {
+			for pred, obj := range mid.items() {
+				if !fn(subj, pred, obj) {
+					return false
 				}
 			}
 		}
@@ -570,38 +942,22 @@ func (g *Graph) countIDsLocked(s, p, o TermID) int {
 	sAny, pAny, oAny := s == AnyID, p == AnyID, o == AnyID
 	switch {
 	case !sAny && !pAny && !oAny:
-		if m2, ok := g.spo[s]; ok {
-			if m3, ok := m2[p]; ok {
-				if _, ok := m3[o]; ok {
-					return 1
-				}
-			}
+		if g.spo[s].has(p, o) {
+			return 1
 		}
 		return 0
 	case !sAny && !pAny: // s p ?
-		return len(g.spo[s][p])
+		return g.spo[s].setLen(p)
 	case !sAny && !oAny: // s ? o
-		return len(g.osp[o][s])
+		return g.osp[o].setLen(s)
 	case !pAny && !oAny: // ? p o
-		return len(g.pos[p][o])
+		return g.pos[p].setLen(o)
 	case !sAny: // s ? ?
-		n := 0
-		for _, m3 := range g.spo[s] {
-			n += len(m3)
-		}
-		return n
+		return g.spo[s].totalLen()
 	case !pAny: // ? p ?
-		n := 0
-		for _, m3 := range g.pos[p] {
-			n += len(m3)
-		}
-		return n
+		return g.pos[p].totalLen()
 	case !oAny: // ? ? o
-		n := 0
-		for _, m3 := range g.osp[o] {
-			n += len(m3)
-		}
-		return n
+		return g.osp[o].totalLen()
 	default:
 		return g.n
 	}
@@ -683,9 +1039,9 @@ func (g *Graph) Subjects(p, o Term) []Term {
 	case !pok || !ook:
 	case pid != AnyID && oid != AnyID:
 		// Fully bound: the third index level is exactly the subject set.
-		if m3 := g.pos[pid][oid]; len(m3) > 0 {
-			out = make([]Term, 0, len(m3))
-			for sid := range m3 {
+		if mid := g.pos[pid]; mid.setLen(oid) > 0 {
+			out = make([]Term, 0, mid.setLen(oid))
+			for sid := range mid.setItems(oid) {
 				out = append(out, terms[sid])
 			}
 		}
@@ -715,9 +1071,9 @@ func (g *Graph) Objects(s, p Term) []Term {
 	switch {
 	case !sok || !pok:
 	case sid != AnyID && pid != AnyID:
-		if m3 := g.spo[sid][pid]; len(m3) > 0 {
-			out = make([]Term, 0, len(m3))
-			for oid := range m3 {
+		if mid := g.spo[sid]; mid.setLen(pid) > 0 {
+			out = make([]Term, 0, mid.setLen(pid))
+			for oid := range mid.setItems(pid) {
 				out = append(out, terms[oid])
 			}
 		}

@@ -451,3 +451,112 @@ func TestGraphDistinctCountIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestGraphIndexSpillFanOut pushes one subject past both index spill
+// thresholds — more than midSpill (predicate, object) pairs, and more
+// than idSetSpill objects under a single predicate — then checks every
+// read path and removes everything again. This walks the pair-list,
+// spilled-map and mixed representations of the same logical index.
+func TestGraphIndexSpillFanOut(t *testing.T) {
+	g := NewGraph()
+	s := IRI("http://ex.org/fan")
+	wide := IRI("http://ex.org/wide")
+	const objects = 3 * idSetSpill
+	var ts []Triple
+	for i := 0; i < objects; i++ {
+		ts = append(ts, T(s, wide, IntLit(int64(i))))
+	}
+	for i := 0; i < midSpill; i++ {
+		ts = append(ts, T(s, IRI(fmt.Sprintf("http://ex.org/p%d", i)), Lit("x")))
+	}
+	for _, tr := range ts {
+		g.MustAdd(tr)
+	}
+	for _, tr := range ts {
+		if !g.Has(tr) {
+			t.Fatalf("Has(%v) = false", tr)
+		}
+	}
+	if g.Len() != len(ts) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(ts))
+	}
+	if n := g.Count(s, wide, Any); n != objects {
+		t.Fatalf("Count(s, wide, ?) = %d, want %d", n, objects)
+	}
+	if n := g.Count(s, Any, Any); n != len(ts) {
+		t.Fatalf("Count(s, ?, ?) = %d, want %d", n, len(ts))
+	}
+	if n, ok := g.DistinctCountIDs(mustID(t, g, s), AnyID, AnyID, 1); !ok || n != midSpill+1 {
+		t.Fatalf("distinct predicates = %d, %v; want %d", n, ok, midSpill+1)
+	}
+	if got := g.Objects(s, wide); len(got) != objects {
+		t.Fatalf("Objects = %d terms, want %d", len(got), objects)
+	}
+	if got := g.Match(s, Any, Any); len(got) != len(ts) {
+		t.Fatalf("Match = %d triples", len(got))
+	}
+	clone := g.Clone()
+	for _, tr := range ts {
+		if !g.Remove(tr) {
+			t.Fatalf("Remove(%v) = false", tr)
+		}
+	}
+	if g.Len() != 0 || g.Count(s, Any, Any) != 0 {
+		t.Fatalf("graph not empty after removals: Len = %d", g.Len())
+	}
+	if clone.Len() != len(ts) {
+		t.Fatalf("clone mutated by source removals: Len = %d", clone.Len())
+	}
+}
+
+func mustID(t *testing.T, g *Graph, term Term) TermID {
+	t.Helper()
+	id, ok := g.IDOf(term)
+	if !ok {
+		t.Fatalf("%v not interned", term)
+	}
+	return id
+}
+
+// TestBulkAddIDsMatchesAddIDs checks the bulk loader against the
+// one-triple path: same final graph, same added count, duplicates
+// rejected within and across batches, and fan-outs wide enough to cross
+// both spill thresholds mid-batch.
+func TestBulkAddIDsMatchesAddIDs(t *testing.T) {
+	var ts []Triple
+	for i := 0; i < 400; i++ {
+		ts = append(ts, mkTriple(i))
+	}
+	// A hot subject/predicate pair that spills, plus exact duplicates.
+	hot := IRI("http://ex.org/hot")
+	for i := 0; i < 2*midSpill; i++ {
+		ts = append(ts, T(hot, IRI("http://ex.org/w"), IntLit(int64(i))))
+	}
+	ts = append(ts, ts[:25]...)
+
+	want := NewGraph()
+	bulk := NewGraph()
+	ids := make([][3]TermID, len(ts))
+	for i, tr := range ts {
+		want.MustAdd(tr)
+		ids[i] = [3]TermID{bulk.Dict().Intern(tr.S), bulk.Dict().Intern(tr.P), bulk.Dict().Intern(tr.O)}
+	}
+	// Split into two batches so the second sees index state left by the
+	// first (arena-backed pair lists must not be clobbered).
+	cut := len(ids) / 3
+	added := bulk.BulkAddIDs(ids[:cut])
+	added += bulk.BulkAddIDs(ids[cut:])
+	if added != want.Len() {
+		t.Fatalf("BulkAddIDs added %d, want %d", added, want.Len())
+	}
+	if bulk.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", bulk.Len(), want.Len())
+	}
+	if !bulk.Equal(want) {
+		t.Fatal("bulk-loaded graph differs from Add-built graph")
+	}
+	// Re-adding the whole batch must add nothing.
+	if again := bulk.BulkAddIDs(ids); again != 0 {
+		t.Fatalf("re-adding batch added %d", again)
+	}
+}

@@ -125,10 +125,10 @@ func (p *parser) parseStatement() error {
 	if strings.HasPrefix(p.src[p.pos:], "@prefix") {
 		return p.parsePrefixDirective()
 	}
-	if strings.HasPrefix(strings.ToUpper(p.src[p.pos:]), "PREFIX") && p.isKeywordAt("PREFIX") {
+	if p.isKeywordAt("PREFIX") {
 		return p.parseSparqlPrefix()
 	}
-	if strings.HasPrefix(strings.ToUpper(p.src[p.pos:]), "GRAPH") && p.isKeywordAt("GRAPH") {
+	if p.isKeywordAt("GRAPH") {
 		for i := 0; i < 5; i++ {
 			p.advance()
 		}

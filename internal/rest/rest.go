@@ -114,6 +114,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/walks", s.handleListWalks)
 	s.mux.HandleFunc("POST /api/walks/{name}/run", s.handleRunWalk)
 
+	s.mux.HandleFunc("POST /api/admin/compact", s.handleCompact)
+
 	// Application metrics: only the mdm.* expvars (the federation
 	// source-cache counters). The stock expvar.Handler also dumps
 	// cmdline and memstats, which do not belong on an unauthenticated
@@ -287,6 +289,18 @@ func (s *Server) handleValidate(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleExport(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/trig")
 	fmt.Fprint(w, s.sys.ExportTriG())
+}
+
+// handleCompact forces a full storage compaction (see
+// System.CompactStorage). For in-memory systems it reports persistent
+// false and does nothing.
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	persistent := s.sys.Storage() != nil
+	if err := s.sys.CompactStorage(); err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"compacted": persistent, "persistent": persistent})
 }
 
 // --- global graph ---

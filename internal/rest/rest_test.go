@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -1125,5 +1126,57 @@ func TestWalkPartialParamValidation(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("partial=0 status = %d, want 422", rec.Code)
+	}
+}
+
+func TestAdminCompactEndpoint(t *testing.T) {
+	// In-memory system: compaction succeeds but reports no persistence.
+	c, _ := setupServer(t)
+	resp, err := c.http.Post(c.base+"/api/admin/compact", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || body["persistent"] != false {
+		t.Fatalf("in-memory compact: status %d, body %v", resp.StatusCode, body)
+	}
+	// GET is not allowed on the mutation route.
+	getResp, err := c.http.Get(c.base + "/api/admin/compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET compact = %d", getResp.StatusCode)
+	}
+
+	// Persistent system: compaction seals a segment on disk.
+	dir := t.TempDir()
+	sys, err := mdm.OpenWith(dir, mdm.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	sys.BindPrefix("ex", "http://ex.org/")
+	if err := sys.AddConcept("ex:Thing", "Thing"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rest.NewServer(sys))
+	t.Cleanup(srv.Close)
+	resp, err = srv.Client().Post(srv.URL+"/api/admin/compact", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = nil
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || body["persistent"] != true || body["compacted"] != true {
+		t.Fatalf("persistent compact: status %d, body %v", resp.StatusCode, body)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "ontology", "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no sealed segments after compact: %v, %v", segs, err)
 	}
 }

@@ -1408,14 +1408,15 @@ func (it *pageIter) next() []rdf.TermID {
 //
 // Cursors are not safe for concurrent use.
 type Cursor struct {
-	e     *evaluator
-	it    rowIter
-	form  QueryForm
-	vars  []string
-	slots []int
-	row   []rdf.TermID
-	err   error
-	done  bool
+	e       *evaluator
+	it      rowIter
+	form    QueryForm
+	vars    []string
+	slots   []int
+	row     []rdf.TermID
+	err     error
+	done    bool
+	onClose []func()
 }
 
 // EvalCursor compiles q against ds and returns a cursor positioned
@@ -1501,13 +1502,13 @@ func (c *Cursor) Next(ctx context.Context) bool {
 	c.e.ctx = ctx
 	if !c.e.poll() {
 		c.err = c.e.err
-		c.done, c.row = true, nil
+		c.finish()
 		return false
 	}
 	r := c.it.next()
 	if c.e.err != nil {
 		c.err = c.e.err
-		c.done, c.row = true, nil
+		c.finish()
 		return false
 	}
 	if r == nil {
@@ -1515,7 +1516,7 @@ func (c *Cursor) Next(ctx context.Context) bool {
 		if err := ctx.Err(); err != nil {
 			c.err = err
 		}
-		c.done, c.row = true, nil
+		c.finish()
 		return false
 	}
 	c.row = r
@@ -1527,11 +1528,34 @@ func (c *Cursor) Next(ctx context.Context) bool {
 // drain.
 func (c *Cursor) Err() error { return c.err }
 
-// Close stops iteration early. It is idempotent and optional — a
-// cursor holds no locks or goroutines — but calling it documents intent
-// and makes Next return false immediately.
+// Close stops iteration early. It is idempotent, and optional for
+// cursors with no OnClose callbacks — a cursor holds no locks or
+// goroutines — but a cursor whose producer registered cleanup (the mdm
+// facade pins a storage epoch per cursor) must be closed or drained to
+// release it. Close makes Next return false immediately.
 func (c *Cursor) Close() {
+	c.finish()
+}
+
+// OnClose registers f to run when the cursor finishes: on Close, or
+// when iteration ends by exhaustion, error or cancellation — whichever
+// comes first, exactly once. Callbacks run in registration order.
+func (c *Cursor) OnClose(f func()) {
+	if c.done {
+		f()
+		return
+	}
+	c.onClose = append(c.onClose, f)
+}
+
+// finish terminates iteration and fires OnClose callbacks exactly once.
+func (c *Cursor) finish() {
 	c.done, c.row = true, nil
+	cbs := c.onClose
+	c.onClose = nil
+	for _, f := range cbs {
+		f()
+	}
 }
 
 // Vars returns the projection list in order (nil for ASK).

@@ -1,0 +1,185 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdm/internal/rdf"
+	"mdm/internal/rdf/turtle"
+)
+
+func iri(n string) rdf.Term { return rdf.IRI("http://ex/" + n) }
+
+func TestWriteLoadRoundTripMixedOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(1))
+	ops := []Op{
+		{Kind: OpPrefix, Prefix: "ex", NS: "http://ex/"},
+		{Kind: OpAdd, Quad: rdf.Q(iri("s1"), iri("p"), rdf.Lit("a"), rdf.Term{})},
+		{Kind: OpAdd, Quad: rdf.Q(iri("s2"), iri("p"), rdf.LangLit("hei", "no"), rdf.Term{})},
+		{Kind: OpAdd, Quad: rdf.Q(iri("s1"), iri("p"), rdf.IntLit(7), iri("g1"))},
+		{Kind: OpAdd, Quad: rdf.Q(iri("s9"), iri("p"), rdf.Lit("doomed"), iri("g2"))},
+		{Kind: OpRemove, Quad: rdf.Q(iri("s1"), iri("p"), rdf.Lit("a"), rdf.Term{})},
+		{Kind: OpDrop, Quad: rdf.Quad{Graph: iri("g2")}},
+	}
+	ws, err := WriteFile(path, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Records != len(ops) {
+		t.Fatalf("written records = %d, want %d", ws.Records, len(ops))
+	}
+	if ws.DictTerms == 0 || ws.DictBytes == 0 {
+		t.Fatalf("dict stats empty: %+v", ws)
+	}
+
+	ds := rdf.NewDataset()
+	ls, err := LoadFile(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Records != ws.Records || ls.DictTerms != ws.DictTerms {
+		t.Fatalf("load stats %+v != write stats %+v", ls, ws)
+	}
+	// Ops applied in order: s1-a added then removed, g2 added then dropped.
+	if ds.Default().Len() != 1 {
+		t.Fatalf("default graph Len = %d, want 1 (remove applied)", ds.Default().Len())
+	}
+	if _, ok := ds.Lookup(iri("g2")); ok {
+		t.Fatal("dropped graph g2 survived")
+	}
+	g1, ok := ds.Lookup(iri("g1"))
+	if !ok || g1.Len() != 1 {
+		t.Fatalf("g1 = %v, %v", g1, ok)
+	}
+	if exp, ok := ds.Prefixes().Expand("ex:x"); !ok || exp != "http://ex/x" {
+		t.Fatal("prefix op not applied")
+	}
+	if !ds.Default().Has(rdf.T(iri("s2"), iri("p"), rdf.LangLit("hei", "no"))) {
+		t.Fatal("lang literal lost fidelity through the segment")
+	}
+}
+
+func TestDatasetOpsFullSegmentRoundTrip(t *testing.T) {
+	src := rdf.NewDataset()
+	src.Prefixes().Bind("ex", "http://ex/")
+	src.Default().MustAdd(rdf.T(iri("s"), iri("p"), rdf.TypedLit("3.14", "http://www.w3.org/2001/XMLSchema#decimal")))
+	src.Graph(iri("g")).MustAdd(rdf.T(iri("s"), iri("q"), rdf.Lit("named")))
+
+	path := filepath.Join(t.TempDir(), SegmentName(1))
+	if _, err := WriteFile(path, DatasetOps(src)); err != nil {
+		t.Fatal(err)
+	}
+	dst := rdf.NewDataset()
+	if _, err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := turtle.WriteDataset(dst), turtle.WriteDataset(src); got != want {
+		t.Fatalf("round trip differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName(1))
+	ops := DatasetOps(func() *rdf.Dataset {
+		ds := rdf.NewDataset()
+		for i := 0; i < 50; i++ {
+			ds.Default().MustAdd(rdf.T(iri("s"), iri("p"), rdf.IntLit(int64(i))))
+		}
+		return ds
+	}())
+	if _, err := WriteFile(path, ops); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			bad := filepath.Join(dir, "bad-"+name+".seg")
+			if err := os.WriteFile(bad, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadFile(bad, rdf.NewDataset()); err == nil {
+				t.Fatal("corrupt segment loaded cleanly")
+			}
+		})
+	}
+	flip("body-byte", func(b []byte) []byte { b[len(b)/2] ^= 0xff; return b })
+	flip("truncated", func(b []byte) []byte { return b[:len(b)-10] })
+	flip("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	flip("empty", func(b []byte) []byte { return nil })
+}
+
+func TestReadStatsFooterOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName(7))
+	ds := rdf.NewDataset()
+	ds.Default().MustAdd(rdf.T(iri("s"), iri("p"), rdf.Lit("v")))
+	ws, err := WriteFile(path, DatasetOps(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ReadStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The footer carries record count and sizes but not the term count.
+	if rs.Records != ws.Records || rs.DictBytes != ws.DictBytes || rs.FileBytes != ws.FileBytes {
+		t.Fatalf("ReadStats %+v != WriteFile stats %+v", rs, ws)
+	}
+}
+
+func TestManifestWriteLoadSweep(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := LoadManifest(dir); err != nil || m != nil {
+		t.Fatalf("LoadManifest on empty dir = %v, %v", m, err)
+	}
+	m := &Manifest{Version: 1, Segments: []string{SegmentName(1), SegmentName(3)}, NextSeq: 4}
+	if err := m.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextSeq != 4 || len(got.Segments) != 2 || got.Segments[1] != SegmentName(3) {
+		t.Fatalf("loaded manifest = %+v", got)
+	}
+
+	// Sweep removes unreferenced segments and temp files, keeps the rest.
+	for _, name := range []string{SegmentName(1), SegmentName(2), SegmentName(3), "stray.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got.Sweep(dir)
+	for name, want := range map[string]bool{
+		SegmentName(1): true, SegmentName(2): false, SegmentName(3): true, "stray.tmp": false,
+	} {
+		_, err := os.Stat(filepath.Join(dir, name))
+		if exists := err == nil; exists != want {
+			t.Errorf("%s exists = %v, want %v", name, exists, want)
+		}
+	}
+
+	// Corrupt manifest is an error, not a silent fresh store.
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+
+	c := m.Clone()
+	c.Segments = append(c.Segments, SegmentName(9))
+	if len(m.Segments) != 2 {
+		t.Fatal("Clone shares the segment slice")
+	}
+	if !strings.HasPrefix(SegmentName(12), "seg-000012") {
+		t.Fatalf("SegmentName(12) = %s", SegmentName(12))
+	}
+}

@@ -1,0 +1,468 @@
+package tdb
+
+import (
+	"expvar"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdm/internal/rdf"
+	"mdm/internal/rdf/turtle"
+	"mdm/internal/sparql"
+	"mdm/internal/tdb/segment"
+)
+
+func ex(n string) rdf.Term { return rdf.IRI("http://ex/" + n) }
+
+// trig renders the live dataset deterministically for oracle comparisons.
+func trig(s *Store) string { return turtle.WriteDataset(s.Dataset()) }
+
+func TestCheckpointSealsDelta(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALRecords() != 0 {
+		t.Fatalf("WALRecords after checkpoint = %d", s.WALRecords())
+	}
+	// A second checkpoint with no new writes must not add a segment.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := segment.LoadManifest(dir)
+	if err != nil || man == nil {
+		t.Fatalf("LoadManifest = %v, %v", man, err)
+	}
+	if len(man.Segments) != 1 {
+		t.Fatalf("segments after idle checkpoint = %v", man.Segments)
+	}
+
+	// More writes, another checkpoint: delta segments accumulate.
+	if err := s.AddQuad(rdf.Q(ex("s0"), ex("p"), rdf.Lit("named"), ex("g"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	man, _ = segment.LoadManifest(dir)
+	if len(man.Segments) != 2 {
+		t.Fatalf("segments after second checkpoint = %v", man.Segments)
+	}
+	want := trig(s)
+	s.Close()
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := trig(s2); got != want {
+		t.Fatalf("reopen from delta segments differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWALMidFileCorruptionNamesOffset(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Clobber the middle record, keeping a valid record after it: that is
+	// mid-file corruption, not a torn tail, and must fail the open.
+	lines[1] = strings.Repeat("x", len(lines[1])-1) + "\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if err == nil || !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("Open on mid-file corruption = %v, want byte-offset error", err)
+	}
+	wantOff := fmt.Sprintf("byte offset %d", len(lines[0]))
+	if !strings.Contains(err.Error(), wantOff) {
+		t.Fatalf("error %q does not name offset %q", err, wantOff)
+	}
+}
+
+func TestTornWALTailTrimmedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.AddTriple(rdf.T(ex("s"), ex("p"), rdf.Lit("v"))); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, walFile)
+	goodSize := int64(0)
+	if fi, err := os.Stat(path); err == nil {
+		goodSize = fi.Size()
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const torn = `{"op":"add","quad":[{"k":0,"v":"to`
+	f.WriteString(torn)
+	f.Close()
+
+	before := expvar.Get("mdm.tdb.wal_torn_bytes").(*expvar.Int).Value()
+	s2 := openT(t, dir)
+	if got := s2.Dataset().Default().Len(); got != 1 {
+		t.Fatalf("Len after torn tail = %d, want 1", got)
+	}
+	if delta := expvar.Get("mdm.tdb.wal_torn_bytes").(*expvar.Int).Value() - before; delta != int64(len(torn)) {
+		t.Fatalf("wal_torn_bytes delta = %d, want %d", delta, len(torn))
+	}
+	// The torn bytes are trimmed so the next append starts a clean line.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != goodSize {
+		t.Fatalf("wal size after trim = %v (err %v), want %d", fi.Size(), err, goodSize)
+	}
+	if err := s2.AddTriple(rdf.T(ex("s2"), ex("p"), rdf.Lit("w"))); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openT(t, dir)
+	defer s3.Close()
+	if got := s3.Dataset().Default().Len(); got != 2 {
+		t.Fatalf("Len after append-past-torn-tail = %d, want 2", got)
+	}
+}
+
+func TestCrashMidCompactionSwept(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := trig(s)
+	s.Close()
+
+	// Simulate a crash between sealing a segment and publishing the
+	// manifest: a stray sealed segment plus a temp manifest. Neither is
+	// referenced by MANIFEST, so both must be swept and ignored.
+	stray := filepath.Join(dir, segment.SegmentName(99))
+	if err := os.WriteFile(stray, []byte("half-written segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpMan := filepath.Join(dir, segment.ManifestFile+".tmp")
+	if err := os.WriteFile(tmpMan, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := trig(s2); got != want {
+		t.Fatalf("dataset after simulated crash differs:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Errorf("unreferenced segment not swept: %v", err)
+	}
+	if _, err := os.Stat(tmpMan); !os.IsNotExist(err) {
+		t.Errorf("temp manifest not swept: %v", err)
+	}
+}
+
+func TestCheckpointCompactMixReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.BindPrefix("ex", "http://ex/")
+	for i := 0; i < 8; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("a%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddQuad(rdf.Q(ex("a0"), ex("q"), rdf.LangLit("hei", "no"), ex("g1"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveQuad(rdf.Q(ex("a1"), ex("p"), rdf.IntLit(1), rdf.Term{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropGraph(ex("g1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTriple(rdf.T(ex("post"), ex("p"), rdf.Lit("tail"))); err != nil {
+		t.Fatal(err)
+	}
+	want := trig(s)
+	s.Close()
+
+	man, _ := segment.LoadManifest(dir)
+	if man == nil || len(man.Segments) != 1 {
+		t.Fatalf("manifest after compact = %+v", man)
+	}
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := trig(s2); got != want {
+		t.Fatalf("reopen after checkpoint/compact mix differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLegacySnapshotMigratesOnCompact(t *testing.T) {
+	dir := t.TempDir()
+	// Build a legacy (pre-segment) store layout by hand: a TriG snapshot
+	// and a JSON WAL tail, no MANIFEST.
+	ds := rdf.NewDataset()
+	ds.Prefixes().Bind("ex", "http://ex/")
+	ds.Default().MustAdd(rdf.T(ex("s"), ex("p"), rdf.Lit("snap")))
+	ds.Graph(ex("g")).MustAdd(rdf.T(ex("s"), ex("p"), rdf.Lit("named")))
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte(turtle.WriteDataset(ds)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wal := `{"op":"add","quad":[{"k":0,"v":"http://ex/s"},{"k":0,"v":"http://ex/p"},{"k":1,"v":"tail"}]}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, walFile), []byte(wal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openT(t, dir)
+	if got := s.Dataset().Len(); got != 3 {
+		t.Fatalf("legacy store Len = %d, want 3", got)
+	}
+	want := trig(s)
+	// First compaction migrates to the segment format.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if man, err := segment.LoadManifest(dir); err != nil || man == nil {
+		t.Fatalf("no manifest after migrating compact: %v, %v", man, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot survived migration: %v", err)
+	}
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := trig(s2); got != want {
+		t.Fatalf("migrated store differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRemoveMissingGraphDoesNotCreate(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.AddTriple(rdf.T(ex("s"), ex("p"), rdf.Lit("v"))); err != nil {
+		t.Fatal(err)
+	}
+	ver := s.Dataset().Version()
+	wal := s.WALRecords()
+	ok, err := s.RemoveQuad(rdf.Q(ex("s"), ex("p"), rdf.Lit("v"), ex("missing")))
+	if err != nil || ok {
+		t.Fatalf("RemoveQuad from missing graph = %v, %v", ok, err)
+	}
+	if got := s.Dataset().Version(); got != ver {
+		t.Fatalf("Version bumped %d -> %d by a no-op remove", ver, got)
+	}
+	if len(s.Dataset().GraphNames()) != 0 {
+		t.Fatalf("missing graph materialized: %v", s.Dataset().GraphNames())
+	}
+	if s.WALRecords() != wal {
+		t.Fatal("no-op remove reached the WAL")
+	}
+	s.Close()
+
+	// Replay path: a remove record naming a graph that never existed
+	// (e.g. written by an older binary) must not create it either.
+	rec := `{"op":"remove","quad":[{"k":0,"v":"http://ex/s"},{"k":0,"v":"http://ex/p"},{"k":1,"v":"v"},{"k":0,"v":"http://ex/ghost"}]}` + "\n"
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(rec)
+	f.Close()
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if len(s2.Dataset().GraphNames()) != 0 {
+		t.Fatalf("replay materialized a graph: %v", s2.Dataset().GraphNames())
+	}
+}
+
+func TestPinSnapshotIsolatesCompaction(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pin := s.PinSnapshot()
+	// Appends within the pinned epoch stay visible (pins freeze the
+	// storage epoch, not the dataset).
+	if err := s.AddTriple(rdf.T(ex("s3"), ex("p"), rdf.IntLit(3))); err != nil {
+		t.Fatal(err)
+	}
+	if got := pin.Dataset().Len(); got != 4 {
+		t.Fatalf("pinned Len before compact = %d, want 4", got)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() == pin.Epoch() {
+		t.Fatal("compaction did not advance the epoch")
+	}
+	if s.RetiredEpochs() != 1 {
+		t.Fatalf("RetiredEpochs = %d, want 1", s.RetiredEpochs())
+	}
+	// Post-compaction writes go to the new epoch only.
+	if err := s.AddTriple(rdf.T(ex("s4"), ex("p"), rdf.IntLit(4))); err != nil {
+		t.Fatal(err)
+	}
+	if got := pin.Dataset().Len(); got != 4 {
+		t.Fatalf("pinned Len after compact = %d, want 4 (frozen)", got)
+	}
+	if got := s.Dataset().Len(); got != 5 {
+		t.Fatalf("live Len = %d, want 5", got)
+	}
+	res, err := sparql.Run(pin.Dataset(), `SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("query over pinned snapshot = %d rows, want 4", res.Len())
+	}
+	pin.Release()
+	pin.Release() // idempotent
+	if s.RetiredEpochs() != 0 {
+		t.Fatalf("RetiredEpochs after release = %d, want 0", s.RetiredEpochs())
+	}
+
+	// A pin on the current epoch releases without ever being retired.
+	p2 := s.PinSnapshot()
+	p2.Release()
+	if s.RetiredEpochs() != 0 {
+		t.Fatalf("RetiredEpochs after current-epoch release = %d", s.RetiredEpochs())
+	}
+}
+
+func TestSyncModesDurable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"always", Options{Sync: SyncAlways}},
+		{"batch", Options{Sync: SyncBatch, SyncInterval: time.Millisecond}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenWith(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddTriple(rdf.T(ex("s"), ex("p"), rdf.Lit(tc.name))); err != nil {
+				t.Fatal(err)
+			}
+			if tc.opts.Sync == SyncBatch {
+				time.Sleep(20 * time.Millisecond) // let the sync loop run
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2 := openT(t, dir)
+			defer s2.Close()
+			if got := s2.Dataset().Default().Len(); got != 1 {
+				t.Fatalf("Len after reopen = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestConcurrentQueriesDuringCompaction is the background-compaction
+// variant of TestConcurrentQueriesDuringAppends: readers pin the storage
+// epoch per query while writers append and the maintenance loop
+// checkpoints and dict-GCs the store. Run with -race (CI does).
+func TestConcurrentQueriesDuringCompaction(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), Options{
+		CompactInterval:     time.Millisecond,
+		CompactWALThreshold: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const query = `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var qerr atomic.Value
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := s.PinSnapshot()
+				if _, err := sparql.Run(pin.Dataset(), query); err != nil {
+					qerr.Store(err)
+					pin.Release()
+					return
+				}
+				pin.Release()
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.AddTriple(rdf.T(ex(fmt.Sprintf("n%d", i)), ex("p"), rdf.IntLit(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := qerr.Load(); err != nil {
+		t.Fatalf("concurrent query failed: %v", err)
+	}
+	res, err := sparql.Run(s.Dataset(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 350 {
+		t.Fatalf("rows = %d, want 350", res.Len())
+	}
+	if s.RetiredEpochs() != 0 {
+		t.Fatalf("RetiredEpochs leaked = %d", s.RetiredEpochs())
+	}
+}

@@ -1,48 +1,163 @@
 // Package tdb provides durable storage for an rdf.Dataset, replacing the
 // Jena TDB persistence engine used by the original MDM implementation.
 //
-// The design is a classic snapshot + write-ahead log:
+// The design is an epoch-based segment store in front of a write-ahead
+// log:
 //
-//   - snapshot.trig holds a full TriG serialization of the dataset taken
-//     at the last checkpoint;
-//   - wal.jsonl holds one JSON record per mutation since that checkpoint.
+//   - MANIFEST lists the live, immutable on-disk segments (see the
+//     segment subpackage: a dict block of interned terms plus ID-triple
+//     blocks per graph, checksummed) in apply order;
+//   - wal.jsonl holds one JSON record per mutation since the last seal.
 //
-// Open replays the snapshot and then the WAL, so a crash between appends
-// loses at most the record being written (truncated trailing lines are
-// ignored). Compact writes a fresh snapshot and resets the WAL.
+// Open loads the manifest's segments (binary decode straight into the
+// dataset dictionary and ID indexes — no Turtle parsing) and then
+// replays the WAL tail, so startup is O(segments + WAL tail), not
+// O(full history re-parse). Checkpoint seals the WAL tail into a new
+// delta segment in O(tail); Compact rewrites the live dataset against a
+// fresh dictionary into a single full segment, dropping dead dictionary
+// terms and tombstoned triples, and swaps the compacted dataset in as a
+// new EPOCH — readers that pinned the previous epoch (PinSnapshot) keep
+// draining their snapshot untouched. Both publish the manifest with a
+// temp-file + rename, so a crash mid-seal leaves the previous manifest
+// + WAL recovery point intact.
+//
+// Legacy stores (a snapshot.trig TriG snapshot instead of a manifest)
+// still open; the first Compact migrates them to the segment format.
+//
+// # Durability
+//
+// By default WAL appends are flushed to the OS (bufio.Flush) but NOT
+// fsynced: a process crash loses at most the record being written, but
+// an OS crash or power failure can lose any records the kernel had not
+// yet written back. Opt into fsync durability with Options.Sync:
+// SyncAlways fsyncs every append; SyncBatch fsyncs at most every
+// Options.SyncInterval. A truncated final WAL record (torn write during
+// a crash) is tolerated and trimmed at the next Open; an undecodable
+// record with further records after it is mid-file corruption and fails
+// Open with the byte offset.
 package tdb
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"mdm/internal/rdf"
 	"mdm/internal/rdf/turtle"
+	"mdm/internal/tdb/segment"
 )
 
 const (
+	// snapshotFile is the legacy (pre-segment) full-snapshot file name.
 	snapshotFile = "snapshot.trig"
 	walFile      = "wal.jsonl"
 )
 
+// Package-wide expvar counters (cumulative across stores in a process),
+// served by mdmd at GET /debug/vars.
+var (
+	expTornBytes    = expvar.NewInt("mdm.tdb.wal_torn_bytes")
+	expCheckpoints  = expvar.NewInt("mdm.tdb.checkpoints")
+	expCompactions  = expvar.NewInt("mdm.tdb.compactions")
+	expPinnedEpochs = expvar.NewInt("mdm.tdb.retired_pinned_epochs")
+)
+
+// SyncMode selects WAL fsync behavior; see Options.Sync.
+type SyncMode int
+
+const (
+	// SyncNone (default) flushes appends to the OS without fsync.
+	SyncNone SyncMode = iota
+	// SyncAlways fsyncs the WAL after every append.
+	SyncAlways
+	// SyncBatch marks the WAL dirty on append and fsyncs it from a
+	// background goroutine every Options.SyncInterval.
+	SyncBatch
+)
+
+// Options configures OpenWith. The zero value reproduces Open's
+// historical behavior: no fsync, no background maintenance.
+type Options struct {
+	// Sync selects the WAL durability mode.
+	Sync SyncMode
+	// SyncInterval is the SyncBatch flush period (default 5ms).
+	SyncInterval time.Duration
+	// CompactInterval, when > 0, starts the background compactor: every
+	// interval the store seals the WAL tail once it reaches
+	// CompactWALThreshold records and runs a full compaction when the
+	// dictionary or segment list has grown enough (see maintain).
+	CompactInterval time.Duration
+	// CompactWALThreshold is the WAL record count that triggers a
+	// background checkpoint (default 4096).
+	CompactWALThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 5 * time.Millisecond
+	}
+	if o.CompactWALThreshold <= 0 {
+		o.CompactWALThreshold = 4096
+	}
+	return o
+}
+
 // Store is a durable rdf.Dataset. All mutations must go through the
 // Store's methods so they hit the WAL; reads can use the Dataset
-// directly. Store is safe for concurrent use.
+// directly (or PinSnapshot for compaction-isolated reads). Store is
+// safe for concurrent use.
 type Store struct {
-	mu     sync.Mutex
-	dir    string
-	ds     *rdf.Dataset
-	wal    *os.File
-	walBuf *bufio.Writer
-	closed bool
-	// walRecords counts records appended since the last compaction; used
-	// by AutoCompact.
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	// cur is the live epoch; retired holds epochs replaced by a
+	// compaction that still have outstanding pins.
+	cur      *epoch
+	retired  map[uint64]*epoch
+	epochSeq uint64
+
+	// man is the segment manifest; nil for a store that has never sealed
+	// a segment (fresh, or legacy snapshot.trig not yet migrated).
+	man    *segment.Manifest
+	legacy bool // snapshot.trig loaded, migrate on first seal
+
+	wal        *os.File
+	walBuf     *bufio.Writer
 	walRecords int
+	walDirty   bool // SyncBatch: append since last fsync
+	closed     bool
+
+	// swapHook, when set, runs epoch swaps inside a caller-provided
+	// quiescence window (see SetSwapHook).
+	swapHook func(swap func(old *rdf.Dataset) *rdf.Dataset)
+
+	// lastSealed fingerprints the dataset at the last durable point, so
+	// the background compactor can detect mutations that bypassed the
+	// WAL (the mdm facade writes through the ontology); lastFullDict is
+	// the dictionary size right after the last full compaction.
+	lastSealed   dsFingerprint
+	lastFullDict int
+
+	bgStop, bgDone     chan struct{}
+	syncStop, syncDone chan struct{}
+}
+
+type dsFingerprint struct {
+	version  uint64
+	len, dic int
+}
+
+func fingerprint(ds *rdf.Dataset) dsFingerprint {
+	return dsFingerprint{version: ds.Version(), len: ds.Len(), dic: ds.Dict().Len()}
 }
 
 // walRecord is one logged mutation.
@@ -120,25 +235,59 @@ func (jq *jsonQuad) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// Open loads (or creates) a store rooted at dir.
+// Open loads (or creates) a store rooted at dir with default options.
 func Open(dir string) (*Store, error) {
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith loads (or creates) a store rooted at dir. If
+// opts.CompactInterval > 0 the background compactor is started
+// immediately; facade-style embedders that need to wire a swap hook
+// first should leave it zero and call SetSwapHook + StartAutoCompact.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tdb: create dir: %w", err)
 	}
 	ds := rdf.NewDataset()
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		retired:  make(map[uint64]*epoch),
+		epochSeq: 1,
+	}
 
-	snapPath := filepath.Join(dir, snapshotFile)
-	if data, err := os.ReadFile(snapPath); err == nil {
+	man, err := segment.LoadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tdb: %w", err)
+	}
+	if man != nil {
+		// Segment store: sweep crash leftovers (sealed-but-unpublished
+		// segments, temp manifests, a snapshot.trig whose migration
+		// published the manifest but crashed before removing it), then
+		// stream-load the live segments.
+		man.Sweep(dir)
+		_ = os.Remove(filepath.Join(dir, snapshotFile))
+		for _, name := range man.Segments {
+			if _, err := segment.LoadFile(filepath.Join(dir, name), ds); err != nil {
+				return nil, fmt.Errorf("tdb: corrupt segment: %w", err)
+			}
+		}
+		s.man = man
+	} else if data, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+		// Legacy snapshot+WAL store: full TriG re-parse, migrated to the
+		// segment format by the first Compact/Checkpoint.
 		loaded, perr := turtle.ParseDataset(string(data))
 		if perr != nil {
 			return nil, fmt.Errorf("tdb: corrupt snapshot: %w", perr)
 		}
 		ds = loaded
+		s.legacy = true
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("tdb: read snapshot: %w", err)
 	}
 
-	s := &Store{dir: dir, ds: ds}
+	s.cur = &epoch{seq: s.epochSeq, ds: ds}
 	if err := s.replayWAL(); err != nil {
 		return nil, err
 	}
@@ -148,11 +297,27 @@ func Open(dir string) (*Store, error) {
 	}
 	s.wal = wal
 	s.walBuf = bufio.NewWriter(wal)
+	s.lastSealed = fingerprint(ds)
+	s.lastFullDict = ds.Dict().Len()
+
+	if opts.Sync == SyncBatch {
+		s.syncStop, s.syncDone = make(chan struct{}), make(chan struct{})
+		go s.syncLoop()
+	}
+	if opts.CompactInterval > 0 {
+		s.StartAutoCompact(opts.CompactInterval, opts.CompactWALThreshold)
+	}
 	return s, nil
 }
 
+// replayWAL applies the WAL tail to the live dataset. A torn FINAL
+// record (crash mid-append) is tolerated: the torn bytes are counted on
+// expvar and trimmed from the file so later appends cannot bury
+// corruption mid-file. An undecodable record with more data after it is
+// mid-file corruption and fails the open, naming the byte offset.
 func (s *Store) replayWAL() error {
-	f, err := os.Open(filepath.Join(s.dir, walFile))
+	path := filepath.Join(s.dir, walFile)
+	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -160,26 +325,42 @@ func (s *Store) replayWAL() error {
 		return fmt.Errorf("tdb: open wal for replay: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	r := bufio.NewReaderSize(f, 1<<16)
 	// WAL records cluster by graph (MDM mutates one named graph at a
 	// time), so cache the last graph to skip a dataset lookup per record.
 	var cache graphCache
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	var off int64 // offset of the first byte not yet known-good
+	for {
+		line, rerr := r.ReadBytes('\n')
+		rec := bytes.TrimSpace(line)
+		if len(rec) > 0 {
+			var w walRecord
+			if uerr := json.Unmarshal(rec, &w); uerr != nil {
+				// Torn tail or mid-file corruption? Anything after this
+				// line means the file kept growing past the bad record,
+				// which a torn final append cannot produce.
+				rest, _ := io.ReadAll(r)
+				if len(bytes.TrimSpace(rest)) > 0 {
+					return fmt.Errorf("tdb: corrupt wal record at byte offset %d: %w", off, uerr)
+				}
+				torn := int64(len(line) + len(rest))
+				expTornBytes.Add(torn)
+				if terr := os.Truncate(path, off); terr != nil {
+					return fmt.Errorf("tdb: trim torn wal tail: %w", terr)
+				}
+				return nil
+			}
+			s.applyLocked(w, &cache)
+			s.walRecords++
 		}
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final record from a crash is tolerated; anything
-			// else would also appear torn, so stop replay here.
-			break
+		off += int64(len(line))
+		if rerr == io.EOF {
+			return nil
 		}
-		s.applyLocked(rec, &cache)
-		s.walRecords++
+		if rerr != nil {
+			return fmt.Errorf("tdb: read wal: %w", rerr)
+		}
 	}
-	return sc.Err()
 }
 
 // graphCache memoizes the most recent Dataset.Graph resolution during
@@ -204,20 +385,28 @@ func (s *Store) applyLocked(rec walRecord, cache *graphCache) {
 	case "add":
 		if rec.Quad != nil {
 			q := rec.Quad.quad()
-			_, _ = cache.get(s.ds, q.Graph).Add(q.Triple)
+			_, _ = cache.get(s.cur.ds, q.Graph).Add(q.Triple)
 		}
 	case "remove":
 		if rec.Quad != nil {
 			q := rec.Quad.quad()
-			cache.get(s.ds, q.Graph).Remove(q.Triple)
+			// Removing from a graph that does not exist must stay a
+			// no-op: resolving it through Dataset.Graph would create the
+			// graph and bump Dataset.Version for nothing.
+			if g, ok := s.cur.ds.Lookup(q.Graph); ok {
+				if cache.graph != nil && cache.name != q.Graph {
+					cache.invalidate()
+				}
+				g.Remove(q.Triple)
+			}
 		}
 	case "drop":
 		if rec.Graph != nil {
-			s.ds.DropGraph(decTerm(*rec.Graph))
+			s.cur.ds.DropGraph(decTerm(*rec.Graph))
 			cache.invalidate()
 		}
 	case "prefix":
-		s.ds.Prefixes().Bind(rec.Prefix, rec.NS)
+		s.cur.ds.Prefixes().Bind(rec.Prefix, rec.NS)
 	}
 }
 
@@ -235,15 +424,47 @@ func (s *Store) append(rec walRecord) error {
 	if err := s.walBuf.Flush(); err != nil {
 		return fmt.Errorf("tdb: flush wal: %w", err)
 	}
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("tdb: fsync wal: %w", err)
+		}
+	case SyncBatch:
+		s.walDirty = true
+	}
 	s.walRecords++
 	return nil
 }
 
-// Dataset returns the live dataset. Mutate only through Store methods.
+// syncLoop is the SyncBatch flusher: fsync the WAL at most once per
+// SyncInterval, and only when an append happened since the last fsync.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.syncStop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		if !s.closed && s.walDirty {
+			_ = s.wal.Sync()
+			s.walDirty = false
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Dataset returns the live dataset (the current epoch). Mutate only
+// through Store methods. After a compaction this returns a DIFFERENT
+// dataset; long-running readers that must not observe the swap should
+// use PinSnapshot.
 func (s *Store) Dataset() *rdf.Dataset {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ds
+	return s.cur.ds
 }
 
 // AddQuad durably inserts a quad.
@@ -253,7 +474,7 @@ func (s *Store) AddQuad(q rdf.Quad) error {
 	if !q.Triple.Valid() {
 		return fmt.Errorf("tdb: invalid quad %s", q)
 	}
-	added, err := s.ds.AddQuad(q)
+	added, err := s.cur.ds.AddQuad(q)
 	if err != nil {
 		return err
 	}
@@ -269,10 +490,14 @@ func (s *Store) AddTriple(t rdf.Triple) error {
 }
 
 // RemoveQuad durably removes a quad, reporting whether it was present.
+// Removing from a named graph that does not exist is a no-op: it does
+// not create the graph (and so does not bump Dataset.Version or
+// invalidate plan caches).
 func (s *Store) RemoveQuad(q rdf.Quad) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.ds.Graph(q.Graph).Remove(q.Triple) {
+	g, ok := s.cur.ds.Lookup(q.Graph)
+	if !ok || !g.Remove(q.Triple) {
 		return false, nil
 	}
 	return true, s.append(walRecord{Op: "remove", Quad: encQuad(q)})
@@ -282,7 +507,7 @@ func (s *Store) RemoveQuad(q rdf.Quad) (bool, error) {
 func (s *Store) DropGraph(name rdf.Term) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.ds.DropGraph(name) {
+	if !s.cur.ds.DropGraph(name) {
 		return nil
 	}
 	g := encTerm(name)
@@ -293,11 +518,11 @@ func (s *Store) DropGraph(name rdf.Term) error {
 func (s *Store) BindPrefix(prefix, ns string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ds.Prefixes().Bind(prefix, ns)
+	s.cur.ds.Prefixes().Bind(prefix, ns)
 	return s.append(walRecord{Op: "prefix", Prefix: prefix, NS: ns})
 }
 
-// WALRecords returns the number of WAL records since the last compaction
+// WALRecords returns the number of WAL records since the last seal
 // (including records replayed at Open).
 func (s *Store) WALRecords() int {
 	s.mu.Lock()
@@ -305,57 +530,32 @@ func (s *Store) WALRecords() int {
 	return s.walRecords
 }
 
-// Compact writes a fresh snapshot of the dataset and truncates the WAL.
-// The snapshot is written to a temp file and renamed, so a crash during
-// compaction leaves the previous snapshot + WAL intact.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("tdb: store is closed")
-	}
-	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
-	if err := os.WriteFile(tmp, []byte(turtle.WriteDataset(s.ds)), 0o644); err != nil {
-		return fmt.Errorf("tdb: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
-		return fmt.Errorf("tdb: publish snapshot: %w", err)
-	}
-	// Reset the WAL only after the snapshot is durable.
-	if err := s.walBuf.Flush(); err != nil {
-		return err
-	}
-	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("tdb: truncate wal: %w", err)
-	}
-	if _, err := s.wal.Seek(0, 0); err != nil {
-		return err
-	}
-	s.walBuf.Reset(s.wal)
-	s.walRecords = 0
-	return nil
-}
-
-// AutoCompact compacts when the WAL has accumulated at least threshold
-// records. It reports whether a compaction ran.
-func (s *Store) AutoCompact(threshold int) (bool, error) {
-	if s.WALRecords() < threshold {
-		return false, nil
-	}
-	return true, s.Compact()
-}
-
-// Close flushes and closes the WAL. The store cannot be used afterwards.
+// Close stops background maintenance, flushes and closes the WAL. The
+// store cannot be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	if s.bgStop != nil {
+		close(s.bgStop)
+		<-s.bgDone
+	}
+	if s.syncStop != nil {
+		close(s.syncStop)
+		<-s.syncDone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.walBuf.Flush(); err != nil {
 		s.wal.Close()
 		return err
+	}
+	if s.opts.Sync != SyncNone {
+		_ = s.wal.Sync()
 	}
 	return s.wal.Close()
 }

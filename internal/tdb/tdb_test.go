@@ -11,6 +11,7 @@ import (
 
 	"mdm/internal/rdf"
 	"mdm/internal/sparql"
+	"mdm/internal/tdb/segment"
 )
 
 func openT(t *testing.T, dir string) *Store {
@@ -158,9 +159,20 @@ func TestCompactThenReopen(t *testing.T) {
 	}
 	s.Close()
 
-	// Snapshot file must exist and parse.
-	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+	// Compaction publishes a manifest naming one full segment; the legacy
+	// snapshot file must be gone.
+	man, err := segment.LoadManifest(dir)
+	if err != nil || man == nil {
+		t.Fatalf("LoadManifest after compact = %v, %v", man, err)
+	}
+	if len(man.Segments) != 1 {
+		t.Fatalf("segments after compact = %v", man.Segments)
+	}
+	if _, err := segment.ReadStats(filepath.Join(dir, man.Segments[0])); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot still present after compact: %v", err)
 	}
 	s2 := openT(t, dir)
 	defer s2.Close()

@@ -32,6 +32,7 @@ package mdm
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"mdm/internal/bdi"
@@ -112,14 +113,43 @@ func New() *System {
 	}
 }
 
-// Open loads (or creates) a persistent MDM system rooted at dir. The
-// ontology dataset lives in a tdb store (snapshot + write-ahead log
-// replay at open); system metadata lives in a JSON document store next
-// to it. Call Checkpoint to snapshot the current state and Close when
-// done. Wrappers are live code and must be re-registered after reopen.
+// StoreOptions configures the persistent storage engine behind OpenWith:
+// WAL fsync durability (Sync/SyncInterval) and background compaction
+// (CompactInterval/CompactWALThreshold). The zero value matches Open.
+type StoreOptions = tdb.Options
+
+// Open loads (or creates) a persistent MDM system rooted at dir with
+// default storage options; see OpenWith.
 func Open(dir string) (*System, error) {
-	ts, err := tdb.Open(filepath.Join(dir, "ontology"))
+	return OpenWith(dir, StoreOptions{})
+}
+
+// OpenWith loads (or creates) a persistent MDM system rooted at dir.
+// The ontology dataset lives in a tdb segment store (manifest-listed
+// immutable segments plus a write-ahead-log tail, both replayed at
+// open); system metadata lives in a JSON document store next to it.
+// When opts.CompactInterval > 0 a background compactor keeps the store
+// checkpointed and its dictionary garbage-collected; the compactor
+// swaps the live dataset atomically under the ontology's write lock, so
+// facade reads and writes never observe a half-migrated dataset. Call
+// Checkpoint to force a durability point and Close when done. Wrappers
+// are live code and must be re-registered after reopen.
+//
+// A dir/ontology.trig file written by pre-segment mdmd deployments is
+// migrated into the store on first open (and renamed to
+// ontology.trig.migrated).
+func OpenWith(dir string, opts StoreOptions) (*System, error) {
+	tdbOpts := opts
+	// The background compactor must not start before the ontology's swap
+	// hook is wired, or an early compaction could swap the dataset
+	// without re-pointing the facade; started manually below.
+	tdbOpts.CompactInterval = 0
+	ts, err := tdb.OpenWith(filepath.Join(dir, "ontology"), tdbOpts)
 	if err != nil {
+		return nil, err
+	}
+	if err := migrateLegacyTriG(dir, ts); err != nil {
+		ts.Close()
 		return nil, err
 	}
 	meta, err := store.Open(filepath.Join(dir, "meta"))
@@ -128,6 +158,10 @@ func Open(dir string) (*System, error) {
 		return nil, err
 	}
 	ont := bdi.FromDataset(ts.Dataset())
+	ts.SetSwapHook(ont.Rebind)
+	if opts.CompactInterval > 0 {
+		ts.StartAutoCompact(opts.CompactInterval, opts.CompactWALThreshold)
+	}
 	reg := wrapper.NewRegistry()
 	return &System{
 		ont:      ont,
@@ -140,14 +174,72 @@ func Open(dir string) (*System, error) {
 	}, nil
 }
 
-// Checkpoint snapshots a persistent system's ontology dataset to disk
-// (atomic rename). It is a no-op for in-memory systems.
+// migrateLegacyTriG imports a pre-segment mdmd data directory: a single
+// dir/ontology.trig TriG export. The parsed dataset is written through
+// the store (so it lands in a sealed segment) and the file is renamed
+// aside; a crash mid-migration re-runs it from the original file.
+func migrateLegacyTriG(dir string, ts *tdb.Store) error {
+	path := filepath.Join(dir, "ontology.trig")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("mdm: read legacy ontology.trig: %w", err)
+	}
+	if ts.Dataset().Len() > 0 {
+		// The store already has content: a previous migration completed
+		// but the rename was interrupted, or the operator restored an old
+		// export alongside a live store. Never overwrite the store.
+		return fmt.Errorf("mdm: both a tdb store and %s exist; remove or rename one", path)
+	}
+	parsed, err := turtle.ParseDataset(string(data))
+	if err != nil {
+		return fmt.Errorf("mdm: parse legacy ontology.trig: %w", err)
+	}
+	for _, p := range parsed.Prefixes().Pairs() {
+		if err := ts.BindPrefix(p[0], p[1]); err != nil {
+			return err
+		}
+	}
+	for _, q := range parsed.Quads() {
+		if err := ts.AddQuad(q); err != nil {
+			return err
+		}
+	}
+	if err := ts.Compact(); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".migrated")
+}
+
+// Checkpoint makes a persistent system's current ontology state durable
+// by running a full storage compaction (facade writes go through the
+// ontology, not the WAL, so the sealed segment is their durability
+// point). It is a no-op for in-memory systems.
 func (s *System) Checkpoint() error {
 	if s.tdbStore == nil {
 		return nil
 	}
 	return s.tdbStore.Compact()
 }
+
+// CompactStorage forces a full storage compaction now: the live dataset
+// is rewritten into a single segment against a fresh dictionary
+// (dropping terms only dead history referenced), the WAL is truncated,
+// and readers move to the new storage epoch. In-memory systems no-op.
+// This is the operation behind `mdmctl compact`.
+func (s *System) CompactStorage() error {
+	if s.tdbStore == nil {
+		return nil
+	}
+	return s.tdbStore.Compact()
+}
+
+// Storage exposes the underlying tdb store of a persistent system (nil
+// for in-memory systems) for storage-level introspection: epoch
+// pinning, WAL counters, manual checkpoints.
+func (s *System) Storage() *tdb.Store { return s.tdbStore }
 
 // Close checkpoints and releases a persistent system's resources. It is
 // a no-op for in-memory systems.
@@ -396,6 +488,12 @@ func (s *System) SPARQLCursor(query string) (*sparql.Cursor, error) {
 // when >= 0, replace the query's own LIMIT/OFFSET before evaluation —
 // the paging contract of the REST query endpoints. Pass -1 to keep the
 // query's values.
+//
+// On a persistent system the cursor pins the current storage epoch: a
+// background (or explicit) compaction that swaps the live dataset while
+// the cursor drains does not disturb it — it keeps streaming its
+// pinned, pre-compaction view, which is released when the cursor is
+// closed or exhausted.
 func (s *System) SPARQLPage(query string, limit, offset int) (*sparql.Cursor, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
@@ -407,7 +505,23 @@ func (s *System) SPARQLPage(query string, limit, offset int) (*sparql.Cursor, er
 	if offset >= 0 {
 		q.Offset = offset
 	}
-	return sparql.EvalCursor(s.ont.Dataset(), q)
+	ds := s.ont.Dataset()
+	var pin *tdb.Snapshot
+	if s.tdbStore != nil {
+		pin = s.tdbStore.PinSnapshot()
+		ds = pin.Dataset()
+	}
+	cur, err := sparql.EvalCursor(ds, q)
+	if err != nil {
+		if pin != nil {
+			pin.Release()
+		}
+		return nil, err
+	}
+	if pin != nil {
+		cur.OnClose(pin.Release)
+	}
+	return cur, nil
 }
 
 // --- Introspection & rendering (Figures 5-7) ---

@@ -3,6 +3,8 @@ package mdm_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -426,5 +428,105 @@ func TestReRegisterWrapperInvalidatesCacheAndBreaker(t *testing.T) {
 	}
 	if st := fed.Breakers.States()["w1"]; st != "closed" {
 		t.Fatalf("w1 breaker after re-registration = %q, want closed", st)
+	}
+}
+
+func TestLegacyTriGMigration(t *testing.T) {
+	dir := t.TempDir()
+	// A pre-segment mdmd data directory: one TriG export, no store.
+	legacy := mdm.New()
+	legacy.BindPrefix("ex", "http://ex.org/")
+	if err := legacy.AddConcept("ex:Player", "Player"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ontology.trig"), []byte(legacy.ExportTriG()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := mdm.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().Concepts != 1 {
+		t.Fatalf("migrated stats = %+v", sys.Stats())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ontology.trig.migrated")); err != nil {
+		t.Fatalf("legacy file not renamed aside: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ontology.trig")); !os.IsNotExist(err) {
+		t.Fatalf("legacy file still present: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: content survives in the segment store; the renamed export
+	// is not re-imported.
+	sys2, err := mdm.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if sys2.Stats().Concepts != 1 {
+		t.Fatalf("reopened stats = %+v", sys2.Stats())
+	}
+
+	// A data dir holding BOTH a live store and a legacy export refuses
+	// to guess which one wins.
+	if err := os.WriteFile(filepath.Join(dir, "ontology.trig"), []byte(legacy.ExportTriG()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdm.Open(dir); err == nil {
+		t.Fatal("Open should refuse a dir with both store and legacy export")
+	}
+}
+
+func TestSPARQLPagePinsSnapshotAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := mdm.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.BindPrefix("ex", "http://ex.org/")
+	for i := 0; i < 10; i++ {
+		if err := sys.AddConcept(fmt.Sprintf("ex:C%d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := sys.SPARQLPage(
+		`PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> SELECT ?c WHERE { GRAPH ?g { ?c a G:Concept } }`, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compact while the cursor is open: it must keep draining its
+	// pinned pre-compaction epoch, which stays retired until released.
+	if err := sys.CompactStorage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Storage().RetiredEpochs(); got != 1 {
+		t.Fatalf("RetiredEpochs while cursor open = %d, want 1", got)
+	}
+	rows := 0
+	for cur.Next(context.Background()) {
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 10 {
+		t.Fatalf("cursor rows = %d, want 10", rows)
+	}
+	// Drain released the pin; the retired epoch is gone.
+	if got := sys.Storage().RetiredEpochs(); got != 0 {
+		t.Fatalf("RetiredEpochs after drain = %d, want 0", got)
+	}
+	// Fresh queries see the compacted (identical) data.
+	res, err := sys.SPARQL(`PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> SELECT ?c WHERE { GRAPH ?g { ?c a G:Concept } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Fatalf("post-compaction rows = %d", res.Len())
 	}
 }
