@@ -54,3 +54,53 @@ func ExampleSystem_SPARQLPage() {
 	// Stadium
 	// Team
 }
+
+// ExampleSystem_SPARQL_propertyPath walks a release lineage with a
+// SPARQL 1.1 property path: each ontology version is declared
+// rdfs:subClassOf its predecessor, and subClassOf+ asks for the full
+// ancestry transitively — the governance question "which contracts does
+// the newest release still answer to" as a single pattern, with an
+// aggregate counting lineage depth per version.
+func ExampleSystem_SPARQL_propertyPath() {
+	sys := mdm.New()
+	sys.BindPrefix("ex", "http://ex.org/")
+	for i := 1; i <= 3; i++ {
+		if err := sys.AddConcept(fmt.Sprintf("ex:SalesV%d", i), ""); err != nil {
+			panic(err)
+		}
+		if i > 1 {
+			if err := sys.AddSubClass(fmt.Sprintf("ex:SalesV%d", i), fmt.Sprintf("ex:SalesV%d", i-1)); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	res, err := sys.SPARQL(`
+		PREFIX ex: <http://ex.org/>
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		SELECT ?anc WHERE { GRAPH ?g { ex:SalesV3 rdfs:subClassOf+ ?anc } }`)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range res.Solutions() {
+		fmt.Println(b["anc"].Value)
+	}
+
+	res, err = sys.SPARQL(`
+		PREFIX ex: <http://ex.org/>
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		SELECT ?v (COUNT(?anc) AS ?depth)
+		WHERE { GRAPH ?g { ?v rdfs:subClassOf+ ?anc } }
+		GROUP BY ?v ORDER BY DESC(?depth)`)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range res.Solutions() {
+		fmt.Printf("%s depth %s\n", b["v"].Value, b["depth"].Value)
+	}
+	// Output:
+	// http://ex.org/SalesV1
+	// http://ex.org/SalesV2
+	// http://ex.org/SalesV3 depth 2
+	// http://ex.org/SalesV2 depth 1
+}

@@ -44,6 +44,9 @@ func WalkFromSPARQL(ont *bdi.Ontology, query string) (*Walk, error) {
 	if len(q.Where.Filters) > 0 {
 		return nil, fmt.Errorf("rewrite: FILTER is not supported in walks")
 	}
+	if len(q.Aggregates) > 0 || len(q.GroupBy) > 0 || len(q.Having) > 0 {
+		return nil, fmt.Errorf("rewrite: aggregation is not supported in walks")
+	}
 
 	// First pass: concept typing patterns.
 	conceptOf := map[string]rdf.Term{} // subject var -> concept IRI

@@ -1,0 +1,234 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"mdm/internal/rdf"
+)
+
+func aggDataset() *rdf.Dataset {
+	ds := rdf.NewDataset()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	// Team a: 1, 2, 2 (one duplicate value); team b: 10; c has no score.
+	ds.Default().MustAdd(rdf.T(ex("m1"), ex("team"), ex("a")))
+	ds.Default().MustAdd(rdf.T(ex("m1"), ex("score"), rdf.IntLit(1)))
+	ds.Default().MustAdd(rdf.T(ex("m2"), ex("team"), ex("a")))
+	ds.Default().MustAdd(rdf.T(ex("m2"), ex("score"), rdf.IntLit(2)))
+	ds.Default().MustAdd(rdf.T(ex("m3"), ex("team"), ex("a")))
+	ds.Default().MustAdd(rdf.T(ex("m3"), ex("score"), rdf.IntLit(2)))
+	ds.Default().MustAdd(rdf.T(ex("m4"), ex("team"), ex("b")))
+	ds.Default().MustAdd(rdf.T(ex("m4"), ex("score"), rdf.IntLit(10)))
+	ds.Default().MustAdd(rdf.T(ex("m5"), ex("team"), ex("c")))
+	return ds
+}
+
+// TestAggregateDeterministic pins concrete aggregate values for the
+// semantics corners documented in aggregate.go; each case also runs the
+// full oracle/strategy/cursor stack via checkEquivalence.
+func TestAggregateDeterministic(t *testing.T) {
+	ds := aggDataset()
+	prefix := `PREFIX ex: <http://ex.org/> `
+	cases := []struct {
+		name string
+		src  string
+		want map[string][]string // var -> expected values in canonical row order
+	}{
+		{
+			"per-group count star vs var",
+			`SELECT ?t (COUNT(*) AS ?n) (COUNT(?s) AS ?ns) WHERE { ?m ex:team ?t OPTIONAL { ?m ex:score ?s } } GROUP BY ?t`,
+			// COUNT(*) counts c's scoreless row; COUNT(?s) does not.
+			map[string][]string{"n": {"3", "1", "1"}, "ns": {"3", "1", "0"}},
+		},
+		{
+			"distinct",
+			`SELECT ?t (COUNT(DISTINCT ?s) AS ?n) WHERE { ?m ex:team ?t ; ex:score ?s } GROUP BY ?t`,
+			map[string][]string{"n": {"2", "1"}}, // a: {1,2}, b: {10}
+		},
+		{
+			"sum min max",
+			`SELECT ?t (SUM(?s) AS ?sum) (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) WHERE { ?m ex:team ?t ; ex:score ?s } GROUP BY ?t`,
+			map[string][]string{"sum": {"5", "10"}, "lo": {"1", "10"}, "hi": {"2", "10"}},
+		},
+		{
+			"implicit group",
+			`SELECT (COUNT(*) AS ?n) (SUM(?s) AS ?sum) WHERE { ?m ex:score ?s }`,
+			map[string][]string{"n": {"4"}, "sum": {"15"}},
+		},
+		{
+			"implicit group of empty input",
+			`SELECT (COUNT(*) AS ?n) (SUM(?s) AS ?sum) (MIN(?s) AS ?lo) WHERE { ?m ex:nope ?s }`,
+			// One row: COUNT 0, SUM 0 (integer), MIN unbound.
+			map[string][]string{"n": {"0"}, "sum": {"0"}, "lo": {""}},
+		},
+		{
+			"group by of empty input",
+			`SELECT ?t (COUNT(*) AS ?n) WHERE { ?m ex:nope ?t } GROUP BY ?t`,
+			map[string][]string{"n": {}},
+		},
+		{
+			"having",
+			`SELECT ?t (COUNT(*) AS ?n) WHERE { ?m ex:team ?t } GROUP BY ?t HAVING (?n > 1)`,
+			map[string][]string{"n": {"3"}},
+		},
+		{
+			"group key never bound",
+			`SELECT ?z (COUNT(*) AS ?n) WHERE { ?m ex:team ?t } GROUP BY ?z`,
+			// All rows share the single all-unbound group key.
+			map[string][]string{"z": {""}, "n": {"5"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := MustParse(prefix + tc.src)
+			res, err := Eval(ds, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, want := range tc.want {
+				if res.Len() != len(want) {
+					t.Fatalf("rows = %d, want %d\n%s", res.Len(), len(want), res.Table())
+				}
+				for i, w := range want {
+					got, ok := res.Term(i, v)
+					if w == "" {
+						if ok {
+							t.Errorf("row %d ?%s = %v, want unbound", i, v, got)
+						}
+						continue
+					}
+					if !ok || got.Value != w {
+						t.Errorf("row %d ?%s = %v (bound=%v), want %s\n%s", i, v, got, ok, w, res.Table())
+					}
+				}
+			}
+			checkEquivalence(t, ds, q, -1)
+		})
+	}
+}
+
+// TestAggregateNumericTower pins SUM's type behavior: integer inputs
+// stay xsd:integer, any double widens the result, and a non-numeric
+// input poisons the sum into an unbound alias.
+func TestAggregateNumericTower(t *testing.T) {
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	build := func(vals ...rdf.Term) *rdf.Dataset {
+		ds := rdf.NewDataset()
+		for i, v := range vals {
+			ds.Default().MustAdd(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), v))
+		}
+		return ds
+	}
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT (SUM(?v) AS ?sum) WHERE { ?s ex:p ?v }`)
+
+	cases := []struct {
+		name     string
+		vals     []rdf.Term
+		want     string
+		datatype string
+		unbound  bool
+	}{
+		{"integers stay integer", []rdf.Term{rdf.IntLit(1), rdf.IntLit(2)}, "3", rdf.XSDInteger, false},
+		{"double widens", []rdf.Term{rdf.IntLit(1), rdf.FloatLit(2.5)}, "3.5", rdf.XSDDouble, false},
+		{"plain literal poisons", []rdf.Term{rdf.IntLit(1), rdf.Lit("x")}, "", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := build(tc.vals...)
+			res, err := Eval(ds, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Len() != 1 {
+				t.Fatalf("rows = %d, want 1", res.Len())
+			}
+			got, ok := res.Term(0, "sum")
+			if tc.unbound {
+				if ok {
+					t.Fatalf("sum = %v, want unbound", got)
+				}
+			} else if !ok || got.Value != tc.want || got.Datatype != tc.datatype {
+				t.Fatalf("sum = %v (bound=%v), want %s^^%s", got, ok, tc.want, tc.datatype)
+			}
+			checkEquivalence(t, ds, q, -1)
+		})
+	}
+}
+
+// TestAggregateMinMaxTieOrderIndependence pins that MIN/MAX ties between
+// numerically-equal but distinct terms resolve identically regardless of
+// insertion order (the fold tie-breaks with rdf.Compare).
+func TestAggregateMinMaxTieOrderIndependence(t *testing.T) {
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	a := rdf.TypedLit("01", rdf.XSDInteger)
+	b := rdf.TypedLit("1", rdf.XSDInteger)
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s ex:p ?v }`)
+	var results []rdf.Term
+	for _, order := range [][]rdf.Term{{a, b}, {b, a}} {
+		ds := rdf.NewDataset()
+		for i, v := range order {
+			ds.Default().MustAdd(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), v))
+		}
+		res, err := Eval(ds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _ := res.Term(0, "lo")
+		hi, _ := res.Term(0, "hi")
+		results = append(results, lo, hi)
+		checkEquivalence(t, ds, q, -1)
+	}
+	if results[0] != results[2] || results[1] != results[3] {
+		t.Fatalf("tie-break depends on insertion order: %v vs %v", results[:2], results[2:])
+	}
+}
+
+// TestAggregateOverPath covers the tentpole end-to-end: grouping over
+// rows a closure produced.
+func TestAggregateOverPath(t *testing.T) {
+	// Two trees: root a over 3 nodes, root b over 1.
+	ds := edgeGraph([][2]string{{"a", "x"}, {"x", "y"}, {"a", "z"}, {"b", "w"}})
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT ?r (COUNT(?n) AS ?size) WHERE { ?r ex:p+ ?n . } GROUP BY ?r ORDER BY ?r`)
+	res, err := Eval(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachability counts: a->{x,y,z}=3, b->{w}=1, x->{y}=1.
+	want := map[string]string{"http://ex.org/a": "3", "http://ex.org/b": "1", "http://ex.org/x": "1"}
+	if res.Len() != len(want) {
+		t.Fatalf("rows = %d, want %d\n%s", res.Len(), len(want), res.Table())
+	}
+	for i := 0; i < res.Len(); i++ {
+		r, _ := res.Term(i, "r")
+		n, _ := res.Term(i, "size")
+		if want[r.Value] != n.Value {
+			t.Errorf("group %s size = %s, want %s", r.Value, n.Value, want[r.Value])
+		}
+	}
+	checkEquivalence(t, ds, q, -1)
+}
+
+// BenchmarkGroupByDrain measures the grouping barrier: 10k input rows
+// folding into 100 groups with COUNT, SUM and MAX states.
+func BenchmarkGroupByDrain(b *testing.B) {
+	ds := rdf.NewDataset()
+	for i := 0; i < 10_000; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://ex.org/s%d", i))
+		ds.Default().MustAdd(rdf.T(s, rdf.IRI("http://ex.org/team"), rdf.IRI(fmt.Sprintf("http://ex.org/t%d", i%100))))
+		ds.Default().MustAdd(rdf.T(s, rdf.IRI("http://ex.org/score"), rdf.IntLit(int64(i%37))))
+	}
+	q := MustParse(`PREFIX ex: <http://ex.org/>
+SELECT ?t (COUNT(*) AS ?n) (SUM(?v) AS ?sum) (MAX(?v) AS ?hi)
+WHERE { ?s ex:team ?t ; ex:score ?v } GROUP BY ?t`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Eval(ds, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != 100 {
+			b.Fatalf("groups = %d, want 100", res.Len())
+		}
+	}
+}

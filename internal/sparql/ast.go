@@ -31,6 +31,15 @@ type Query struct {
 	Limit     int // -1 = unset
 	Offset    int
 
+	// Aggregation. When Aggregates or GroupBy is non-empty the WHERE
+	// solutions are grouped by the GroupBy variables (one implicit group
+	// when GroupBy is empty) and each Aggregate binds its As alias in
+	// the output row; Having filters the grouped rows. Variables then
+	// holds the projection order over GroupBy variables and aliases.
+	GroupBy    []string
+	Aggregates []Aggregate
+	Having     []Expr
+
 	// layoutOnce/slots cache the compiled variable-slot layout; queries
 	// are evaluated many times (saved walks, benchmarks), so the layout
 	// is computed once and is safe to share across goroutines.
@@ -131,6 +140,175 @@ func (tp TriplePattern) Vars(dst map[string]bool) {
 
 func (tp TriplePattern) String() string {
 	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// PathKind discriminates property-path operators.
+type PathKind int
+
+// Property-path operators.
+const (
+	PathLink PathKind = iota // a single predicate IRI
+	PathInv                  // ^p
+	PathSeq                  // p/q
+	PathAlt                  // p|q
+	PathPlus                 // p+  (one or more)
+	PathStar                 // p*  (zero or more)
+	PathOpt                  // p?  (zero or one)
+)
+
+// Path is a SPARQL 1.1 property-path expression. PathLink carries the
+// predicate in IRI; PathInv/PathPlus/PathStar/PathOpt wrap Sub;
+// PathSeq/PathAlt combine L and R.
+type Path struct {
+	Kind PathKind
+	IRI  rdf.Term // PathLink
+	Sub  *Path    // PathInv, PathPlus, PathStar, PathOpt
+	L, R *Path    // PathSeq, PathAlt
+}
+
+// Link returns a single-predicate path.
+func Link(p rdf.Term) *Path { return &Path{Kind: PathLink, IRI: p} }
+
+// pathPrec is the binding strength used when rendering: alternatives
+// bind loosest, then sequences, then inverse, then the postfix
+// modifiers; a bare link never needs parentheses.
+func (p *Path) prec() int {
+	switch p.Kind {
+	case PathAlt:
+		return 1
+	case PathSeq:
+		return 2
+	case PathInv:
+		return 3
+	case PathPlus, PathStar, PathOpt:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// render writes p, parenthesizing children that bind looser than the
+// position requires, so String round-trips through the parser.
+func (p *Path) render(sb *strings.Builder, min int) {
+	if p.prec() < min {
+		sb.WriteString("(")
+		p.render(sb, 0)
+		sb.WriteString(")")
+		return
+	}
+	switch p.Kind {
+	case PathLink:
+		sb.WriteString(p.IRI.String())
+	case PathInv:
+		sb.WriteString("^")
+		p.Sub.render(sb, 4)
+	case PathSeq:
+		p.L.render(sb, 2)
+		sb.WriteString("/")
+		p.R.render(sb, 3)
+	case PathAlt:
+		p.L.render(sb, 1)
+		sb.WriteString("|")
+		p.R.render(sb, 2)
+	case PathPlus, PathStar, PathOpt:
+		p.Sub.render(sb, 5)
+		switch p.Kind {
+		case PathPlus:
+			sb.WriteString("+")
+		case PathStar:
+			sb.WriteString("*")
+		default:
+			sb.WriteString("?")
+		}
+	}
+}
+
+func (p *Path) String() string {
+	var sb strings.Builder
+	p.render(&sb, 0)
+	return sb.String()
+}
+
+// PathPattern is an (s, path, o) pattern whose predicate position is a
+// property-path expression rather than a plain node. A trivial
+// single-link path parses to a TriplePattern instead, so a PathPattern
+// always carries at least one path operator.
+type PathPattern struct {
+	S, O Node
+	Path *Path
+}
+
+func (PathPattern) patternNode() {}
+
+// Vars implements Pattern.
+func (pp PathPattern) Vars(dst map[string]bool) {
+	if pp.S.IsVar() {
+		dst[pp.S.Var] = true
+	}
+	if pp.O.IsVar() {
+		dst[pp.O.Var] = true
+	}
+}
+
+func (pp PathPattern) String() string {
+	return fmt.Sprintf("%s %s %s .", pp.S, pp.Path, pp.O)
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregate is one projected aggregate: FUNC([DISTINCT] ?Var) AS ?As.
+// Var == "" means COUNT(*) (count of all group rows, bound or not);
+// only COUNT accepts it.
+type Aggregate struct {
+	Func     AggFunc
+	Distinct bool
+	Var      string // argument variable, "" for COUNT(*)
+	As       string // output alias
+}
+
+func (a Aggregate) String() string {
+	arg := "*"
+	if a.Var != "" {
+		arg = "?" + a.Var
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return fmt.Sprintf("(%s(%s) AS ?%s)", a.Func, arg, a.As)
+}
+
+// aggregateFor returns the aggregate bound to alias name, if any.
+func (q *Query) aggregateFor(name string) (Aggregate, bool) {
+	for _, a := range q.Aggregates {
+		if a.As == name {
+			return a, true
+		}
+	}
+	return Aggregate{}, false
 }
 
 // Optional wraps a group evaluated as a left join.
@@ -243,12 +421,25 @@ func (q *Query) String() string {
 			sb.WriteString("* ")
 		} else {
 			for _, v := range q.Variables {
-				sb.WriteString("?" + v + " ")
+				if a, ok := q.aggregateFor(v); ok {
+					sb.WriteString(a.String() + " ")
+				} else {
+					sb.WriteString("?" + v + " ")
+				}
 			}
 		}
 		sb.WriteString("WHERE ")
 	}
 	sb.WriteString(q.Where.String())
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY")
+		for _, v := range q.GroupBy {
+			sb.WriteString(" ?" + v)
+		}
+	}
+	for _, h := range q.Having {
+		fmt.Fprintf(&sb, " HAVING (%s)", h)
+	}
 	if len(q.OrderBy) > 0 {
 		sb.WriteString(" ORDER BY")
 		for _, k := range q.OrderBy {

@@ -195,6 +195,16 @@ func (e *evaluator) planGroup(g *Group, active *rdf.Graph, pc *planCtx) (*groupP
 			if acc != nil {
 				*pc = *acc
 			}
+		case PathPattern:
+			pl := e.planPath(p, active, pc)
+			gp.patterns = append(gp.patterns, pl)
+			// A path pattern always binds both endpoints on every row it
+			// emits (constants bind nothing new).
+			for _, s := range [2]int{pl.sSlot, pl.oSlot} {
+				if s >= 0 {
+					pc.bound[s] = true
+				}
+			}
 		case GraphPattern:
 			pp, err := e.planGraph(p, pc)
 			if err != nil {
@@ -449,6 +459,8 @@ func (e *evaluator) chainOne(p patternPlan, it rowIter) rowIter {
 		return &optionalIter{e: e, src: it, p: pl}
 	case *unionPlan:
 		return &unionIter{e: e, src: it, p: pl}
+	case *pathPlan:
+		return &pathIter{e: e, src: it, p: pl, scratch: e.newRow()}
 	case *graphPlan:
 		return &graphIter{e: e, src: it, p: pl, scratch: e.newRow()}
 	case *inlineGroupPlan:
@@ -1449,6 +1461,12 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 	c.slots = make([]int, len(c.vars))
 	for i, v := range c.vars {
 		c.slots[i] = lay.index[v]
+	}
+	if len(q.Aggregates) > 0 || len(q.GroupBy) > 0 {
+		// The grouping barrier (plus HAVING) replaces the WHERE stream;
+		// the ordinary tail operators below then see one row per group
+		// with the aggregate aliases bound.
+		src = e.aggregateChain(q, src)
 	}
 	switch {
 	case q.Limit == 0:

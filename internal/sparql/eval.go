@@ -61,6 +61,18 @@ func compileLayout(q *Query) *slotLayout {
 	for _, k := range q.OrderBy {
 		set[k.Var] = true
 	}
+	for _, v := range q.GroupBy {
+		set[v] = true
+	}
+	for _, a := range q.Aggregates {
+		if a.Var != "" {
+			set[a.Var] = true
+		}
+		set[a.As] = true
+	}
+	for _, h := range q.Having {
+		h.Vars(set)
+	}
 	names := make([]string, 0, len(set))
 	for v := range set {
 		names = append(names, v)
@@ -200,6 +212,14 @@ type evaluator struct {
 	// off the caller's goroutine.
 	ptables map[*triplePlan]*partitionedTable
 	par     int
+
+	// Path-operator state (path.go): pooled visited bitsets and
+	// frontier buffer for the closure fixpoint (pooled because nested
+	// closures need independent sets), and the per-graph node set that
+	// both-ends-unbound path patterns range over.
+	visitedPool  []*visitedSet
+	frontierPool []rdf.TermID
+	pathNodes    map[*rdf.Graph][]rdf.TermID
 
 	// ctx is the caller's context for the in-flight Next call; err
 	// latches the first failure (typically ctx.Err()) and makes every
@@ -355,14 +375,15 @@ func compareOrder(a, b rdf.Term) int {
 	return rdf.Compare(a, b)
 }
 
-// orderPatterns arranges a group's patterns for evaluation: triple
-// patterns before OPTIONALs so left joins see the full base solution
-// set, preserving the relative order of non-OPTIONAL patterns; then
-// each contiguous run of triple patterns is greedily reordered by
-// estimated selectivity. Runs never cross a UNION or GRAPH boundary:
-// this evaluator threads accumulated rows into sub-groups, where a
-// branch FILTER can observe them, so only pure triple-join prefixes —
-// whose joins are commutative — are safe to permute.
+// orderPatterns arranges a group's patterns for evaluation: basic
+// patterns (triples and property paths) before OPTIONALs so left joins
+// see the full base solution set, preserving the relative order of
+// non-OPTIONAL patterns; then each contiguous run of basic patterns is
+// greedily reordered by estimated selectivity. Runs never cross a
+// UNION or GRAPH boundary: this evaluator threads accumulated rows
+// into sub-groups, where a branch FILTER can observe them, so only
+// pure basic-join prefixes — whose joins are commutative — are safe to
+// permute.
 func orderPatterns(g *rdf.Graph, ps []Pattern) []Pattern {
 	if len(ps) <= 1 {
 		return ps
@@ -379,53 +400,60 @@ func orderPatterns(g *rdf.Graph, ps []Pattern) []Pattern {
 		}
 	}
 	for lo := 0; lo < len(out); {
-		if _, ok := out[lo].(TriplePattern); !ok {
+		if !isBasicPattern(out[lo]) {
 			lo++
 			continue
 		}
 		hi := lo + 1
-		for hi < len(out) {
-			if _, ok := out[hi].(TriplePattern); !ok {
-				break
-			}
+		for hi < len(out) && isBasicPattern(out[hi]) {
 			hi++
 		}
-		orderTriplePrefix(g, out[lo:hi])
+		orderBasicPrefix(g, out[lo:hi])
 		lo = hi
 	}
 	return out
 }
 
-// orderTriplePrefix greedily orders a BGP (a []Pattern known to hold
-// only TriplePatterns) in place by estimated selectivity: at each step
-// it picks the cheapest remaining pattern among those that share a
-// variable with the already-chosen prefix (avoiding accidental cartesian
-// products), falling back to the globally cheapest when none connects.
-// Estimates are index-cardinality counts from Graph.Count with variables
-// widened to wildcards, so they cost a handful of map-length reads per
-// pattern.
-func orderTriplePrefix(g *rdf.Graph, ps []Pattern) {
+// isBasicPattern reports whether p joins commutatively in its group: a
+// triple pattern or a property-path pattern.
+func isBasicPattern(p Pattern) bool {
+	switch p.(type) {
+	case TriplePattern, PathPattern:
+		return true
+	}
+	return false
+}
+
+// orderBasicPrefix greedily orders a run of basic patterns in place by
+// estimated selectivity: at each step it picks the cheapest remaining
+// pattern among those that share a variable with the already-chosen
+// prefix (avoiding accidental cartesian products), falling back to the
+// globally cheapest when none connects. Estimates are
+// index-cardinality counts from Graph.Count with variables widened to
+// wildcards (path operators combine per-link counts, see pathASTEst),
+// so they cost a handful of map-length reads per pattern.
+func orderBasicPrefix(g *rdf.Graph, ps []Pattern) {
 	if len(ps) <= 1 {
 		return
 	}
 	if len(ps) == 2 {
 		// Two-pattern joins need no connectivity analysis: evaluate the
 		// cheaper side first.
-		if patEst(g, ps[1].(TriplePattern)) < patEst(g, ps[0].(TriplePattern)) {
+		if basicEst(g, ps[1]) < basicEst(g, ps[0]) {
 			ps[0], ps[1] = ps[1], ps[0]
 		}
 		return
 	}
 	est := make([]int, len(ps))
 	for i := range ps {
-		est[i] = patEst(g, ps[i].(TriplePattern))
+		est[i] = basicEst(g, ps[i])
 	}
 	bound := map[string]bool{}
 	for k := range ps {
 		best := -1
 		bestConn := false
 		for i := k; i < len(ps); i++ {
-			conn := k == 0 || patConnected(ps[i].(TriplePattern), bound)
+			conn := k == 0 || patConnected(ps[i], bound)
 			switch {
 			case best == -1:
 			case conn && !bestConn:
@@ -437,8 +465,20 @@ func orderTriplePrefix(g *rdf.Graph, ps []Pattern) {
 		}
 		ps[k], ps[best] = ps[best], ps[k]
 		est[k], est[best] = est[best], est[k]
-		ps[k].(TriplePattern).Vars(bound)
+		ps[k].Vars(bound)
 	}
+}
+
+// basicEst estimates a basic pattern's match cardinality against the
+// active graph.
+func basicEst(g *rdf.Graph, p Pattern) int {
+	switch bp := p.(type) {
+	case TriplePattern:
+		return patEst(g, bp)
+	case PathPattern:
+		return pathASTEst(g, bp.Path)
+	}
+	return 0
 }
 
 // patEst estimates a pattern's match cardinality against the active
@@ -458,17 +498,15 @@ func patTerm(n Node) rdf.Term {
 // patConnected reports whether the pattern shares a variable with the
 // bound set, or has no variables at all (a pure existence check is
 // always safe to evaluate next).
-func patConnected(tp TriplePattern, bound map[string]bool) bool {
-	vars := 0
-	for _, n := range []Node{tp.S, tp.P, tp.O} {
-		if n.IsVar() {
-			vars++
-			if bound[n.Var] {
-				return true
-			}
+func patConnected(p Pattern, bound map[string]bool) bool {
+	vars := map[string]bool{}
+	p.Vars(vars)
+	for v := range vars {
+		if bound[v] {
+			return true
 		}
 	}
-	return vars == 0
+	return len(vars) == 0
 }
 
 // MustParse parses a query and panics on error; for fixtures and tests.

@@ -34,6 +34,17 @@ func seedQueries() []string {
 		`PREFIX ex: <http://ex.org/> SELECT ?s WHERE { { ?s ex:p ?o } UNION { ?s ex:q "v" } OPTIONAL { ?s ex:r ?w } }`,
 		`PREFIX ex: <http://ex.org/> SELECT ?g ?s WHERE { GRAPH ?g { ?s ex:p ?o . FILTER (REGEX(?o, "^h", "i")) } }`,
 		`SELECT ?s WHERE { ?s a <http://ex.org/C> . FILTER (STR(?s) = "x" || !BOUND(?s)) }`,
+		// Property paths: every operator, precedence mixes, grouped
+		// closures, paths in predicate-object lists.
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ex:s ex:p+ ?x }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:p* ?y . ?y ^ex:q ?x }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ex:s ^ex:p/ex:q|ex:r ?x }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ex:s (ex:p/ex:q)+ ?x ; (^ex:p)? ?y }`,
+		`PREFIX ex: <http://ex.org/> ASK { ex:s (a|ex:p)* 1 }`,
+		// Aggregation: GROUP BY, HAVING, COUNT(*)/DISTINCT, MIN/MAX/SUM.
+		`PREFIX ex: <http://ex.org/> SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ex:p ?o } GROUP BY ?s HAVING (?n > 1)`,
+		`PREFIX ex: <http://ex.org/> SELECT (COUNT(DISTINCT ?o) AS ?n) (SUM(?o) AS ?t) WHERE { ?s ex:p ?o }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?g (MIN(?o) AS ?lo) (MAX(?o) AS ?hi) WHERE { ?g ex:p+ ?o } GROUP BY ?g ORDER BY ?g LIMIT 2`,
 	}
 	f := usecase.MustNew()
 	r := rewrite.New(f.Ont, f.Reg)
@@ -132,6 +143,10 @@ func renderStable(q *sparql.Query) bool {
 			case sparql.GraphPattern:
 				checkNode(p.Name)
 				checkGroup(p.Group)
+			case sparql.PathPattern:
+				checkNode(p.S)
+				checkPath(p.Path, checkTerm)
+				checkNode(p.O)
 			}
 		}
 		for _, f := range g.Filters {
@@ -139,7 +154,24 @@ func renderStable(q *sparql.Query) bool {
 		}
 	}
 	checkGroup(q.Where)
+	for _, h := range q.Having {
+		checkExpr(h)
+	}
 	return stable
+}
+
+// checkPath applies checkTerm to every link IRI in the path tree.
+func checkPath(p *sparql.Path, checkTerm func(rdf.Term)) {
+	if p == nil {
+		return
+	}
+	if p.Kind == sparql.PathLink {
+		checkTerm(p.IRI)
+		return
+	}
+	checkPath(p.Sub, checkTerm)
+	checkPath(p.L, checkTerm)
+	checkPath(p.R, checkTerm)
 }
 
 // FuzzParse checks that the tokenizer/parser never panic, and that any

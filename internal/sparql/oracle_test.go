@@ -52,6 +52,14 @@ func refEval(ds *rdf.Dataset, q *Query) (*refResult, error) {
 		res.Vars = q.Variables
 	}
 
+	// Grouping/aggregation replaces the WHERE solutions before ORDER BY
+	// and projection, exactly as the engine's groupByIter barrier sits
+	// below the tail of the cursor pipeline. (ASK returns above: both
+	// evaluators ignore aggregates for ASK.)
+	if len(q.Aggregates) > 0 || len(q.GroupBy) > 0 {
+		sols = refAggregate(q, sols)
+	}
+
 	// ORDER BY before projection so order keys may be non-projected.
 	if len(q.OrderBy) > 0 {
 		sort.SliceStable(sols, func(i, j int) bool {
@@ -221,6 +229,8 @@ func refPattern(ctx refCtx, pat Pattern, input []Binding) ([]Binding, error) {
 		return out, nil
 	case GraphPattern:
 		return refGraphPattern(ctx, p, input)
+	case PathPattern:
+		return refPathPattern(ctx, p, input), nil
 	default:
 		panic("sparql: unknown pattern type in oracle")
 	}
@@ -345,4 +355,299 @@ func refGraphPattern(ctx refCtx, gp GraphPattern, input []Binding) ([]Binding, e
 		out = append(out, bs...)
 	}
 	return out, nil
+}
+
+// --- property path oracle ---
+//
+// Naive Term-level path evaluation: no compiled plans, no bitsets, no
+// frontier pooling. Links/sequences/alternatives/inverses preserve
+// multiset cardinality (a sequence through two intermediates yields the
+// end twice); +, * and ? use set semantics via a plain visited map, with
+// * and ? contributing the zero-length match. This independently mirrors
+// the semantics of pathEach/pathClosure in path.go.
+
+func refPathPattern(ctx refCtx, pp PathPattern, input []Binding) []Binding {
+	g := ctx.active
+	var out []Binding
+	for _, b := range input {
+		s := refResolve(pp.S, b)
+		o := refResolve(pp.O, b)
+		emit := func(start, end rdf.Term) {
+			if nb, ok := refPathExtend(b, pp, start, end); ok {
+				out = append(out, nb)
+			}
+		}
+		switch {
+		case s != rdf.Any:
+			for _, end := range refPathEnds(g, pp.Path, s, false) {
+				emit(s, end)
+			}
+		case o != rdf.Any:
+			// Walk the path backwards from the bound object.
+			for _, start := range refPathEnds(g, pp.Path, o, true) {
+				emit(start, o)
+			}
+		default:
+			// Both ends free: zero-length semantics range over the
+			// graph's nodes (subjects and objects), as in the engine.
+			for _, n := range refNodes(g) {
+				for _, end := range refPathEnds(g, pp.Path, n, false) {
+					emit(n, end)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refPathExtend checks endpoint compatibility (constants, prior
+// bindings, a shared ?x path ?x variable) and extends the binding.
+func refPathExtend(b Binding, pp PathPattern, s, o rdf.Term) (Binding, bool) {
+	if pp.S.IsVar() {
+		if cur, ok := b[pp.S.Var]; ok && cur != s {
+			return nil, false
+		}
+		if pp.O.IsVar() && pp.O.Var == pp.S.Var && s != o {
+			return nil, false
+		}
+	} else if pp.S.Term != s {
+		return nil, false
+	}
+	if pp.O.IsVar() {
+		if cur, ok := b[pp.O.Var]; ok && cur != o {
+			return nil, false
+		}
+	} else if pp.O.Term != o {
+		return nil, false
+	}
+	nb := b.Clone()
+	if pp.S.IsVar() {
+		nb[pp.S.Var] = s
+	}
+	if pp.O.IsVar() {
+		nb[pp.O.Var] = o
+	}
+	return nb, true
+}
+
+// refPathEnds returns the path's end nodes starting from start; rev
+// walks the path right-to-left (object towards subject), which is how
+// the oracle evaluates a pattern whose object is bound.
+func refPathEnds(g *rdf.Graph, p *Path, start rdf.Term, rev bool) []rdf.Term {
+	switch p.Kind {
+	case PathLink:
+		var out []rdf.Term
+		if rev {
+			g.EachMatch(rdf.Any, p.IRI, start, func(t rdf.Triple) bool {
+				out = append(out, t.S)
+				return true
+			})
+		} else {
+			g.EachMatch(start, p.IRI, rdf.Any, func(t rdf.Triple) bool {
+				out = append(out, t.O)
+				return true
+			})
+		}
+		return out
+	case PathInv:
+		return refPathEnds(g, p.Sub, start, !rev)
+	case PathSeq:
+		l, r := p.L, p.R
+		if rev {
+			l, r = r, l
+		}
+		var out []rdf.Term
+		for _, mid := range refPathEnds(g, l, start, rev) {
+			out = append(out, refPathEnds(g, r, mid, rev)...)
+		}
+		return out
+	case PathAlt:
+		return append(refPathEnds(g, p.L, start, rev), refPathEnds(g, p.R, start, rev)...)
+	case PathOpt:
+		seen := map[rdf.Term]bool{start: true}
+		out := []rdf.Term{start}
+		for _, end := range refPathEnds(g, p.Sub, start, rev) {
+			if !seen[end] {
+				seen[end] = true
+				out = append(out, end)
+			}
+		}
+		return out
+	case PathPlus, PathStar:
+		visited := map[rdf.Term]bool{}
+		var out []rdf.Term
+		frontier := []rdf.Term{start}
+		if p.Kind == PathStar {
+			visited[start] = true
+			out = append(out, start)
+		}
+		for len(frontier) > 0 {
+			n := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, end := range refPathEnds(g, p.Sub, n, rev) {
+				if visited[end] {
+					continue
+				}
+				visited[end] = true
+				out = append(out, end)
+				frontier = append(frontier, end)
+			}
+		}
+		return out
+	default:
+		panic("sparql: unknown path kind in oracle")
+	}
+}
+
+// refNodes returns the distinct subjects and objects of the graph.
+func refNodes(g *rdf.Graph) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, t := range g.Triples() {
+		if !seen[t.S] {
+			seen[t.S] = true
+			out = append(out, t.S)
+		}
+		if !seen[t.O] {
+			seen[t.O] = true
+			out = append(out, t.O)
+		}
+	}
+	return out
+}
+
+// --- aggregation oracle ---
+//
+// Map-based grouping over Binding solutions. The grouping logic (key
+// construction, implicit group, DISTINCT, HAVING placement) is
+// independent of the engine's groupByIter; only the leaf arithmetic
+// (sumAcc, minTerm, maxTerm) is shared so formatting agrees by
+// construction.
+
+type refAggGroup struct {
+	rep  Binding
+	n    []int64
+	sum  []sumAcc
+	best []rdf.Term
+	has  []bool
+	seen []map[rdf.Term]bool
+}
+
+func refAggregate(q *Query, sols []Binding) []Binding {
+	groups := map[string]*refAggGroup{}
+	var order []*refAggGroup
+	for _, s := range sols {
+		var key strings.Builder
+		for _, v := range q.GroupBy {
+			if t, ok := s[v]; ok {
+				key.WriteString(t.String())
+			}
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &refAggGroup{
+				rep:  s,
+				n:    make([]int64, len(q.Aggregates)),
+				sum:  make([]sumAcc, len(q.Aggregates)),
+				best: make([]rdf.Term, len(q.Aggregates)),
+				has:  make([]bool, len(q.Aggregates)),
+				seen: make([]map[rdf.Term]bool, len(q.Aggregates)),
+			}
+			groups[k] = grp
+			order = append(order, grp)
+		}
+		for i, a := range q.Aggregates {
+			refAggUpdate(grp, i, a, s)
+		}
+	}
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		order = append(order, &refAggGroup{
+			n:    make([]int64, len(q.Aggregates)),
+			sum:  make([]sumAcc, len(q.Aggregates)),
+			best: make([]rdf.Term, len(q.Aggregates)),
+			has:  make([]bool, len(q.Aggregates)),
+		})
+	}
+	out := make([]Binding, 0, len(order))
+	for _, grp := range order {
+		row := Binding{}
+		for _, v := range q.GroupBy {
+			if t, ok := grp.rep[v]; ok {
+				row[v] = t
+			}
+		}
+		for i, a := range q.Aggregates {
+			switch a.Func {
+			case AggCount:
+				row[a.As] = rdf.IntLit(grp.n[i])
+			case AggSum:
+				if t, ok := grp.sum[i].term(); ok {
+					row[a.As] = t
+				}
+			default: // AggMin, AggMax
+				if grp.has[i] {
+					row[a.As] = grp.best[i]
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	// HAVING filters the grouped rows; an evaluation error is an
+	// effective false, as for WHERE filters.
+	for _, h := range q.Having {
+		kept := out[:0:0]
+		for _, row := range out {
+			v, err := h.Eval(row)
+			if err != nil {
+				continue
+			}
+			ok, err := v.AsBool()
+			if err != nil || !ok {
+				continue
+			}
+			kept = append(kept, row)
+		}
+		out = kept
+	}
+	return out
+}
+
+func refAggUpdate(grp *refAggGroup, i int, a Aggregate, s Binding) {
+	if a.Var == "" {
+		grp.n[i]++ // COUNT(*): every row counts
+		return
+	}
+	t, bound := s[a.Var]
+	if !bound {
+		return
+	}
+	if a.Distinct {
+		if grp.seen[i] == nil {
+			grp.seen[i] = map[rdf.Term]bool{}
+		}
+		if grp.seen[i][t] {
+			return
+		}
+		grp.seen[i][t] = true
+	}
+	switch a.Func {
+	case AggCount:
+		grp.n[i]++
+	case AggSum:
+		grp.sum[i].add(t)
+	case AggMin:
+		if !grp.has[i] {
+			grp.best[i], grp.has[i] = t, true
+		} else {
+			grp.best[i] = minTerm(grp.best[i], t)
+		}
+	case AggMax:
+		if !grp.has[i] {
+			grp.best[i], grp.has[i] = t, true
+		} else {
+			grp.best[i] = maxTerm(grp.best[i], t)
+		}
+	}
 }

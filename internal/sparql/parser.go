@@ -88,11 +88,24 @@ func (p *parser) parseQuery() (*Query, error) {
 				return nil, err
 			}
 		} else {
-			for p.tok.kind == tokVar {
-				q.Variables = append(q.Variables, p.tok.text)
-				if err := p.bump(); err != nil {
-					return nil, err
+			for {
+				if p.tok.kind == tokVar {
+					q.Variables = append(q.Variables, p.tok.text)
+					if err := p.bump(); err != nil {
+						return nil, err
+					}
+					continue
 				}
+				if p.tok.kind == tokLParen {
+					agg, err := p.parseAggregate()
+					if err != nil {
+						return nil, err
+					}
+					q.Aggregates = append(q.Aggregates, agg)
+					q.Variables = append(q.Variables, agg.As)
+					continue
+				}
+				break
 			}
 			if len(q.Variables) == 0 {
 				return nil, p.errf("SELECT needs * or at least one variable")
@@ -165,6 +178,38 @@ func (p *parser) parseQuery() (*Query, error) {
 				return nil, err
 			}
 			q.Offset = n
+		case "GROUP":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			start := len(q.GroupBy)
+			for p.tok.kind == tokVar {
+				q.GroupBy = append(q.GroupBy, p.tok.text)
+				if err := p.bump(); err != nil {
+					return nil, err
+				}
+			}
+			if len(q.GroupBy) == start {
+				return nil, p.errf("GROUP BY needs at least one variable")
+			}
+		case "HAVING":
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			start := len(q.Having)
+			for p.isExprStart() {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				q.Having = append(q.Having, e)
+			}
+			if len(q.Having) == start {
+				return nil, p.errf("HAVING needs an expression")
+			}
 		default:
 			return nil, p.errf("unexpected keyword %q after WHERE clause", p.tok.text)
 		}
@@ -172,7 +217,138 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.tok.kind != tokEOF {
 		return nil, p.errf("trailing input %q", p.tok.text)
 	}
+	if err := validateAggregation(q); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// parseAggregate parses one projected aggregate,
+// "( FUNC '(' [DISTINCT] (*|?var) ')' AS ?alias )", with the opening
+// paren as the current token.
+func (p *parser) parseAggregate() (Aggregate, error) {
+	if err := p.bump(); err != nil { // consume '('
+		return Aggregate{}, err
+	}
+	var a Aggregate
+	if p.tok.kind != tokKeyword {
+		return Aggregate{}, p.errf("expected aggregate function, got %q", p.tok.text)
+	}
+	switch p.tok.text {
+	case "COUNT":
+		a.Func = AggCount
+	case "SUM":
+		a.Func = AggSum
+	case "MIN":
+		a.Func = AggMin
+	case "MAX":
+		a.Func = AggMax
+	default:
+		return Aggregate{}, p.errf("expected COUNT, SUM, MIN or MAX, got %q", p.tok.text)
+	}
+	if err := p.bump(); err != nil {
+		return Aggregate{}, err
+	}
+	if p.tok.kind != tokLParen {
+		return Aggregate{}, p.errf("expected ( after %s", a.Func)
+	}
+	if err := p.bump(); err != nil {
+		return Aggregate{}, err
+	}
+	if p.tok.kind == tokKeyword && p.tok.text == "DISTINCT" {
+		a.Distinct = true
+		if err := p.bump(); err != nil {
+			return Aggregate{}, err
+		}
+	}
+	switch p.tok.kind {
+	case tokStar:
+		if a.Func != AggCount {
+			return Aggregate{}, p.errf("only COUNT accepts *")
+		}
+		if a.Distinct {
+			return Aggregate{}, p.errf("COUNT(DISTINCT *) is not supported")
+		}
+		if err := p.bump(); err != nil {
+			return Aggregate{}, err
+		}
+	case tokVar:
+		a.Var = p.tok.text
+		if err := p.bump(); err != nil {
+			return Aggregate{}, err
+		}
+	default:
+		return Aggregate{}, p.errf("aggregate argument must be a variable or *, got %q", p.tok.text)
+	}
+	if p.tok.kind != tokRParen {
+		return Aggregate{}, p.errf("expected ) after aggregate argument")
+	}
+	if err := p.bump(); err != nil {
+		return Aggregate{}, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return Aggregate{}, err
+	}
+	if p.tok.kind != tokVar {
+		return Aggregate{}, p.errf("expected alias variable after AS")
+	}
+	a.As = p.tok.text
+	if err := p.bump(); err != nil {
+		return Aggregate{}, err
+	}
+	if p.tok.kind != tokRParen {
+		return Aggregate{}, p.errf("expected ) closing aggregate projection")
+	}
+	return a, p.bump()
+}
+
+// validateAggregation enforces the structural rules that make grouped
+// queries well-defined: grouping is SELECT-only, incompatible with
+// SELECT *, aliases must be fresh names, and every plainly projected
+// variable must be a group key.
+func validateAggregation(q *Query) error {
+	if len(q.Aggregates) == 0 && len(q.GroupBy) == 0 {
+		if len(q.Having) > 0 {
+			return fmt.Errorf("sparql: HAVING requires GROUP BY or an aggregate")
+		}
+		return nil
+	}
+	if q.Form != FormSelect {
+		return fmt.Errorf("sparql: GROUP BY and aggregates require a SELECT query")
+	}
+	if q.Star {
+		return fmt.Errorf("sparql: SELECT * cannot be combined with GROUP BY or aggregates")
+	}
+	whereVars := map[string]bool{}
+	q.Where.collectVars(whereVars)
+	grouped := map[string]bool{}
+	for _, v := range q.GroupBy {
+		grouped[v] = true
+	}
+	aliases := map[string]bool{}
+	for _, a := range q.Aggregates {
+		if aliases[a.As] {
+			return fmt.Errorf("sparql: duplicate aggregate alias ?%s", a.As)
+		}
+		if whereVars[a.As] || grouped[a.As] {
+			return fmt.Errorf("sparql: aggregate alias ?%s shadows a query variable", a.As)
+		}
+		aliases[a.As] = true
+	}
+	projected := map[string]bool{}
+	for _, v := range q.Variables {
+		if projected[v] {
+			// A name can reach the projection twice — once as a plain
+			// variable and once as an aggregate alias — which would
+			// render as the aggregate twice and no longer reparse.
+			return fmt.Errorf("sparql: duplicate projected variable ?%s", v)
+		}
+		projected[v] = true
+		if !aliases[v] && !grouped[v] {
+			return fmt.Errorf("sparql: projected variable ?%s is neither grouped nor aggregated", v)
+		}
+	}
+	return nil
 }
 
 func (p *parser) parseOrderKey() (OrderKey, bool, error) {
@@ -316,19 +492,20 @@ func (p *parser) parseTriplesBlock(g *Group) error {
 		return p.errf("triple subject must be a variable or IRI, got %s", subj)
 	}
 	for {
-		pred, err := p.parseVerb()
+		pred, path, err := p.parseVerb()
 		if err != nil {
 			return err
-		}
-		if !pred.IsVar() && !pred.Term.IsIRI() {
-			return p.errf("triple predicate must be a variable or IRI, got %s", pred)
 		}
 		for {
 			obj, err := p.parseNode()
 			if err != nil {
 				return err
 			}
-			g.Patterns = append(g.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+			if path != nil {
+				g.Patterns = append(g.Patterns, PathPattern{S: subj, Path: path, O: obj})
+			} else {
+				g.Patterns = append(g.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+			}
 			if p.tok.kind == tokComma {
 				if err := p.bump(); err != nil {
 					return err
@@ -359,14 +536,134 @@ func (p *parser) parseTriplesBlock(g *Group) error {
 	return p.errf("expected '.' after triple pattern, got %q", p.tok.text)
 }
 
-func (p *parser) parseVerb() (Node, error) {
-	if p.tok.kind == tokA {
-		if err := p.bump(); err != nil {
-			return Node{}, err
-		}
-		return N(rdf.IRI(rdf.RDFType)), nil
+// parseVerb parses the predicate position of a triple pattern: a
+// variable, or a property-path expression. A trivial path (one forward
+// predicate, no operators) is returned as a plain Node so the pattern
+// stays a TriplePattern; anything else returns a non-nil *Path.
+func (p *parser) parseVerb() (Node, *Path, error) {
+	if p.tok.kind == tokVar {
+		n := V(p.tok.text)
+		return n, nil, p.bump()
 	}
-	return p.parseNode()
+	path, err := p.parsePath()
+	if err != nil {
+		return Node{}, nil, err
+	}
+	if path.Kind == PathLink {
+		return N(path.IRI), nil, nil
+	}
+	return Node{}, path, nil
+}
+
+// Property-path grammar (precedence low to high):
+//
+//	path       := pathAlt
+//	pathAlt    := pathSeq ('|' pathSeq)*
+//	pathSeq    := pathEltOrInv ('/' pathEltOrInv)*
+//	pathEltOrInv := '^'? pathElt
+//	pathElt    := pathPrimary ('+' | '*' | '?')?
+//	pathPrimary := IRI | PrefixedName | 'a' | '(' path ')'
+//
+// so `^p/q|r` parses as ((^p)/q)|r and `^p+` as ^(p+).
+func (p *parser) parsePath() (*Path, error) { return p.parsePathAlt() }
+
+func (p *parser) parsePathAlt() (*Path, error) {
+	l, err := p.parsePathSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPipe {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		r, err := p.parsePathSeq()
+		if err != nil {
+			return nil, err
+		}
+		l = &Path{Kind: PathAlt, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePathSeq() (*Path, error) {
+	l, err := p.parsePathEltOrInv()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokSlash {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		r, err := p.parsePathEltOrInv()
+		if err != nil {
+			return nil, err
+		}
+		l = &Path{Kind: PathSeq, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePathEltOrInv() (*Path, error) {
+	if p.tok.kind == tokCaret {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		sub, err := p.parsePathElt()
+		if err != nil {
+			return nil, err
+		}
+		return &Path{Kind: PathInv, Sub: sub}, nil
+	}
+	return p.parsePathElt()
+}
+
+func (p *parser) parsePathElt() (*Path, error) {
+	prim, err := p.parsePathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	var kind PathKind
+	switch p.tok.kind {
+	case tokPlus:
+		kind = PathPlus
+	case tokStar:
+		kind = PathStar
+	case tokQuestion:
+		kind = PathOpt
+	default:
+		return prim, nil
+	}
+	return &Path{Kind: kind, Sub: prim}, p.bump()
+}
+
+func (p *parser) parsePathPrimary() (*Path, error) {
+	switch p.tok.kind {
+	case tokA:
+		return Link(rdf.IRI(rdf.RDFType)), p.bump()
+	case tokIRI:
+		t := rdf.IRI(p.tok.text)
+		return Link(t), p.bump()
+	case tokPName:
+		iri, ok := p.prefixes.Expand(p.tok.text)
+		if !ok {
+			return nil, p.errf("unknown prefix in %q", p.tok.text)
+		}
+		return Link(rdf.IRI(iri)), p.bump()
+	case tokLParen:
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ) closing path group")
+		}
+		return path, p.bump()
+	default:
+		return nil, p.errf("triple predicate must be a variable or property path, got %s %q", p.tok.kind, p.tok.text)
+	}
 }
 
 // parseNode parses a variable, IRI, prefixed name or literal.

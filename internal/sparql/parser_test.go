@@ -252,3 +252,178 @@ func TestGroupAllVarsSorted(t *testing.T) {
 		}
 	}
 }
+
+// --- property paths ---
+
+func TestParsePathPrecedence(t *testing.T) {
+	ex := func(s string) *Path { return Link(rdf.IRI("http://ex.org/" + s)) }
+	inv := func(p *Path) *Path { return &Path{Kind: PathInv, Sub: p} }
+	seq := func(l, r *Path) *Path { return &Path{Kind: PathSeq, L: l, R: r} }
+	alt := func(l, r *Path) *Path { return &Path{Kind: PathAlt, L: l, R: r} }
+	plus := func(p *Path) *Path { return &Path{Kind: PathPlus, Sub: p} }
+	star := func(p *Path) *Path { return &Path{Kind: PathStar, Sub: p} }
+	opt := func(p *Path) *Path { return &Path{Kind: PathOpt, Sub: p} }
+	cases := []struct {
+		src  string
+		want *Path
+	}{
+		// | binds loosest, then /, then ^, then the postfix modifiers.
+		{"^ex:p/ex:q|ex:r", alt(seq(inv(ex("p")), ex("q")), ex("r"))},
+		{"ex:p|ex:q/ex:r+", alt(ex("p"), seq(ex("q"), plus(ex("r"))))},
+		{"ex:p/ex:q+", seq(ex("p"), plus(ex("q")))},
+		{"(ex:p/ex:q)+", plus(seq(ex("p"), ex("q")))},
+		{"^ex:p+", inv(plus(ex("p")))},
+		{"(^ex:p)+", plus(inv(ex("p")))},
+		{"ex:p/(ex:q|ex:r)?", seq(ex("p"), opt(alt(ex("q"), ex("r"))))},
+		{"^(ex:p/a)", inv(seq(ex("p"), Link(rdf.IRI(rdf.RDFType))))},
+		{"ex:p*", star(ex("p"))},
+	}
+	for _, c := range cases {
+		t.Run(c.src, func(t *testing.T) {
+			q := MustParse(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ex:s ` + c.src + ` ?x . }`)
+			pp, ok := q.Where.Patterns[0].(PathPattern)
+			if !ok {
+				t.Fatalf("pattern is %T, want PathPattern", q.Where.Patterns[0])
+			}
+			// Path.String renders parentheses exactly where precedence
+			// requires them, so distinct trees render distinctly.
+			if got, want := pp.Path.String(), c.want.String(); got != want {
+				t.Fatalf("parsed %s, want %s", got, want)
+			}
+			// And the rendered query must reparse to the same tree.
+			q2, err := Parse(q.String())
+			if err != nil {
+				t.Fatalf("reparse of %q: %v", q.String(), err)
+			}
+			if got := q2.Where.Patterns[0].(PathPattern).Path.String(); got != c.want.String() {
+				t.Fatalf("round-trip parsed %s, want %s", got, c.want.String())
+			}
+		})
+	}
+}
+
+func TestParsePathForms(t *testing.T) {
+	// A trivial link stays a TriplePattern; predicate-object lists work
+	// with paths; a bare variable predicate is still legal.
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT * WHERE {
+	  ex:s ex:p ?x ; ex:q+ ?y , ?z .
+	  ?s ?p ?o .
+	}`)
+	if _, ok := q.Where.Patterns[0].(TriplePattern); !ok {
+		t.Errorf("trivial link pattern is %T, want TriplePattern", q.Where.Patterns[0])
+	}
+	// A parenthesized trivial link also collapses to a TriplePattern.
+	q2 := MustParse(`PREFIX ex: <http://ex.org/> SELECT * WHERE { ex:s ((ex:p)) ?x . }`)
+	tp, ok := q2.Where.Patterns[0].(TriplePattern)
+	if !ok || tp.P.Term.Value != "http://ex.org/p" {
+		t.Errorf("((ex:p)) pattern = %T %v, want TriplePattern ex:p", q2.Where.Patterns[0], q2.Where.Patterns[0])
+	}
+	for i := 1; i <= 2; i++ {
+		pp, ok := q.Where.Patterns[i].(PathPattern)
+		if !ok {
+			t.Fatalf("pattern %d is %T, want PathPattern", i, q.Where.Patterns[i])
+		}
+		if pp.Path.Kind != PathPlus {
+			t.Errorf("pattern %d path = %s", i, pp.Path)
+		}
+		if !pp.S.IsVar() && pp.S.Term.Value != "http://ex.org/s" {
+			t.Errorf("pattern %d subject not shared: %v", i, pp.S)
+		}
+	}
+	if _, ok := q.Where.Patterns[3].(TriplePattern); !ok {
+		t.Errorf("variable-predicate pattern is %T", q.Where.Patterns[3])
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"modifier without path", `SELECT * WHERE { ?s + ?o . }`},
+		{"inverse of nothing", `SELECT * WHERE { ?s ^ ?o . }`},
+		{"dangling sequence", `SELECT * WHERE { ?s <http://p>/ ?o . }`},
+		{"dangling alternative", `SELECT * WHERE { ?s <http://p>| ?o . }`},
+		{"unclosed group", `SELECT * WHERE { ?s (<http://p>|<http://q> ?o . }`},
+		{"inverse of variable", `SELECT * WHERE { ?s ^?p ?o . }`},
+		{"literal in path", `SELECT * WHERE { ?s <http://p>/"lit" ?o . }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("no error for %q", c.src)
+			}
+		})
+	}
+}
+
+// --- aggregation ---
+
+func TestParseAggregates(t *testing.T) {
+	q := MustParse(`PREFIX ex: <http://ex.org/>
+SELECT ?g (COUNT(DISTINCT ?x) AS ?n) (SUM(?v) AS ?total)
+WHERE { ?g ex:p ?x . ?x ex:v ?v . }
+GROUP BY ?g HAVING (?n > 2) (?total <= 10)`)
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "g" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+	want := []Aggregate{
+		{Func: AggCount, Distinct: true, Var: "x", As: "n"},
+		{Func: AggSum, Var: "v", As: "total"},
+	}
+	if len(q.Aggregates) != 2 || q.Aggregates[0] != want[0] || q.Aggregates[1] != want[1] {
+		t.Errorf("Aggregates = %v", q.Aggregates)
+	}
+	if strings.Join(q.Variables, ",") != "g,n,total" {
+		t.Errorf("Variables = %v", q.Variables)
+	}
+	if len(q.Having) != 2 {
+		t.Errorf("Having = %v", q.Having)
+	}
+
+	// COUNT(*) leaves Var empty; MIN/MAX parse; implicit group (no
+	// GROUP BY) is legal.
+	q = MustParse(`SELECT (COUNT(*) AS ?n) (MIN(?o) AS ?lo) (MAX(?o) AS ?hi) WHERE { ?s ?p ?o . }`)
+	if q.Aggregates[0].Var != "" || q.Aggregates[0].Func != AggCount {
+		t.Errorf("COUNT(*) = %+v", q.Aggregates[0])
+	}
+	if q.Aggregates[1].Func != AggMin || q.Aggregates[2].Func != AggMax {
+		t.Errorf("MIN/MAX = %+v", q.Aggregates[1:])
+	}
+}
+
+func TestParseAggregateRoundTrip(t *testing.T) {
+	src := `PREFIX ex: <http://ex.org/> SELECT ?g (COUNT(DISTINCT ?x) AS ?n) WHERE { ?g ex:p+ ?x . } GROUP BY ?g HAVING (?n > 1) ORDER BY ?g LIMIT 5`
+	q1 := MustParse(src)
+	rendered := q1.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", rendered, err)
+	}
+	if q2.String() != rendered {
+		t.Errorf("String not stable:\n%s\n---\n%s", rendered, q2.String())
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"SUM of star", `SELECT (SUM(*) AS ?n) WHERE { ?s ?p ?o . }`},
+		{"COUNT DISTINCT star", `SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?s ?p ?o . }`},
+		{"missing AS", `SELECT (COUNT(?x) ?n) WHERE { ?s ?p ?x . }`},
+		{"missing alias", `SELECT (COUNT(?x) AS) WHERE { ?s ?p ?x . }`},
+		{"HAVING without grouping", `SELECT ?s WHERE { ?s ?p ?o . } HAVING (?s > 1)`},
+		{"ungrouped projected var", `SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?o`},
+		{"duplicate alias", `SELECT (COUNT(*) AS ?n) (SUM(?o) AS ?n) WHERE { ?s ?p ?o . }`},
+		{"plain var duplicates alias", `SELECT ?n (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }`},
+		{"alias shadows WHERE var", `SELECT (COUNT(*) AS ?o) WHERE { ?s ?p ?o . }`},
+		{"alias shadows group var", `SELECT ?s (COUNT(*) AS ?s) WHERE { ?s ?p ?o . } GROUP BY ?s`},
+		{"star with GROUP BY", `SELECT * WHERE { ?s ?p ?o . } GROUP BY ?s`},
+		{"ASK with GROUP BY", `ASK { ?s ?p ?o . } GROUP BY ?s`},
+		{"empty GROUP BY", `SELECT ?s WHERE { ?s ?p ?o . } GROUP BY`},
+		{"empty HAVING", `SELECT ?s WHERE { ?s ?p ?o . } GROUP BY ?s HAVING`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("no error for %q", c.src)
+			}
+		})
+	}
+}

@@ -583,3 +583,235 @@ func TestSpecEdgeCases(t *testing.T) {
 		t.Errorf("unexpected table rendering:\n%s", res.Table())
 	}
 }
+
+// --- property path / aggregation harness ---
+//
+// The same oracle discipline extended over the PR's new surface: path
+// patterns mixed into BGPs, and GROUP BY/aggregate/HAVING tails. Every
+// generated query flows through the full checkEquivalence stack —
+// materialized Eval vs refEval, cursor drain, paged-prefix reads, and
+// all three forced join strategies.
+
+// genPath draws a random path AST over the shared predicate vocabulary;
+// depth bounds nesting so closures of sequences and inverted groups all
+// appear without blowing up the naive oracle.
+func genPath(r *rand.Rand, depth int) *Path {
+	if depth <= 0 || r.Intn(10) < 4 {
+		return Link(pick(r, specPreds))
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &Path{Kind: PathSeq, L: genPath(r, depth-1), R: genPath(r, depth-1)}
+	case 1:
+		return &Path{Kind: PathAlt, L: genPath(r, depth-1), R: genPath(r, depth-1)}
+	case 2:
+		return &Path{Kind: PathInv, Sub: genPath(r, depth-1)}
+	case 3:
+		return &Path{Kind: PathPlus, Sub: genPath(r, depth-1)}
+	case 4:
+		return &Path{Kind: PathStar, Sub: genPath(r, depth-1)}
+	default:
+		return &Path{Kind: PathOpt, Sub: genPath(r, depth-1)}
+	}
+}
+
+// pathPattern anchors path endpoints on a stored triple the way
+// triplePattern does; the path itself is random, so anchoring is a bias
+// towards populated results, not a guarantee.
+func (g *specGen) pathPattern(ts []rdf.Triple) PathPattern {
+	p := genPath(g.r, 2)
+	if len(ts) == 0 || g.r.Intn(10) >= 8 {
+		return PathPattern{S: genNode(g.r, 0), Path: p, O: genNode(g.r, 2)}
+	}
+	t := pick(g.r, ts)
+	return PathPattern{S: g.node(t.S, 7), Path: p, O: g.node(t.O, 6)}
+}
+
+// genPathAggQuery generates a query with path patterns, an aggregation
+// tail, or both, per the flags.
+func genPathAggQuery(r *rand.Rand, ds *rdf.Dataset, withPath, withAgg bool) *Query {
+	g := &specGen{r: r, ds: ds, env: map[string]rdf.Term{}}
+	ts := g.triplesFor(rdf.Term{})
+	q := &Query{Limit: -1, Where: &Group{}}
+	nPath := 0
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		if withPath && (r.Intn(2) == 0 || (i == n-1 && nPath == 0)) {
+			q.Where.Patterns = append(q.Where.Patterns, g.pathPattern(ts))
+			nPath++
+		} else {
+			q.Where.Patterns = append(q.Where.Patterns, g.triplePattern(ts))
+		}
+	}
+	if r.Intn(10) < 3 {
+		q.Where.Filters = append(q.Where.Filters, genFilter(r, 2))
+	}
+
+	if !withAgg {
+		if r.Intn(8) == 0 {
+			q.Form = FormAsk
+			return q
+		}
+		q.Distinct = r.Intn(10) < 3
+		if r.Intn(10) < 3 {
+			q.Star = true
+		} else {
+			seen := map[string]bool{}
+			for i, n := 0, 1+r.Intn(3); i < n; i++ {
+				if v := pick(r, specVars); !seen[v] {
+					seen[v] = true
+					q.Variables = append(q.Variables, v)
+				}
+			}
+		}
+		switch r.Intn(10) {
+		case 0, 1, 2, 3:
+			for i, n := 0, 1+r.Intn(2); i < n; i++ {
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: pick(r, specVars), Desc: r.Intn(2) == 0})
+			}
+		case 4, 5:
+			if r.Intn(2) == 0 {
+				q.Limit = r.Intn(12)
+			}
+			if r.Intn(2) == 0 {
+				q.Offset = r.Intn(8)
+			}
+		}
+		return q
+	}
+
+	// Aggregation tail: GROUP BY over 0-2 vars (possibly vars the WHERE
+	// never binds: a single all-unbound group), 1-2 aggregates, HAVING
+	// over an alias sometimes, projection = group vars + aliases.
+	seen := map[string]bool{}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		if v := pick(r, specVars); !seen[v] {
+			seen[v] = true
+			q.GroupBy = append(q.GroupBy, v)
+		}
+	}
+	for i, n := 0, 1+r.Intn(2); i < n; i++ {
+		a := Aggregate{Func: AggFunc(r.Intn(4)), As: fmt.Sprintf("n%d", i)}
+		if a.Func != AggCount || r.Intn(3) > 0 {
+			a.Var = pick(r, specVars) // else COUNT(*)
+			a.Distinct = r.Intn(3) == 0
+		}
+		q.Aggregates = append(q.Aggregates, a)
+	}
+	q.Variables = append(append([]string{}, q.GroupBy...), aggAliases(q)...)
+	if r.Intn(10) < 3 {
+		op := pick(r, []string{"=", "!=", "<", "<=", ">", ">="})
+		q.Having = append(q.Having, CmpExpr{
+			Op: op,
+			L:  VarExpr{Name: pick(r, aggAliases(q))},
+			R:  ConstExpr{Term: rdf.IntLit(int64(r.Intn(4)))},
+		})
+	}
+	switch r.Intn(10) {
+	case 0, 1, 2:
+		q.OrderBy = append(q.OrderBy, OrderKey{Var: pick(r, q.Variables), Desc: r.Intn(2) == 0})
+	case 3, 4:
+		if r.Intn(2) == 0 {
+			q.Limit = r.Intn(6)
+		}
+		if r.Intn(2) == 0 {
+			q.Offset = r.Intn(4)
+		}
+	}
+	return q
+}
+
+func aggAliases(q *Query) []string {
+	out := make([]string, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		out[i] = a.As
+	}
+	return out
+}
+
+// TestSpecPathAggregateEquivalence drives specPairs additional seeds
+// through the path/aggregate generator, cycling path-only, aggregate-
+// only, and combined shapes.
+func TestSpecPathAggregateEquivalence(t *testing.T) {
+	for seed := int64(0); seed < specPairs; seed++ {
+		r := rand.New(rand.NewSource(1_000_000 + seed))
+		ds := genDataset(r)
+		q := genPathAggQuery(r, ds, seed%3 != 1, seed%3 != 0)
+		checkEquivalence(t, ds, q, seed)
+	}
+}
+
+// --- mutation checks ---
+//
+// Each test first proves the fixture passes cleanly, then injects one
+// seeded operator bug and asserts the oracle harness catches it — the
+// harness is itself under test here.
+
+// assertMutationCaught evaluates q with the given mutation active and
+// fails unless the engine now diverges from the oracle (an evaluation
+// error also counts as caught).
+func assertMutationCaught(t *testing.T, ds *rdf.Dataset, q *Query, m int32) {
+	t.Helper()
+	mutation = m
+	defer func() { mutation = mutNone }()
+	got, err := Eval(ds, q)
+	if err != nil {
+		return
+	}
+	want, werr := refEval(ds, q)
+	if werr != nil {
+		t.Fatalf("oracle err = %v", werr)
+	}
+	me, mo := multiset(got.Vars, got.Solutions()), multiset(want.Vars, want.Sols)
+	if len(me) == len(mo) {
+		same := true
+		for k, n := range me {
+			if mo[k] != n {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("mutation %d not caught: engine still matches oracle\nquery: %s\nresult:\n%s", m, q, got.Table())
+		}
+	}
+}
+
+func TestSpecMutationPathDupEmit(t *testing.T) {
+	// Diamond: two routes from a to d. Dropping the fixpoint's emission
+	// dedup yields d twice.
+	ds := rdf.NewDataset()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		ds.Default().MustAdd(rdf.T(ex(e[0]), ex("p"), ex(e[1])))
+	}
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ex:a ex:p+ ?x }`)
+	checkEquivalence(t, ds, q, -1)
+	assertMutationCaught(t, ds, q, mutPathDupEmit)
+}
+
+func TestSpecMutationGroupKeyNarrow(t *testing.T) {
+	// More than 256 distinct group keys: truncating IDs to their low
+	// byte must collide at least two groups (pigeonhole).
+	ds := rdf.NewDataset()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	for i := 0; i < 300; i++ {
+		ds.Default().MustAdd(rdf.T(ex(fmt.Sprintf("s%d", i)), ex("p"), rdf.IntLit(int64(i))))
+	}
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT ?v (COUNT(*) AS ?n) WHERE { ?s ex:p ?v } GROUP BY ?v`)
+	checkEquivalence(t, ds, q, -1)
+	assertMutationCaught(t, ds, q, mutGroupKeyNarrow)
+}
+
+func TestSpecMutationHavingPreAgg(t *testing.T) {
+	// HAVING ?n > 1 filters groups; applied before aggregation the alias
+	// is unbound on every input row (effective false), so all rows — and
+	// with them the qualifying group — vanish.
+	ds := rdf.NewDataset()
+	ex := func(s string) rdf.Term { return rdf.IRI("http://ex.org/" + s) }
+	ds.Default().MustAdd(rdf.T(ex("a"), ex("p"), ex("x")))
+	ds.Default().MustAdd(rdf.T(ex("a"), ex("p"), ex("y")))
+	ds.Default().MustAdd(rdf.T(ex("b"), ex("p"), ex("z")))
+	q := MustParse(`PREFIX ex: <http://ex.org/> SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ex:p ?o } GROUP BY ?s HAVING (?n > 1)`)
+	checkEquivalence(t, ds, q, -1)
+	assertMutationCaught(t, ds, q, mutHavingPreAgg)
+}

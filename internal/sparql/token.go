@@ -1,7 +1,9 @@
 // Package sparql implements the fragment of the SPARQL 1.1 query
 // language that MDM generates and evaluates: SELECT and ASK queries with
-// PREFIX directives, basic graph patterns, FILTER, OPTIONAL, UNION, named
-// GRAPH blocks, DISTINCT, ORDER BY, LIMIT and OFFSET.
+// PREFIX directives, basic graph patterns, property paths (`^p`, `p/q`,
+// `p|q`, `p+`, `p*`, `p?`), FILTER, OPTIONAL, UNION, named GRAPH blocks,
+// aggregation (GROUP BY with COUNT/SUM/MIN/MAX and HAVING), DISTINCT,
+// ORDER BY, LIMIT and OFFSET.
 //
 // The original MDM translates graphically drawn "walks" over the global
 // graph into SPARQL; this package provides both that target language and
@@ -131,6 +133,11 @@ const (
 	tokOp       // = != < <= > >= && || !
 	tokLangTag  // @en
 	tokDatatype // ^^
+	tokSlash    // / (path sequence)
+	tokCaret    // ^ (path inverse; ^^ stays tokDatatype)
+	tokPipe     // | (path alternative; || stays tokOp)
+	tokPlus     // + (path one-or-more; +digit stays tokNumber)
+	tokQuestion // ? (path zero-or-one; ?name stays tokVar)
 )
 
 func (k tokenKind) String() string {
@@ -140,6 +147,7 @@ func (k tokenKind) String() string {
 		tokBoolean: "boolean", tokLBrace: "{", tokRBrace: "}", tokLParen: "(",
 		tokRParen: ")", tokDot: ".", tokSemi: ";", tokComma: ",", tokStar: "*",
 		tokA: "a", tokOp: "operator", tokLangTag: "language tag", tokDatatype: "^^",
+		tokSlash: "/", tokCaret: "^", tokPipe: "|", tokPlus: "+", tokQuestion: "?",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -159,7 +167,8 @@ var keywords = map[string]bool{
 	"OPTIONAL": true, "UNION": true, "GRAPH": true, "DISTINCT": true,
 	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
 	"OFFSET": true, "BOUND": true, "REGEX": true, "STR": true, "BASE": true,
-	"REDUCED": true,
+	"REDUCED": true, "GROUP": true, "HAVING": true, "AS": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true,
 }
 
 type lexer struct {
@@ -262,6 +271,11 @@ func (l *lexer) next() (token, error) {
 			l.advance()
 		}
 		if l.pos == start {
+			// A bare '?' is the zero-or-one path modifier; '$' has no
+			// such reading and stays an error.
+			if c == '?' {
+				return mk(tokQuestion, "?"), nil
+			}
 			return token{}, l.errf("empty variable name")
 		}
 		return mk(tokVar, l.src[start:l.pos]), nil
@@ -341,7 +355,8 @@ func (l *lexer) next() (token, error) {
 			l.advance()
 			return mk(tokDatatype, "^^"), nil
 		}
-		return token{}, l.errf("unexpected '^'")
+		l.advance()
+		return mk(tokCaret, "^"), nil
 	case c == '=':
 		l.advance()
 		return mk(tokOp, "="), nil
@@ -372,8 +387,21 @@ func (l *lexer) next() (token, error) {
 			l.advance()
 			return mk(tokOp, "||"), nil
 		}
-		return token{}, l.errf("unexpected '|'")
-	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		l.advance()
+		return mk(tokPipe, "|"), nil
+	case c == '/':
+		l.advance()
+		return mk(tokSlash, "/"), nil
+	case c == '+':
+		// '+' directly followed by a digit (or .digit) is a signed
+		// number; anywhere else it is the one-or-more path modifier.
+		if n := l.peekAt(1); n >= '0' && n <= '9' ||
+			(n == '.' && l.peekAt(2) >= '0' && l.peekAt(2) <= '9') {
+			return l.lexNumber(mk)
+		}
+		l.advance()
+		return mk(tokPlus, "+"), nil
+	case c == '-' || (c >= '0' && c <= '9'):
 		return l.lexNumber(mk)
 	default:
 		return l.lexWord(mk)

@@ -530,3 +530,140 @@ func TestSPARQLPagePinsSnapshotAcrossCompaction(t *testing.T) {
 		t.Fatalf("post-compaction rows = %d", res.Len())
 	}
 }
+
+// TestSPARQLPathReleaseLineage exercises the property-path surface
+// through the public facade: ontology versions form a subClassOf chain
+// (each release specializes its predecessor), and governance queries
+// walk the lineage transitively with paging.
+func TestSPARQLPathReleaseLineage(t *testing.T) {
+	sys := mdm.New()
+	defer sys.Close()
+	sys.BindPrefix("ex", "http://ex.org/")
+	for i := 1; i <= 5; i++ {
+		if err := sys.AddConcept(fmt.Sprintf("ex:SalesV%d", i), fmt.Sprintf("Sales release %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 2; i <= 5; i++ {
+		if err := sys.AddSubClass(fmt.Sprintf("ex:SalesV%d", i), fmt.Sprintf("ex:SalesV%d", i-1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const prefix = `PREFIX ex: <http://ex.org/> PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> `
+
+	// Full ancestry of the newest release, transitively.
+	res, err := sys.SPARQL(prefix + `SELECT ?anc WHERE { GRAPH ?g { ex:SalesV5 rdfs:subClassOf+ ?anc } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("ancestors = %d, want 4\n%s", res.Len(), res.Table())
+	}
+
+	// Every version governed by the V1 contract, including V1 itself
+	// (zero-length match of *).
+	res, err = sys.SPARQL(prefix + `SELECT ?v WHERE { GRAPH ?g { ?v rdfs:subClassOf* ex:SalesV1 } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("governed versions = %d, want 5\n%s", res.Len(), res.Table())
+	}
+
+	// The same lineage question through the paging facade: two pages of
+	// two plus a final page of one, in a stable canonical order.
+	var paged []string
+	for off := 0; off < 5; off += 2 {
+		cur, err := sys.SPARQLPage(prefix+`SELECT ?v WHERE { GRAPH ?g { ?v rdfs:subClassOf* ex:SalesV1 } }`, 2, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cur.Next(context.Background()) {
+			if v, ok := cur.Row().Term(0); ok {
+				paged = append(paged, v.Value)
+			}
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatal(err)
+		}
+		cur.Close()
+	}
+	if len(paged) != 5 {
+		t.Fatalf("paged rows = %d, want 5: %v", len(paged), paged)
+	}
+	for i, v := range paged {
+		if want := fmt.Sprintf("http://ex.org/SalesV%d", i+1); v != want {
+			t.Fatalf("paged row %d = %s, want %s", i, v, want)
+		}
+	}
+
+	// Aggregation over the closure: lineage depth per release.
+	res, err = sys.SPARQL(prefix + `SELECT ?v (COUNT(?anc) AS ?depth) WHERE { GRAPH ?g { ?v rdfs:subClassOf+ ?anc } } GROUP BY ?v ORDER BY DESC(?depth) LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1\n%s", res.Len(), res.Table())
+	}
+	v, _ := res.Term(0, "v")
+	d, _ := res.Term(0, "depth")
+	if v.Value != "http://ex.org/SalesV5" || d.Value != "4" {
+		t.Fatalf("deepest lineage = %s depth %s, want SalesV5 depth 4", v.Value, d.Value)
+	}
+}
+
+// TestSPARQLPathCursorPinsSnapshotAcrossCompaction is the path-operator
+// variant of the epoch-pinning contract: a cursor mid-fixpoint-drain
+// holds its pre-compaction snapshot via OnClose until fully drained.
+func TestSPARQLPathCursorPinsSnapshotAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := mdm.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.BindPrefix("ex", "http://ex.org/")
+	for i := 1; i <= 8; i++ {
+		if err := sys.AddConcept(fmt.Sprintf("ex:V%d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+		if i > 1 {
+			if err := sys.AddSubClass(fmt.Sprintf("ex:V%d", i), fmt.Sprintf("ex:V%d", i-1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cur, err := sys.SPARQLPage(`PREFIX ex: <http://ex.org/> PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?anc WHERE { GRAPH ?g { ex:V8 rdfs:subClassOf+ ?anc } }`, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompactStorage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Storage().RetiredEpochs(); got != 1 {
+		t.Fatalf("RetiredEpochs while path cursor open = %d, want 1", got)
+	}
+	rows := 0
+	for cur.Next(context.Background()) {
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 7 {
+		t.Fatalf("closure rows = %d, want 7", rows)
+	}
+	if got := sys.Storage().RetiredEpochs(); got != 0 {
+		t.Fatalf("RetiredEpochs after drain = %d, want 0", got)
+	}
+	res, err := sys.SPARQL(`PREFIX ex: <http://ex.org/> PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?anc WHERE { GRAPH ?g { ex:V8 rdfs:subClassOf+ ?anc } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 7 {
+		t.Fatalf("post-compaction closure rows = %d, want 7", res.Len())
+	}
+}
