@@ -123,6 +123,12 @@ type report struct {
 	P99ms     float64            `json:"p99_ms"`
 	MaxMs     float64            `json:"max_ms"`
 	PerOp     map[string]opStats `json:"per_op"`
+	// Server-side handler latency, interpolated from the scraped
+	// mdm_http_request_duration_seconds histogram (all endpoints).
+	// Zero when the target does not expose /metrics.
+	ServerP50ms float64 `json:"server_p50_ms"`
+	ServerP95ms float64 `json:"server_p95_ms"`
+	ServerP99ms float64 `json:"server_p99_ms"`
 }
 
 func main() {
@@ -217,6 +223,13 @@ func run(cfg config) (*report, error) {
 			P95ms:  ms(quantile(lats, 0.95)),
 			P99ms:  ms(quantile(lats, 0.99)),
 		}
+	}
+	if text, err := scrapeMetrics(client, cfg.base); err != nil {
+		log.Printf("mdm-loadgen: metrics scrape skipped: %v", err)
+	} else if h := parseHistogram(text, "mdm_http_request_duration_seconds"); h != nil {
+		rep.ServerP50ms = h.quantileSeconds(0.50) * 1000
+		rep.ServerP95ms = h.quantileSeconds(0.95) * 1000
+		rep.ServerP99ms = h.quantileSeconds(0.99) * 1000
 	}
 	return rep, nil
 }

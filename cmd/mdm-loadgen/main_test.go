@@ -69,3 +69,78 @@ func TestQuantile(t *testing.T) {
 		t.Fatalf("empty = %v", q)
 	}
 }
+
+// TestScrapeDuringLoad pins the serving loop's observability contract:
+// after a load window the server's /metrics exposes nonzero request
+// latency histograms, the SPARQL plan cache reports hits (the workload
+// repeats two queries, so all but the first compile must hit), and the
+// report carries interpolated server-side percentiles.
+func TestScrapeDuringLoad(t *testing.T) {
+	f := usecase.MustNew()
+	srv := httptest.NewServer(rest.NewServer(mdm.FromParts(f.Ont, f.Reg)))
+	defer srv.Close()
+
+	rep, err := run(config{
+		base:     srv.URL,
+		clients:  2,
+		duration: 300 * time.Millisecond,
+		walkFrac: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := scrapeMetrics(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := parseHistogram(text, "mdm_http_request_duration_seconds")
+	if h == nil || h.total == 0 {
+		t.Fatal("request duration histogram empty after load")
+	}
+	if hits := counterValue(text, "mdm_sparql_plan_cache_total"); hits == 0 {
+		t.Error("plan cache counters all zero after repeated queries")
+	}
+	if stages := parseHistogram(text, "mdm_sparql_stage_duration_seconds"); stages == nil {
+		t.Error("SPARQL stage duration histogram empty after load")
+	}
+	if rep.ServerP50ms <= 0 || rep.ServerP50ms > rep.ServerP95ms || rep.ServerP95ms > rep.ServerP99ms {
+		t.Errorf("server percentiles inconsistent: p50=%v p95=%v p99=%v",
+			rep.ServerP50ms, rep.ServerP95ms, rep.ServerP99ms)
+	}
+}
+
+// TestHistogramQuantileInterpolation pins the bucket math on a
+// hand-built exposition.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	text := `# TYPE x_seconds histogram
+x_seconds_bucket{endpoint="a",le="0.1"} 50
+x_seconds_bucket{endpoint="a",le="0.2"} 100
+x_seconds_bucket{endpoint="a",le="+Inf"} 100
+x_seconds_bucket{endpoint="b",le="0.1"} 0
+x_seconds_bucket{endpoint="b",le="0.2"} 100
+x_seconds_bucket{endpoint="b",le="+Inf"} 100
+x_seconds_sum{endpoint="a"} 10
+x_seconds_count{endpoint="a"} 100
+`
+	h := parseHistogram(text, "x_seconds")
+	if h == nil {
+		t.Fatal("histogram not parsed")
+	}
+	if h.total != 200 {
+		t.Fatalf("total = %d, want 200", h.total)
+	}
+	// Rank 100 of 200 sits at the 50/200 cumulative boundary of the
+	// first bucket (50) and crosses inside the second: 0.1 + 0.1*(50/150).
+	got := h.quantileSeconds(0.5)
+	want := 0.1 + 0.1*(50.0/150.0)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("q50 = %v, want %v", got, want)
+	}
+	// p100 crosses +Inf: clamps to the highest finite bound.
+	if got := h.quantileSeconds(1.0); got != 0.2 {
+		t.Errorf("q100 = %v, want 0.2", got)
+	}
+	if v := counterValue(text, "x_seconds_count"); v != 100 {
+		t.Errorf("counterValue = %v, want 100", v)
+	}
+}

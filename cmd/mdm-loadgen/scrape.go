@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Server-side latency: after the load window the generator scrapes the
+// target's GET /metrics and derives p50/p95/p99 from the
+// mdm_http_request_duration_seconds histogram (buckets aggregated
+// across endpoints), so BENCH_serve.json carries both views — client
+// latency including the network, and server handler latency from the
+// Prometheus buckets.
+
+// scrapeMetrics fetches the Prometheus text exposition.
+func scrapeMetrics(client *http.Client, base string) (string, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// scrapedHist is one histogram family aggregated across its label sets:
+// cumulative counts per upper bound.
+type scrapedHist struct {
+	les   []float64 // sorted upper bounds, +Inf last
+	cum   map[float64]uint64
+	total uint64
+}
+
+// parseHistogram aggregates name's _bucket series from the exposition
+// text. Returns nil if the family is absent or empty.
+func parseHistogram(text, name string) *scrapedHist {
+	h := &scrapedHist{cum: map[float64]uint64{}}
+	prefix := name + "_bucket{"
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		le, ok := labelValue(line, "le")
+		if !ok {
+			continue
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			bound = v
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		n, err := strconv.ParseUint(line[sp+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := h.cum[bound]; !seen {
+			h.les = append(h.les, bound)
+		}
+		h.cum[bound] += n
+	}
+	if len(h.les) == 0 {
+		return nil
+	}
+	sort.Float64s(h.les)
+	h.total = h.cum[math.Inf(1)]
+	if h.total == 0 {
+		return nil
+	}
+	return h
+}
+
+// labelValue extracts one label's value from a series line.
+func labelValue(line, label string) (string, bool) {
+	marker := label + `="`
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// quantileSeconds interpolates quantile q (0..1) from the cumulative
+// buckets, Prometheus histogram_quantile style: linear within the
+// bucket that crosses the target rank; the +Inf bucket clamps to the
+// highest finite bound.
+func (h *scrapedHist) quantileSeconds(q float64) float64 {
+	target := q * float64(h.total)
+	prevLe, prevCum := 0.0, uint64(0)
+	for _, le := range h.les {
+		cum := h.cum[le]
+		if float64(cum) >= target {
+			if math.IsInf(le, 1) {
+				return prevLe
+			}
+			in := cum - prevCum
+			if in == 0 {
+				return le
+			}
+			return prevLe + (le-prevLe)*((target-float64(prevCum))/float64(in))
+		}
+		prevLe, prevCum = le, cum
+	}
+	return prevLe
+}
+
+// counterValue sums name's series (all label sets) from the exposition
+// text; 0 if absent.
+func counterValue(text, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer metric name sharing the prefix
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[sp+1:], 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -28,6 +28,10 @@
 //	walks                              list saved walks
 //	run     [flags] <walk>             run a saved walk by name
 //	sparql  [flags] <query>            run SPARQL over the metadata
+//	explain <query>                    run a metadata SPARQL query and
+//	                                   print its execution report (stage
+//	                                   timings, per-operator spans, plan
+//	                                   summary) instead of rows
 //	compact                            force a full storage compaction
 //
 // query, run and sparql accept paging/streaming flags, mapped to the
@@ -197,6 +201,11 @@ func (c *client) run(cmd string, args []string) error {
 			return fmt.Errorf("sparql [-limit N] [-offset N] [-ndjson] <query>")
 		}
 		return c.post("/api/sparql"+params, map[string]string{"query": rest[0]})
+	case "explain":
+		if len(args) != 1 {
+			return fmt.Errorf("explain <query>")
+		}
+		return c.post("/api/sparql?explain=1", map[string]string{"query": args[0]})
 	case "compact":
 		return c.post("/api/admin/compact", map[string]string{})
 	default:

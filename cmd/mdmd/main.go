@@ -9,6 +9,8 @@
 //	     [-fanout N] [-source-timeout D] [-source-cache-ttl D]
 //	     [-retries N] [-breaker-threshold N] [-breaker-cooldown D]
 //	     [-partial] [-serve-stale] [-drain-timeout D]
+//	     [-slow-query-threshold D] [-slow-query-log PATH]
+//	     [-debug-addr ADDR]
 //
 //	-addr      listen address
 //	-data      persistence directory; the ontology dataset lives in a
@@ -61,6 +63,18 @@
 //	                      good snapshot (marked stale) instead of
 //	                      dropping its rows
 //
+// Observability knobs (see docs/OBSERVABILITY.md; Prometheus metrics
+// are always on at GET /metrics on the API port):
+//
+//	-slow-query-threshold D  queries slower than D emit one structured
+//	                      JSON line to the slow-query log (default
+//	                      250ms; 0 logs every query)
+//	-slow-query-log PATH  slow-query log file, size-rotated as
+//	                      PATH → PATH.1 → PATH.2 (default: stderr)
+//	-debug-addr ADDR      serve net/http/pprof on a separate listener
+//	                      (e.g. localhost:6060); off by default and
+//	                      kept off the API port on purpose
+//
 // Lifecycle:
 //
 //	-drain-timeout D      on SIGINT/SIGTERM, wait up to D for in-flight
@@ -76,6 +90,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +100,7 @@ import (
 	"mdm"
 	"mdm/internal/apisim"
 	"mdm/internal/federate"
+	"mdm/internal/obs"
 	"mdm/internal/rest"
 	"mdm/internal/sparql"
 	"mdm/internal/tdb"
@@ -110,6 +126,9 @@ func main() {
 	serveStale := flag.Bool("serve-stale", false, "in partial mode, substitute a source's last good snapshot")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain window on shutdown")
 	parallel := flag.Int("parallel", 0, "SPARQL join worker budget (0 = GOMAXPROCS-derived, 1 = sequential)")
+	slowThreshold := flag.Duration("slow-query-threshold", 250*time.Millisecond, "queries slower than this are written to the slow-query log")
+	slowLogPath := flag.String("slow-query-log", "", "slow-query log file, size-rotated (empty = stderr)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled)")
 	flag.Parse()
 
 	sparql.SetParallelism(*parallel)
@@ -152,8 +171,37 @@ func main() {
 		log.Printf("mdmd:   endpoints: /v1/players /v2/players /v1/teams /v1/leagues /v1/league-teams /v1/countries")
 	}
 
+	api := rest.NewServer(sys)
+	if *slowLogPath != "" {
+		slog, err := obs.NewSlowLog(*slowLogPath, *slowThreshold)
+		if err != nil {
+			log.Fatalf("mdmd: %v", err)
+		}
+		defer slog.Close()
+		api.SlowLog = slog
+	} else {
+		api.SlowLog = obs.NewSlowLogWriter(os.Stderr, *slowThreshold)
+	}
+
+	// pprof stays off the API port: it leaks heap contents and stack
+	// traces, so it only appears on an operator-chosen debug listener.
+	if *debugAddr != "" {
+		go func() {
+			debugMux := http.NewServeMux()
+			debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+			debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("mdmd: pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				log.Printf("mdmd: debug listener: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
-		Handler:           rest.NewServer(sys),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"mdm/internal/obs"
 	"mdm/internal/relalg"
 )
 
@@ -261,6 +262,16 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan, partial bool) (s
 	}
 	sort.Strings(names) // deterministic fan-out order
 
+	obsScatters.Inc()
+	obsScatterFanout.Observe(float64(len(names)))
+	scatterT0 := time.Now()
+	tr := obs.FromContext(ctx)
+	defer func() {
+		d := time.Since(scatterT0)
+		obsScatterDur.Observe(d.Seconds())
+		tr.StageDur("scatter", d)
+	}()
+
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -286,7 +297,9 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan, partial bool) (s
 			case <-sctx.Done():
 				return
 			}
+			fetchT0 := time.Now()
 			rel, err := e.fetch(sctx, src)
+			fetchDur := time.Since(fetchT0)
 			mu.Lock()
 			defer mu.Unlock()
 			if err == nil {
@@ -294,6 +307,7 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan, partial bool) (s
 				if e.ServeStale {
 					e.rememberStale(src.Name(), rel)
 				}
+				tr.AddSource(obs.SourceSpan{Source: src.Name(), Rows: len(rel.Rows), Dur: fetchDur, Outcome: "ok"})
 				return
 			}
 			if !partial {
@@ -301,6 +315,7 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan, partial bool) (s
 					firstErr = err
 					cancel()
 				}
+				tr.AddSource(obs.SourceSpan{Source: src.Name(), Dur: fetchDur, Outcome: "error:" + string(Classify(err))})
 				return
 			}
 			class := Classify(err)
@@ -313,14 +328,21 @@ func (e *Engine) scatter(ctx context.Context, plan relalg.Plan, partial bool) (s
 				if old := e.lastGood(src.Name()); old != nil {
 					snaps[src.Name()] = old
 					staleSrc = append(staleSrc, src.Name())
+					obsStaleServed.With(src.Name()).Inc()
+					tr.AddSource(obs.SourceSpan{Source: src.Name(), Rows: len(old.Rows), Dur: fetchDur, Outcome: "stale"})
 					return
 				}
 			}
 			snaps[src.Name()] = relalg.NewRelation(src.Columns()...)
 			missing = append(missing, SourceError{Source: src.Name(), Class: class, Err: err})
+			obsMissing.With(src.Name(), string(class)).Inc()
+			tr.AddSource(obs.SourceSpan{Source: src.Name(), Dur: fetchDur, Outcome: "missing:" + string(class)})
 		}()
 	}
 	wg.Wait()
+	if len(missing)+len(staleSrc) > 0 {
+		obsPartialDegradations.Inc()
+	}
 	if firstErr != nil {
 		return nil, nil, nil, firstErr
 	}
@@ -362,6 +384,7 @@ func (e *Engine) fetchResilient(ctx context.Context, src relalg.RowSource) (*rel
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			obsRetries.Inc()
 			if err := e.Retry.wait(ctx, attempt-1); err != nil {
 				// The fill (or caller) died mid-backoff. Surface the
 				// context error so Classify sees a cancellation, not the
@@ -377,6 +400,7 @@ func (e *Engine) fetchResilient(ctx context.Context, src relalg.RowSource) (*rel
 		}
 		if br != nil {
 			if err := br.Allow(); err != nil {
+				obsFetchAttempts.With(string(ClassBreakerOpen)).Inc()
 				if lastErr != nil {
 					// The breaker tripped mid-ladder (concurrent fills
 					// against the same dead source); surface the real
@@ -388,6 +412,11 @@ func (e *Engine) fetchResilient(ctx context.Context, src relalg.RowSource) (*rel
 		}
 		rel, err := e.fetchOnce(ctx, src)
 		class := Classify(err)
+		if err == nil {
+			obsFetchOK.Inc()
+		} else {
+			obsFetchAttempts.With(string(class)).Inc()
+		}
 		if br != nil {
 			switch {
 			case err == nil:

@@ -1,0 +1,65 @@
+package federate
+
+import (
+	"mdm/internal/obs"
+)
+
+// Federation metrics. The legacy mdm.federate.* expvar counters stay
+// the source of truth for what they already count (tests and
+// /debug/vars consumers depend on them); the CounterFunc shims below
+// mirror each of them into the Prometheus scrape at read time, so both
+// registries publish the same numbers without double accounting.
+var (
+	obsScatters = obs.Default.NewCounter("mdm_federate_scatters_total",
+		"Scatter phases executed (one per federated query).")
+	obsScatterFanout = obs.Default.NewHistogram("mdm_federate_scatter_fanout_sources",
+		"Distinct sources fetched per scatter phase.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	obsScatterDur = obs.Default.NewHistogram("mdm_federate_scatter_duration_seconds",
+		"Wall time of the scatter phase (all source fetches).", obs.DefBuckets)
+
+	obsFetchAttempts = obs.Default.NewCounterVec("mdm_federate_fetch_attempts_total",
+		"Source fetch attempts by outcome: ok, or the error class "+
+			"(timeout, network, http_5xx, rate_limited, http_4xx, "+
+			"payload_too_large, schema, breaker_open, canceled, error).", "outcome")
+	obsFetchOK = obsFetchAttempts.With("ok")
+
+	obsRetries = obs.Default.NewCounter("mdm_federate_retries_total",
+		"Fetch attempts beyond the first (the retry ladder's extra rungs).")
+
+	obsPartialDegradations = obs.Default.NewCounter("mdm_federate_partial_degradations_total",
+		"Queries answered degraded: at least one source missing or served stale.")
+	obsStaleServed = obs.Default.NewCounterVec("mdm_federate_stale_served_total",
+		"Stale snapshots served in place of a failing source.", "source")
+
+	// obsMissing counts Cursor.Missing() entries per (source, class) —
+	// previously these were visible only in response bodies. The
+	// registry's cardinality cap bounds hostile source-name growth.
+	obsMissing = obs.Default.NewCounterVec("mdm_federate_missing_total",
+		"Sources missing from partial results, by source and error class.",
+		"source", "class")
+)
+
+// Expvar→obs migration shims: every existing mdm.federate.* counter,
+// published through both registries.
+func init() {
+	shim := func(name, help string, v interface{ Value() int64 }) {
+		obs.Default.CounterFunc(name, help, func() float64 { return float64(v.Value()) })
+	}
+	shim("mdm_federate_source_cache_hits_total",
+		"Source-cache hits (mirror of mdm.federate.source_cache.hits).", expHits)
+	shim("mdm_federate_source_cache_misses_total",
+		"Source-cache misses (mirror of mdm.federate.source_cache.misses).", expMisses)
+	shim("mdm_federate_source_cache_inflight_dedup_total",
+		"Fetches deduplicated onto an in-flight fill (mirror of mdm.federate.source_cache.inflight_dedup).", expShared)
+	shim("mdm_federate_source_cache_expired_total",
+		"Cache entries expired by TTL (mirror of mdm.federate.source_cache.expired).", expExpired)
+	shim("mdm_federate_breaker_opened_total",
+		"Circuit-breaker open transitions (mirror of mdm.federate.breaker.opened).", expBreakerOpened)
+	shim("mdm_federate_breaker_half_opened_total",
+		"Circuit-breaker half-open transitions (mirror of mdm.federate.breaker.half_opened).", expBreakerHalfOpened)
+	shim("mdm_federate_breaker_closed_total",
+		"Circuit-breaker close transitions (mirror of mdm.federate.breaker.closed).", expBreakerClosed)
+	shim("mdm_federate_breaker_fast_fails_total",
+		"Fetches suppressed by an open breaker (mirror of mdm.federate.breaker.fast_fails).", expBreakerFastFails)
+}

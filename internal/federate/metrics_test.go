@@ -1,0 +1,101 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mdm/internal/obs"
+	"mdm/internal/relalg"
+)
+
+// Coverage for the observability hooks: missing sources counted per
+// (source, class) in the Prometheus registry (they were previously
+// visible only in response bodies), scatter traces carrying per-source
+// spans, and degradation counters.
+
+func TestMissingCountedPerSourceAndClass(t *testing.T) {
+	before := obsMissing.With("m-timeout-src", string(ClassTimeout)).Value()
+	beforeDegraded := obsPartialDegradations.Value()
+
+	good := relalg.NewScan(relalg.NewMemSource("m-good-src", rel2("a", "b", [2]int64{1, 2})))
+	bad := relalg.NewScan(&failSource{name: "m-timeout-src", cols: []string{"b", "c"},
+		err: context.DeadlineExceeded})
+	eng := NewEngine()
+	eng.PartialResults = true
+	cur, err := eng.Run(context.Background(), relalg.NewJoin(good, bad, [][2]string{{"b", "b"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	missing := cur.Missing()
+	if len(missing) != 1 || missing[0].Source != "m-timeout-src" || missing[0].Class != ClassTimeout {
+		t.Fatalf("Missing() = %+v, want one timeout for m-timeout-src", missing)
+	}
+	if got := obsMissing.With("m-timeout-src", string(ClassTimeout)).Value(); got != before+1 {
+		t.Errorf("mdm_federate_missing_total{m-timeout-src,timeout} = %v, want %v", got, before+1)
+	}
+	if got := obsPartialDegradations.Value(); got != beforeDegraded+1 {
+		t.Errorf("partial degradations = %v, want %v", got, beforeDegraded+1)
+	}
+}
+
+func TestScatterTraceSpans(t *testing.T) {
+	good := relalg.NewScan(relalg.NewMemSource("t-ok-src", rel2("a", "b", [2]int64{1, 2}, [2]int64{3, 4})))
+	bad := relalg.NewScan(&failSource{name: "t-bad-src", cols: []string{"b", "c"},
+		err: errors.New("boom")})
+	eng := NewEngine()
+	eng.PartialResults = true
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	cur, err := eng.Run(ctx, relalg.NewJoin(good, bad, [][2]string{{"b", "b"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	rep := tr.Report()
+	if len(rep.Sources) != 2 {
+		t.Fatalf("source spans = %d, want 2: %+v", len(rep.Sources), rep.Sources)
+	}
+	byName := map[string]obs.SourceReport{}
+	for _, s := range rep.Sources {
+		byName[s.Source] = s
+	}
+	if ok := byName["t-ok-src"]; ok.Outcome != "ok" || ok.Rows != 2 {
+		t.Errorf("ok span = %+v", ok)
+	}
+	if bad := byName["t-bad-src"]; bad.Outcome != "missing:error" {
+		t.Errorf("bad span outcome = %q, want missing:error", bad.Outcome)
+	}
+	hasScatterStage := false
+	for _, s := range rep.Stages {
+		if s.Name == "scatter" {
+			hasScatterStage = true
+		}
+	}
+	if !hasScatterStage {
+		t.Errorf("no scatter stage recorded: %+v", rep.Stages)
+	}
+}
+
+func TestFetchOutcomeCounters(t *testing.T) {
+	beforeOK := obsFetchOK.Value()
+	beforeErr := obsFetchAttempts.With(string(ClassOther)).Value()
+	good := relalg.NewScan(relalg.NewMemSource("c-ok-src", rel2("a", "b", [2]int64{1, 2})))
+	eng := NewEngine()
+	if cur, err := eng.Run(context.Background(), good); err != nil {
+		t.Fatal(err)
+	} else {
+		cur.Close()
+	}
+	if got := obsFetchOK.Value(); got != beforeOK+1 {
+		t.Errorf("ok attempts = %v, want %v", got, beforeOK+1)
+	}
+	bad := relalg.NewScan(&failSource{name: "c-bad-src", cols: []string{"a"}, err: errors.New("nope")})
+	if _, err := eng.Run(context.Background(), bad); err == nil {
+		t.Fatal("expected strict-mode error")
+	}
+	if got := obsFetchAttempts.With(string(ClassOther)).Value(); got != beforeErr+1 {
+		t.Errorf("error attempts = %v, want %v", got, beforeErr+1)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLogWriter(nil, 250*time.Millisecond)
+	if l.Enabled(100 * time.Millisecond) {
+		t.Errorf("fast query marked slow")
+	}
+	if !l.Enabled(250 * time.Millisecond) {
+		t.Errorf("threshold-equal query not marked slow")
+	}
+	var nilLog *SlowLog
+	if nilLog.Enabled(time.Hour) {
+		t.Errorf("nil log enabled")
+	}
+	if err := nilLog.Record(SlowEntry{}); err != nil {
+		t.Errorf("nil log Record: %v", err)
+	}
+}
+
+func TestSlowLogWritesOneJSONLine(t *testing.T) {
+	var b strings.Builder
+	l := NewSlowLogWriter(&b, 0)
+	err := l.Record(SlowEntry{
+		Endpoint:   "/api/sparql",
+		QueryHash:  "abcd",
+		DurationMS: 301.5,
+		StagesMS:   map[string]float64{"parse": 1, "execute": 300},
+		Plan:       "hash-join(a,b)",
+		Rows:       42,
+		Partial:    true,
+		Missing:    []MissingSource{{Source: "teams", Class: "timeout"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "\n") != 1 || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("want exactly one newline-terminated line, got %q", out)
+	}
+	var e SlowEntry
+	if err := json.Unmarshal([]byte(out), &e); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if e.Time == "" {
+		t.Errorf("time not stamped")
+	}
+	if e.Missing[0].Class != "timeout" || e.Rows != 42 || !e.Partial {
+		t.Errorf("entry round-trip wrong: %+v", e)
+	}
+}
+
+func TestSlowLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	l, err := NewSlowLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.MaxBytes = 256
+	l.Keep = 2
+	for i := 0; i < 40; i++ {
+		if err := l.Record(SlowEntry{Endpoint: "/api/sparql", QueryHash: "deadbeefdeadbeef", DurationMS: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() > 256+512 {
+			t.Errorf("%s grew past rotation bound: %d bytes", p, st.Size())
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Errorf("generation beyond Keep exists")
+	}
+	// Every surviving line is intact JSON.
+	f, err := os.Open(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e SlowEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("rotated line corrupt: %v: %q", err, sc.Text())
+		}
+	}
+}
+
+func TestSlowLogAppendsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	l, err := NewSlowLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Record(SlowEntry{Endpoint: "a"})
+	l.Close()
+	l2, err := NewSlowLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Record(SlowEntry{Endpoint: "b"})
+	l2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 2 {
+		t.Errorf("lines after reopen = %d, want 2", got)
+	}
+}

@@ -1,0 +1,100 @@
+package rest
+
+import (
+	"net/http"
+	"time"
+
+	"mdm/internal/obs"
+)
+
+// HTTP-layer metrics. The endpoint label is the registered route
+// pattern ("POST /api/sparql"), never the raw URL, so cardinality is
+// bounded by the route table.
+var (
+	obsRequests = obs.Default.NewCounterVec("mdm_http_requests_total",
+		"HTTP requests served, by route pattern and status class.",
+		"endpoint", "class")
+	obsInFlight = obs.Default.NewGauge("mdm_http_in_flight",
+		"HTTP requests currently being served.")
+	obsReqDur = obs.Default.NewHistogramVec("mdm_http_request_duration_seconds",
+		"HTTP request durations, by route pattern.", obs.DefBuckets, "endpoint")
+	obsRespBytes = obs.Default.NewCounterVec("mdm_http_response_bytes_total",
+		"Response body bytes written (streamed NDJSON included), by route pattern.",
+		"endpoint")
+	obsSlowQueries = obs.Default.NewCounter("mdm_slow_queries_total",
+		"Queries that exceeded the slow-query threshold and were logged.")
+)
+
+// statusWriter captures the response status and body size for metrics
+// while forwarding Flush so NDJSON streaming keeps working through the
+// instrumentation wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher; without it startNDJSON's Flusher
+// type-assertion would fail and rows would not stream.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusClass buckets a status code ("2xx", "4xx", ...); the
+// client-closed-request convention code 499 counts as 4xx.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// handle registers an instrumented route: request count by status
+// class, in-flight gauge, duration histogram and response bytes, all
+// labeled by the route pattern.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	reqs2xx := obsRequests.With(pattern, "2xx") // pre-resolve the hot cell
+	dur := obsReqDur.With(pattern)
+	bytes := obsRespBytes.With(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		obsInFlight.Inc()
+		defer obsInFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(sw, r)
+		dur.Observe(time.Since(t0).Seconds())
+		if sw.status == 0 {
+			sw.status = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		if c := statusClass(sw.status); c == "2xx" {
+			reqs2xx.Inc()
+		} else {
+			obsRequests.With(pattern, c).Inc()
+		}
+		bytes.Add(float64(sw.bytes))
+	})
+}

@@ -37,6 +37,15 @@
 //	           serve-stale substitutions) in the JSON document or the
 //	           NDJSON header line; the fields are omitted entirely for
 //	           complete results
+//	explain=1
+//	           run the query to completion but answer with the
+//	           execution report (stage timings, per-operator spans,
+//	           plan summary — EXPLAIN ANALYZE semantics) instead of
+//	           rows; see docs/OBSERVABILITY.md for the JSON schema
+//
+// GET /metrics serves the observability registry in Prometheus text
+// format, and queries slower than the server's slow-query threshold
+// emit one structured line to its slow-query log (Server.SlowLog).
 //
 // limit/offset override a LIMIT/OFFSET written in the query itself.
 // Every query runs under the client's request context: a dropped
@@ -58,6 +67,7 @@ import (
 
 	"mdm"
 	"mdm/internal/federate"
+	"mdm/internal/obs"
 	"mdm/internal/schema"
 	"mdm/internal/sparql"
 	"mdm/internal/store"
@@ -70,6 +80,9 @@ type Server struct {
 	mux *http.ServeMux
 	// QueryTimeout bounds walk execution (default 30s).
 	QueryTimeout time.Duration
+	// SlowLog, when set, receives one JSON line per query slower than
+	// its threshold (see obs.SlowLog). Set it before the first request.
+	SlowLog *obs.SlowLog
 }
 
 // NewServer wraps an MDM system.
@@ -83,44 +96,47 @@ func NewServer(sys *mdm.System) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/render/global", s.handleRenderGlobal)
-	s.mux.HandleFunc("GET /api/render/source", s.handleRenderSource)
-	s.mux.HandleFunc("GET /api/render/mappings", s.handleRenderMappings)
-	s.mux.HandleFunc("GET /api/validate", s.handleValidate)
-	s.mux.HandleFunc("GET /api/export", s.handleExport)
+	s.handle("GET /api/stats", s.handleStats)
+	s.handle("GET /api/render/global", s.handleRenderGlobal)
+	s.handle("GET /api/render/source", s.handleRenderSource)
+	s.handle("GET /api/render/mappings", s.handleRenderMappings)
+	s.handle("GET /api/validate", s.handleValidate)
+	s.handle("GET /api/export", s.handleExport)
 
-	s.mux.HandleFunc("POST /api/prefixes", s.handleAddPrefix)
-	s.mux.HandleFunc("POST /api/global/concepts", s.handleAddConcept)
-	s.mux.HandleFunc("POST /api/global/features", s.handleAddFeature)
-	s.mux.HandleFunc("POST /api/global/attach", s.handleAttach)
-	s.mux.HandleFunc("POST /api/global/identifiers", s.handleMarkIdentifier)
-	s.mux.HandleFunc("POST /api/global/relations", s.handleRelate)
+	s.handle("POST /api/prefixes", s.handleAddPrefix)
+	s.handle("POST /api/global/concepts", s.handleAddConcept)
+	s.handle("POST /api/global/features", s.handleAddFeature)
+	s.handle("POST /api/global/attach", s.handleAttach)
+	s.handle("POST /api/global/identifiers", s.handleMarkIdentifier)
+	s.handle("POST /api/global/relations", s.handleRelate)
 
-	s.mux.HandleFunc("POST /api/sources", s.handleAddSource)
-	s.mux.HandleFunc("POST /api/wrappers", s.handleRegisterWrapper)
-	s.mux.HandleFunc("GET /api/wrappers", s.handleListWrappers)
-	s.mux.HandleFunc("GET /api/releases", s.handleReleases)
-	s.mux.HandleFunc("GET /api/drift/{wrapper}", s.handleDrift)
+	s.handle("POST /api/sources", s.handleAddSource)
+	s.handle("POST /api/wrappers", s.handleRegisterWrapper)
+	s.handle("GET /api/wrappers", s.handleListWrappers)
+	s.handle("GET /api/releases", s.handleReleases)
+	s.handle("GET /api/drift/{wrapper}", s.handleDrift)
 
-	s.mux.HandleFunc("POST /api/mappings", s.handleDefineMapping)
-	s.mux.HandleFunc("GET /api/mappings/{wrapper}/suggest", s.handleSuggestMapping)
+	s.handle("POST /api/mappings", s.handleDefineMapping)
+	s.handle("GET /api/mappings/{wrapper}/suggest", s.handleSuggestMapping)
 
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/query/sparql", s.handleQuerySPARQL)
-	s.mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+	s.handle("POST /api/query", s.handleQuery)
+	s.handle("POST /api/query/sparql", s.handleQuerySPARQL)
+	s.handle("POST /api/sparql", s.handleSPARQL)
 
-	s.mux.HandleFunc("POST /api/walks", s.handleSaveWalk)
-	s.mux.HandleFunc("GET /api/walks", s.handleListWalks)
-	s.mux.HandleFunc("POST /api/walks/{name}/run", s.handleRunWalk)
+	s.handle("POST /api/walks", s.handleSaveWalk)
+	s.handle("GET /api/walks", s.handleListWalks)
+	s.handle("POST /api/walks/{name}/run", s.handleRunWalk)
 
-	s.mux.HandleFunc("POST /api/admin/compact", s.handleCompact)
+	s.handle("POST /api/admin/compact", s.handleCompact)
 
-	// Application metrics: only the mdm.* expvars (the federation
-	// source-cache counters). The stock expvar.Handler also dumps
-	// cmdline and memstats, which do not belong on an unauthenticated
-	// API port.
+	// Application metrics. /debug/vars serves only the mdm.* expvars
+	// (the stock expvar.Handler also dumps cmdline and memstats, which
+	// do not belong on an unauthenticated API port); /metrics serves
+	// the Prometheus rendering of the obs registry. Neither route is
+	// instrumented: scrapers would otherwise dominate the request
+	// metrics they collect.
 	s.mux.HandleFunc("GET /debug/vars", handleVars)
+	s.mux.Handle("GET /metrics", obs.Handler(obs.Default))
 }
 
 // handleVars renders the mdm.* expvars as one JSON object.
@@ -165,22 +181,54 @@ func fail(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
-// failQuery maps evaluation errors: a canceled request context reports
-// 499 (the client is gone; the status is for logs), the server-side
-// query timeout reports 504, a circuit-breaker fast-fail 503 (the
-// source is known-down; retry after its cooldown), everything else is a
-// semantic failure.
-func failQuery(w http.ResponseWriter, err error) {
+// queryStatus maps evaluation errors: a canceled request context
+// reports 499 (the client is gone; the status is for logs), the
+// server-side query timeout reports 504, a circuit-breaker fast-fail
+// 503 (the source is known-down; retry after its cooldown), everything
+// else is a semantic failure.
+func queryStatus(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled):
-		fail(w, statusClientClosedRequest, err)
+		return statusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
-		fail(w, http.StatusGatewayTimeout, err)
+		return http.StatusGatewayTimeout
 	case errors.Is(err, federate.ErrBreakerOpen):
-		fail(w, http.StatusServiceUnavailable, err)
+		return http.StatusServiceUnavailable
 	default:
-		fail(w, http.StatusUnprocessableEntity, err)
+		return http.StatusUnprocessableEntity
 	}
+}
+
+func failQuery(w http.ResponseWriter, err error) { fail(w, queryStatus(err), err) }
+
+// wantExplain reports whether the client asked for an execution report
+// (EXPLAIN ANALYZE: the query runs to completion, rows are discarded)
+// instead of rows.
+func wantExplain(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	return v == "1" || v == "true"
+}
+
+// logSlow writes the finished query to the slow-query log when it
+// exceeded the threshold. d is the whole query lifecycle (parse
+// through drain); the per-stage breakdown comes from the trace.
+func (s *Server) logSlow(d time.Duration, tr *obs.Trace, endpoint, query string,
+	status int, rows int64, partial bool, missing []obs.MissingSource) {
+	if !s.SlowLog.Enabled(d) {
+		return
+	}
+	obsSlowQueries.Inc()
+	_ = s.SlowLog.Record(obs.SlowEntry{
+		Endpoint:   endpoint,
+		QueryHash:  obs.QueryHash(query),
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Status:     status,
+		StagesMS:   tr.Stages(),
+		Plan:       tr.Plan(),
+		Rows:       rows,
+		Partial:    partial,
+		Missing:    missing,
+	})
 }
 
 // partialParam reads the tristate partial URL parameter: absent defers
@@ -651,6 +699,11 @@ func (s *Server) handleQuerySPARQL(w http.ResponseWriter, r *http.Request) {
 // limit/offset are pushed into evaluation (a page costs O(page), not
 // O(result)), the request context cancels the query when the client
 // disconnects, and format=ndjson streams rows as they are produced.
+// With explain=1 the query still runs to completion but the response
+// is the execution report (stages, per-operator spans, plan summary)
+// instead of rows. Every request carries a lightweight trace so slow
+// queries log their stage breakdown; explain upgrades it to
+// per-operator detail.
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	var req sparqlReq
 	if !decode(w, r, &req) {
@@ -661,19 +714,63 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	cur, err := s.sys.SPARQLPage(req.Query, limit, offset)
+	explain := wantExplain(r)
+	tr := obs.NewTrace()
+	tr.Detail = explain
+	t0 := time.Now()
+	status := http.StatusOK
+	var rows int64
+	defer func() {
+		s.logSlow(time.Since(t0), tr, "POST /api/sparql", req.Query, status, rows, false, nil)
+	}()
+
+	cur, err := s.sys.SPARQLPageTrace(req.Query, limit, offset, tr)
 	if err != nil {
-		fail(w, http.StatusUnprocessableEntity, err)
+		status = http.StatusUnprocessableEntity
+		fail(w, status, err)
 		return
 	}
 	defer cur.Close()
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
 
+	// The execute stage covers the drain (cursor evaluation is lazy);
+	// endExec is idempotent so every exit path below can settle it
+	// before the deferred slow-log check reads the stages.
+	et0 := time.Now()
+	execDone := false
+	endExec := func() {
+		if execDone {
+			return
+		}
+		execDone = true
+		d := time.Since(et0)
+		sparql.ObserveStage("execute", d)
+		tr.StageDur("execute", d)
+		rows = cur.Rows()
+	}
+	defer endExec()
+
+	if explain {
+		for cur.Next(ctx) {
+		}
+		endExec()
+		if err := cur.Err(); err != nil {
+			status = queryStatus(err)
+			fail(w, status, err)
+			return
+		}
+		tr.SetAttr("rows", strconv.FormatInt(cur.Rows(), 10))
+		writeJSON(w, http.StatusOK, map[string]any{"explain": tr.Report()})
+		return
+	}
+
 	if cur.Form() == sparql.FormAsk {
 		ask := cur.Next(ctx)
+		endExec()
 		if err := cur.Err(); err != nil {
-			failQuery(w, err)
+			status = queryStatus(err)
+			fail(w, status, err)
 			return
 		}
 		if wantNDJSON(r) {
@@ -713,15 +810,17 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rows := [][]string{}
+	page := [][]string{}
 	for cur.Next(ctx) {
-		rows = append(rows, cells())
+		page = append(page, cells())
 	}
+	endExec()
 	if err := cur.Err(); err != nil {
-		failQuery(w, err)
+		status = queryStatus(err)
+		fail(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"vars": vars, "rows": rows})
+	writeJSON(w, http.StatusOK, map[string]any{"vars": vars, "rows": page})
 }
 
 // --- saved walks (analytical processes) ---
@@ -853,18 +952,64 @@ func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk)
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
+	explain := wantExplain(r)
+	tr := obs.NewTrace()
+	tr.Detail = explain
+	t0 := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
+	// The trace rides the context: QueryRun records the rewrite stage
+	// and plan summary, the federation engine the scatter stage and
+	// per-source spans.
+	ctx = obs.WithTrace(ctx, tr)
 	cur, res, err := s.sys.QueryRun(ctx, walk, mdm.QueryOpts{Limit: limit, Offset: offset, Partial: mode})
 	if err != nil {
 		failQuery(w, err)
 		return
 	}
 	defer cur.Close()
+	status := http.StatusOK
+	var rows int64
+	dt0 := time.Now()
+	drained := false
+	endDrain := func() {
+		if !drained {
+			drained = true
+			tr.StageDur("drain", time.Since(dt0))
+		}
+	}
+	defer func() {
+		endDrain()
+		var miss []obs.MissingSource
+		for _, m := range cur.Missing() {
+			miss = append(miss, obs.MissingSource{Source: m.Source, Class: string(m.Class)})
+		}
+		s.logSlow(time.Since(t0), tr, r.Method+" "+r.URL.Path, res.SPARQL,
+			status, rows, cur.Partial(), miss)
+	}()
 	if cur.Partial() {
 		// Before the status line commits: degraded completeness is
 		// visible without parsing the body.
 		w.Header().Set("X-MDM-Partial", "true")
+	}
+
+	if explain {
+		for cur.Next(ctx) {
+			rows++
+		}
+		endDrain()
+		if err := cur.Err(); err != nil {
+			status = queryStatus(err)
+			fail(w, status, err)
+			return
+		}
+		tr.SetAttr("cqs", strconv.Itoa(len(res.CQs)))
+		tr.SetAttr("rows", strconv.FormatInt(rows, 10))
+		if cur.Partial() {
+			tr.SetAttr("partial", "true")
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"explain": tr.Report(), "sparql": res.SPARQL})
+		return
 	}
 
 	cells := func() []string {
@@ -890,6 +1035,7 @@ func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk)
 		}
 		out.line(head)
 		for cur.Next(ctx) {
+			rows++
 			out.line(cells())
 		}
 		if err := cur.Err(); err != nil {
@@ -898,16 +1044,19 @@ func (s *Server) runWalk(w http.ResponseWriter, r *http.Request, walk *mdm.Walk)
 		return
 	}
 
-	rows := [][]string{}
+	page := [][]string{}
 	for cur.Next(ctx) {
-		rows = append(rows, cells())
+		page = append(page, cells())
 	}
+	endDrain()
+	rows = int64(len(page))
 	if err := cur.Err(); err != nil {
-		failQuery(w, err)
+		status = queryStatus(err)
+		fail(w, status, err)
 		return
 	}
 	resp := queryResp{
-		Columns: cur.Columns(), SPARQL: res.SPARQL, CQs: len(res.CQs), Rows: rows,
+		Columns: cur.Columns(), SPARQL: res.SPARQL, CQs: len(res.CQs), Rows: page,
 		Partial: cur.Partial(), MissingSources: cur.Missing(), StaleSources: cur.StaleSources(),
 	}
 	for _, cq := range res.CQs {

@@ -8,7 +8,9 @@ import (
 	"math/bits"
 	"slices"
 	"sort"
+	"time"
 
+	"mdm/internal/obs"
 	"mdm/internal/rdf"
 )
 
@@ -383,6 +385,7 @@ type cachedPlan struct {
 	mode    int32
 	par     int
 	root    *groupPlan
+	summary string // one-line plan shape for EXPLAIN / slow-query log
 }
 
 // plan returns the compiled plan for q against e's dataset, reusing the
@@ -415,8 +418,14 @@ func (e *evaluator) plan(q *Query) (*groupPlan, error) {
 	dictLen := e.dict.Len()
 	if c := q.plan.Load(); c != nil && c.ds == e.ds && c.version == ver &&
 		c.dictLen == dictLen && c.mode == mode && c.par == par {
+		obsPlanCacheHit.Inc()
+		if tr := e.trace; tr != nil {
+			tr.SetAttr("plan_cache", "hit")
+			tr.SetPlan(c.summary)
+		}
 		return c.root, nil
 	}
+	obsPlanCacheMiss.Inc()
 	pc := &planCtx{rows: 1, bound: make([]bool, len(e.lay.names))}
 	root, err := e.planGroup(q.Where, e.ds.Default(), pc)
 	if err != nil {
@@ -429,7 +438,15 @@ func (e *evaluator) plan(q *Query) (*groupPlan, error) {
 			}
 		}
 	}
-	q.plan.Store(&cachedPlan{ds: e.ds, version: ver, dictLen: dictLen, mode: mode, par: par, root: root})
+	var cnt planCounts
+	cnt.group(root)
+	countJoinStrategies(cnt)
+	summary := cnt.summary(par)
+	if tr := e.trace; tr != nil {
+		tr.SetAttr("plan_cache", "miss")
+		tr.SetPlan(summary)
+	}
+	q.plan.Store(&cachedPlan{ds: e.ds, version: ver, dictLen: dictLen, mode: mode, par: par, root: root, summary: summary})
 	return root, nil
 }
 
@@ -440,7 +457,7 @@ func (e *evaluator) chain(gp *groupPlan, src rowIter) rowIter {
 		it = e.chainOne(p, it)
 	}
 	if len(gp.filters) > 0 {
-		it = &filterIter{e: e, src: it, exprs: gp.filters}
+		it = e.traced(&filterIter{e: e, src: it, exprs: gp.filters}, gp, "filter", "", it)
 	}
 	return it
 }
@@ -450,19 +467,19 @@ func (e *evaluator) chainOne(p patternPlan, it rowIter) rowIter {
 	switch pl := p.(type) {
 	case *triplePlan:
 		if pl.hash {
-			return &hashJoinIter{e: e, src: it, p: pl, scratch: e.newRow(), chain: -1}
+			return e.traced(&hashJoinIter{e: e, src: it, p: pl, scratch: e.newRow(), chain: -1}, pl, "hash-join", "hash", it)
 		}
 		ti := &tripleIter{e: e, src: it, p: pl, scratch: e.newRow()}
 		ti.emit = ti.emitMatch
-		return ti
+		return e.traced(ti, pl, "triple-scan", "nested_loop", it)
 	case *optionalPlan:
-		return &optionalIter{e: e, src: it, p: pl}
+		return e.traced(&optionalIter{e: e, src: it, p: pl}, pl, "optional", "", it)
 	case *unionPlan:
-		return &unionIter{e: e, src: it, p: pl}
+		return e.traced(&unionIter{e: e, src: it, p: pl}, pl, "union", "", it)
 	case *pathPlan:
-		return &pathIter{e: e, src: it, p: pl, scratch: e.newRow()}
+		return e.traced(&pathIter{e: e, src: it, p: pl, scratch: e.newRow()}, pl, "path", "nested_loop", it)
 	case *graphPlan:
-		return &graphIter{e: e, src: it, p: pl, scratch: e.newRow()}
+		return e.traced(&graphIter{e: e, src: it, p: pl, scratch: e.newRow()}, pl, "graph", "", it)
 	case *inlineGroupPlan:
 		return e.chain(pl.sub, it)
 	case *deadPlan:
@@ -1428,6 +1445,7 @@ type Cursor struct {
 	row     []rdf.TermID
 	err     error
 	done    bool
+	rows    int64 // solutions emitted, flushed to obs on finish
 	onClose []func()
 }
 
@@ -1437,9 +1455,21 @@ type Cursor struct {
 // LIMIT/OFFSET (and DISTINCT) are enforced inside the pipeline, so a
 // paged query costs O(page), not O(result).
 func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
+	return EvalCursorTrace(ds, q, nil)
+}
+
+// EvalCursorTrace is EvalCursor with a query trace attached: the
+// planner annotates tr (plan summary, cache hit/miss, plan stage
+// duration), and when tr.Detail is set every operator is wrapped in a
+// span for EXPLAIN output. tr may be nil, which is exactly EvalCursor.
+func EvalCursorTrace(ds *rdf.Dataset, q *Query, tr *obs.Trace) (*Cursor, error) {
 	lay := q.layout()
-	e := &evaluator{ds: ds, dict: ds.Dict(), lay: lay, ctx: context.Background()}
+	e := &evaluator{ds: ds, dict: ds.Dict(), lay: lay, ctx: context.Background(), trace: tr}
+	planT0 := time.Now()
 	gp, err := e.plan(q)
+	planDur := time.Since(planT0)
+	obsStagePlan.Observe(planDur.Seconds())
+	tr.StageDur("plan", planDur)
 	if err != nil {
 		return nil, err
 	}
@@ -1450,7 +1480,7 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 	src := e.chainRoot(gp, &onceIter{row: init})
 	c := &Cursor{e: e, form: q.Form}
 	if q.Form == FormAsk {
-		c.it = &pageIter{src: src, limit: 1}
+		c.it = e.traced(&pageIter{src: src, limit: 1}, "ask", "ask", "", src)
 		return c, nil
 	}
 	if q.Star {
@@ -1466,7 +1496,7 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 		// The grouping barrier (plus HAVING) replaces the WHERE stream;
 		// the ordinary tail operators below then see one row per group
 		// with the aggregate aliases bound.
-		src = e.aggregateChain(q, src)
+		src = e.traced(e.aggregateChain(q, src), "group-aggregate", "group-aggregate", "", src)
 	}
 	switch {
 	case q.Limit == 0:
@@ -1480,11 +1510,11 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 		for ki, k := range q.OrderBy {
 			kSlots[ki] = lay.index[k.Var]
 		}
-		var it rowIter = &sortIter{e: e, src: src, keys: q.OrderBy, kSlots: kSlots}
+		it := e.traced(&sortIter{e: e, src: src, keys: q.OrderBy, kSlots: kSlots}, "sort", "sort", "", src)
 		if q.Distinct {
-			it = &distinctIter{src: it, slots: c.slots, seen: map[string]struct{}{}}
+			it = e.traced(&distinctIter{src: it, slots: c.slots, seen: map[string]struct{}{}}, "distinct", "distinct", "", it)
 		}
-		c.it = &pageIter{src: it, skip: q.Offset, limit: q.Limit}
+		c.it = e.traced(&pageIter{src: it, skip: q.Offset, limit: q.Limit}, "page", "page", "", it)
 	case q.Limit > 0:
 		if q.Offset > math.MaxInt-q.Limit {
 			// offset+limit would overflow int (a hostile offset near
@@ -1493,17 +1523,17 @@ func EvalCursor(ds *rdf.Dataset, q *Query) (*Cursor, error) {
 			// canonical barrier and skip past the offset instead — the
 			// same rows for any offset, without the overflowed capacity
 			// silently dropping the whole result.
-			var it rowIter = &canonIter{e: e, src: src, slots: c.slots, distinct: q.Distinct}
-			c.it = &pageIter{src: it, skip: q.Offset, limit: q.Limit}
+			it := e.traced(&canonIter{e: e, src: src, slots: c.slots, distinct: q.Distinct}, "canon-sort", "canon-sort", "", src)
+			c.it = e.traced(&pageIter{src: it, skip: q.Offset, limit: q.Limit}, "page", "page", "", it)
 			break
 		}
 		// Canonical order with a page bound: keep only offset+limit rows.
-		top := &topKIter{e: e, src: src, slots: c.slots, k: q.Offset + q.Limit, distinct: q.Distinct}
-		c.it = &pageIter{src: top, skip: q.Offset, limit: q.Limit}
+		top := e.traced(&topKIter{e: e, src: src, slots: c.slots, k: q.Offset + q.Limit, distinct: q.Distinct}, "top-k", "top-k", "", src)
+		c.it = e.traced(&pageIter{src: top, skip: q.Offset, limit: q.Limit}, "page", "page", "", top)
 	default:
-		var it rowIter = &canonIter{e: e, src: src, slots: c.slots, distinct: q.Distinct}
+		it := e.traced(&canonIter{e: e, src: src, slots: c.slots, distinct: q.Distinct}, "canon-sort", "canon-sort", "", src)
 		if q.Offset > 0 {
-			it = &pageIter{src: it, skip: q.Offset, limit: -1}
+			it = e.traced(&pageIter{src: it, skip: q.Offset, limit: -1}, "page", "page", "", it)
 		}
 		c.it = it
 	}
@@ -1538,8 +1568,12 @@ func (c *Cursor) Next(ctx context.Context) bool {
 		return false
 	}
 	c.row = r
+	c.rows++
 	return true
 }
+
+// Rows returns the number of solutions emitted so far.
+func (c *Cursor) Rows() int64 { return c.rows }
 
 // Err returns the first error encountered while iterating (typically
 // the context's error after a cancellation), or nil after a clean
@@ -1568,6 +1602,9 @@ func (c *Cursor) OnClose(f func()) {
 
 // finish terminates iteration and fires OnClose callbacks exactly once.
 func (c *Cursor) finish() {
+	if !c.done && c.rows > 0 {
+		obsRowsEmitted.Add(float64(c.rows))
+	}
 	c.done, c.row = true, nil
 	cbs := c.onClose
 	c.onClose = nil

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"mdm/internal/obs"
 	"mdm/internal/rdf"
 )
 
@@ -226,6 +227,12 @@ type evaluator struct {
 	// operator wind down: next() returns nil once err is set.
 	ctx context.Context
 	err error
+
+	// trace is the query's observability trace, nil on the untraced
+	// path. The planner annotates it always; operator wrapping
+	// (metrics.go traced) happens only when trace.Detail is set, so a
+	// plain evaluation pays one nil-check per operator construction.
+	trace *obs.Trace
 }
 
 // poll reports whether evaluation may continue, latching the context

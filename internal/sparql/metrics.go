@@ -1,0 +1,198 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"mdm/internal/obs"
+	"mdm/internal/rdf"
+)
+
+// Engine metrics, registered on the process-global registry at init.
+// Instrumentation sites pre-resolve their label combinations here so
+// the per-query cost is an atomic add, never a map lookup.
+var (
+	obsStageDur = obs.Default.NewHistogramVec("mdm_sparql_stage_duration_seconds",
+		"SPARQL lifecycle stage durations (parse, plan, execute).", obs.DefBuckets, "stage")
+	obsStageParse   = obsStageDur.With("parse")
+	obsStagePlan    = obsStageDur.With("plan")
+	obsStageExecute = obsStageDur.With("execute")
+
+	obsPlanCache = obs.Default.NewCounterVec("mdm_sparql_plan_cache_total",
+		"Plan-cache lookups by result.", "result")
+	obsPlanCacheHit  = obsPlanCache.With("hit")
+	obsPlanCacheMiss = obsPlanCache.With("miss")
+
+	obsJoinStrategy = obs.Default.NewCounterVec("mdm_sparql_join_strategy_total",
+		"Join algorithm chosen per planned triple pattern (counted at plan compile).", "strategy")
+	obsJoinNested = obsJoinStrategy.With("nested_loop")
+	obsJoinHash   = obsJoinStrategy.With("hash")
+	obsJoinMorsel = obsJoinStrategy.With("morsel_parallel")
+
+	obsRowsEmitted = obs.Default.NewCounter("mdm_sparql_rows_emitted_total",
+		"Solutions emitted by SPARQL cursors.")
+
+	obsPathExpansions = obs.Default.NewCounter("mdm_sparql_path_expansions_total",
+		"Property-path closure node expansions.")
+
+	obsParBatches = obs.Default.NewCounter("mdm_sparql_parallel_batches_total",
+		"Morsel-parallel super-batches executed.")
+	obsParRows = obs.Default.NewCounter("mdm_sparql_parallel_rows_total",
+		"Input rows fanned out to morsel-parallel workers.")
+	obsParBusy = obs.Default.NewCounterVec("mdm_sparql_parallel_worker_busy_seconds_total",
+		"Busy time per morsel-parallel worker lane; utilization is the "+
+			"per-lane rate of this counter.", "worker")
+	// One cell per possible lane, resolved once (lanes are 0-indexed).
+	obsParBusyLane = func() [maxParWorkers]*obs.Counter {
+		var lanes [maxParWorkers]*obs.Counter
+		for i := range lanes {
+			lanes[i] = obsParBusy.With(strconv.Itoa(i))
+		}
+		return lanes
+	}()
+)
+
+// ObserveStage records one lifecycle-stage duration in the engine's
+// stage histogram. The plan stage is recorded by EvalCursor itself;
+// parse and execute belong to the callers that own those phases (the
+// facade parses, the REST/facade drain loop executes), so this is
+// exported for them.
+func ObserveStage(stage string, d time.Duration) {
+	switch stage {
+	case "parse":
+		obsStageParse.Observe(d.Seconds())
+	case "plan":
+		obsStagePlan.Observe(d.Seconds())
+	case "execute":
+		obsStageExecute.Observe(d.Seconds())
+	}
+}
+
+// traceIter wraps one operator when EXPLAIN detail is on, charging
+// wall time and row counts to the operator's span. Timing is inclusive
+// (EXPLAIN ANALYZE semantics): an operator's time includes pulling
+// from its input, so subtracting the input span isolates self time.
+// The wrapper exists only on traced evaluations — the untraced path
+// never sees it.
+type traceIter struct {
+	src rowIter
+	sp  *obs.Span
+}
+
+func (t *traceIter) next() []rdf.TermID {
+	t0 := time.Now()
+	r := t.src.next()
+	t.sp.Dur += time.Since(t0)
+	t.sp.Calls++
+	if r != nil {
+		t.sp.RowsOut++
+	}
+	return r
+}
+
+// traced wraps it with a span keyed by key (a plan-node pointer, so
+// the per-row re-instantiation of OPTIONAL/UNION/GRAPH bodies
+// aggregates into one span; tail operators pass themselves). src is
+// the operator's row source, linked so the report can derive rows_in.
+// A nil or detail-less trace returns it unchanged.
+func (e *evaluator) traced(it rowIter, key any, name, strategy string, src rowIter) rowIter {
+	tr := e.trace
+	if tr == nil || !tr.Detail {
+		return it
+	}
+	sp := tr.Operator(key, name, strategy)
+	if ts, ok := src.(*traceIter); ok {
+		sp.SetInput(ts.sp)
+	}
+	return &traceIter{src: it, sp: sp}
+}
+
+// summary renders the counted plan shape as the one-line string
+// stored on the cached plan — stable across cache hits, cheap enough
+// to build once per compile, and carried into EXPLAIN reports and
+// slow-query log lines.
+func (c planCounts) summary(par int) string {
+	var parts []string
+	add := func(n int, label string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", label, n))
+		}
+	}
+	add(c.nested, "nested")
+	add(c.hash, "hash")
+	add(c.morsel, "morsel")
+	if c.morsel > 0 {
+		parts = append(parts, fmt.Sprintf("workers=%d", par))
+	}
+	add(c.paths, "path")
+	add(c.optionals, "optional")
+	add(c.unions, "union")
+	add(c.graphs, "graph")
+	add(c.filters, "filter")
+	add(c.dead, "dead")
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, " ")
+}
+
+type planCounts struct {
+	nested, hash, morsel, paths int
+	optionals, unions, graphs   int
+	filters, dead               int
+}
+
+func (c *planCounts) group(gp *groupPlan) {
+	c.filters += len(gp.filters)
+	for _, p := range gp.patterns {
+		switch pl := p.(type) {
+		case *triplePlan:
+			switch {
+			case pl.dead:
+				c.dead++
+			case pl.par:
+				c.morsel++
+			case pl.hash:
+				c.hash++
+			default:
+				c.nested++
+			}
+		case *pathPlan:
+			c.paths++
+		case *optionalPlan:
+			c.optionals++
+			c.group(pl.sub)
+		case *unionPlan:
+			c.unions++
+			for _, b := range pl.branches {
+				c.group(b)
+			}
+		case *graphPlan:
+			c.graphs++
+			for _, en := range pl.entries {
+				c.group(en.sub)
+			}
+		case *inlineGroupPlan:
+			c.group(pl.sub)
+		case *deadPlan:
+			c.dead++
+		}
+	}
+}
+
+// countJoinStrategies bumps the per-strategy counters for a freshly
+// compiled plan. Cache hits deliberately do not re-count: the metric
+// tracks planner decisions, and pairs with the plan-cache hit counter.
+func countJoinStrategies(c planCounts) {
+	if c.nested+c.paths > 0 {
+		obsJoinNested.Add(float64(c.nested + c.paths))
+	}
+	if c.hash > 0 {
+		obsJoinHash.Add(float64(c.hash))
+	}
+	if c.morsel > 0 {
+		obsJoinMorsel.Add(float64(c.morsel))
+	}
+}

@@ -1,12 +1,14 @@
 package sparql
 
 import (
+	"fmt"
 	"math/bits"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mdm/internal/rdf"
 )
@@ -350,6 +352,8 @@ func (it *morselJoinIter) runBatch(w int) bool {
 	if n == 0 {
 		return false
 	}
+	obsParBatches.Inc()
+	obsParRows.Add(float64(n))
 	chunk := (n + len(it.workers) - 1) / len(it.workers)
 	ctx := it.e.ctx
 	var wg sync.WaitGroup
@@ -364,16 +368,18 @@ func (it *morselJoinIter) runBatch(w int) bool {
 		mw.seed.rows = it.in[lo*w : hi*w]
 		mw.seed.pos = 0
 		wg.Add(1)
-		go func(mw *morselWorker) {
+		go func(mw *morselWorker, lane int) {
 			defer wg.Done()
+			t0 := time.Now()
 			for {
 				r := mw.chain.next()
 				if r == nil {
-					return
+					break
 				}
 				mw.out = append(mw.out, r...)
 			}
-		}(mw)
+			obsParBusyLane[lane].Add(time.Since(t0).Seconds())
+		}(mw, i)
 	}
 	wg.Wait()
 	for _, mw := range it.workers {
@@ -399,7 +405,8 @@ func (e *evaluator) chainRoot(gp *groupPlan, src rowIter) rowIter {
 	var seg []*triplePlan
 	flush := func() {
 		if len(seg) > 0 {
-			it = newMorselJoin(e, it, seg)
+			it = e.traced(newMorselJoin(e, it, seg),
+				seg[0], "morsel-join", fmt.Sprintf("morsel_parallel(workers=%d,patterns=%d)", e.par, len(seg)), it)
 			seg = nil
 		}
 	}
@@ -413,7 +420,7 @@ func (e *evaluator) chainRoot(gp *groupPlan, src rowIter) rowIter {
 	}
 	flush()
 	if len(gp.filters) > 0 {
-		it = &filterIter{e: e, src: it, exprs: gp.filters}
+		it = e.traced(&filterIter{e: e, src: it, exprs: gp.filters}, gp, "filter", "", it)
 	}
 	return it
 }

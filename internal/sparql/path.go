@@ -292,6 +292,9 @@ func (e *evaluator) pathClosure(px *pathExpr, g *rdf.Graph, from rdf.TermID, f f
 	expansions := int64(0)
 	defer func() {
 		pathExpansions.Add(expansions)
+		if expansions > 0 {
+			obsPathExpansions.Add(float64(expansions))
+		}
 		e.frontierPool = frontier
 	}()
 	ok := true

@@ -48,6 +48,7 @@ func (s *Store) checkpointLocked() error {
 	if s.walRecords == 0 {
 		return nil
 	}
+	defer timeObs(obsCheckpointDur)()
 	ops, err := s.readWALOps()
 	if err != nil {
 		return err
@@ -73,6 +74,7 @@ func (s *Store) checkpointLocked() error {
 	}
 	s.lastSealed = fingerprint(s.cur.ds)
 	expCheckpoints.Add(1)
+	s.observeSegments()
 	return nil
 }
 
@@ -98,6 +100,7 @@ func (s *Store) compactLocked() error {
 	if s.closed {
 		return errors.New("tdb: store is closed")
 	}
+	defer timeObs(obsCompactDur)()
 	var cerr error
 	swap := func(old *rdf.Dataset) *rdf.Dataset {
 		compacted := old.CompactedClone()
@@ -143,6 +146,7 @@ func (s *Store) sealFullLocked(ds *rdf.Dataset) error {
 	s.lastSealed = fingerprint(ds)
 	s.lastFullDict = ds.Dict().Len()
 	expCompactions.Add(1)
+	s.observeSegments()
 	return nil
 }
 

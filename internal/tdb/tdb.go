@@ -307,6 +307,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	if opts.CompactInterval > 0 {
 		s.StartAutoCompact(opts.CompactInterval, opts.CompactWALThreshold)
 	}
+	s.observeSegments()
 	return s, nil
 }
 
@@ -429,6 +430,7 @@ func (s *Store) append(rec walRecord) error {
 		if err := s.wal.Sync(); err != nil {
 			return fmt.Errorf("tdb: fsync wal: %w", err)
 		}
+		obsWALFsyncs.Inc()
 	case SyncBatch:
 		s.walDirty = true
 	}
@@ -452,6 +454,7 @@ func (s *Store) syncLoop() {
 		if !s.closed && s.walDirty {
 			_ = s.wal.Sync()
 			s.walDirty = false
+			obsWALFsyncs.Inc()
 		}
 		s.mu.Unlock()
 	}

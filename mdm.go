@@ -34,9 +34,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mdm/internal/bdi"
 	"mdm/internal/federate"
+	"mdm/internal/obs"
 	"mdm/internal/rdf"
 	"mdm/internal/rdf/turtle"
 	"mdm/internal/relalg"
@@ -430,15 +432,25 @@ func (s *System) QueryPage(ctx context.Context, w *Walk, limit, offset int) (*Wa
 // source no longer fails the walk — check WalkCursor.Partial/Missing/
 // StaleSources for completeness annotations.
 func (s *System) QueryRun(ctx context.Context, w *Walk, opts QueryOpts) (*WalkCursor, *RewriteResult, error) {
+	tr := obs.FromContext(ctx)
+	t0 := time.Now()
 	res, err := s.rewriter.Rewrite(w)
+	tr.StageDur("rewrite", time.Since(t0))
 	if err != nil {
 		return nil, nil, err
 	}
+	tr.SetPlan(planSummary(res))
 	cur, err := s.fed.RunWith(ctx, res.Plan, opts)
 	if err != nil {
 		return nil, res, fmt.Errorf("mdm: execute rewritten query: %w", err)
 	}
 	return cur, res, nil
+}
+
+// planSummary renders a rewrite result as the one-line plan string
+// carried by traces and the slow-query log.
+func planSummary(res *RewriteResult) string {
+	return fmt.Sprintf("union(cqs=%d) cols=%d", len(res.CQs), len(res.OutputColumns))
 }
 
 // QuerySPARQL accepts an ontology-mediated query written directly in
@@ -495,7 +507,21 @@ func (s *System) SPARQLCursor(query string) (*sparql.Cursor, error) {
 // pinned, pre-compaction view, which is released when the cursor is
 // closed or exhausted.
 func (s *System) SPARQLPage(query string, limit, offset int) (*sparql.Cursor, error) {
+	return s.SPARQLPageTrace(query, limit, offset, nil)
+}
+
+// SPARQLPageTrace is SPARQLPage with an observability trace attached:
+// the parse and plan stage durations are recorded on tr (and in the
+// engine's stage-duration histogram), the planner annotates tr with the
+// plan summary and plan-cache outcome, and — when tr.Detail is set —
+// every operator in the pipeline is wrapped with a per-operator span
+// for EXPLAIN output. A nil tr behaves exactly like SPARQLPage.
+func (s *System) SPARQLPageTrace(query string, limit, offset int, tr *obs.Trace) (*sparql.Cursor, error) {
+	t0 := time.Now()
 	q, err := sparql.Parse(query)
+	d := time.Since(t0)
+	sparql.ObserveStage("parse", d)
+	tr.StageDur("parse", d)
 	if err != nil {
 		return nil, err
 	}
@@ -511,7 +537,7 @@ func (s *System) SPARQLPage(query string, limit, offset int) (*sparql.Cursor, er
 		pin = s.tdbStore.PinSnapshot()
 		ds = pin.Dataset()
 	}
-	cur, err := sparql.EvalCursor(ds, q)
+	cur, err := sparql.EvalCursorTrace(ds, q, tr)
 	if err != nil {
 		if pin != nil {
 			pin.Release()
@@ -522,6 +548,33 @@ func (s *System) SPARQLPage(query string, limit, offset int) (*sparql.Cursor, er
 		cur.OnClose(pin.Release)
 	}
 	return cur, nil
+}
+
+// ExplainSPARQL runs a metadata SPARQL query to completion with
+// detailed tracing (EXPLAIN ANALYZE semantics: the query really
+// executes, operator timings are measured, rows are drained and
+// discarded) and returns the execution report: stage durations,
+// per-operator spans with rows in/out and join strategies, the plan
+// summary and the plan-cache outcome.
+func (s *System) ExplainSPARQL(ctx context.Context, query string) (*obs.Report, error) {
+	tr := obs.NewTrace()
+	tr.Detail = true
+	cur, err := s.SPARQLPageTrace(query, -1, -1, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	t0 := time.Now()
+	for cur.Next(ctx) {
+	}
+	d := time.Since(t0)
+	sparql.ObserveStage("execute", d)
+	tr.StageDur("execute", d)
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	tr.SetAttr("rows", fmt.Sprintf("%d", cur.Rows()))
+	return tr.Report(), nil
 }
 
 // --- Introspection & rendering (Figures 5-7) ---

@@ -1,0 +1,42 @@
+// Command metricslint enforces the repo's Prometheus metric
+// conventions at build time. It imports every instrumented package so
+// all metric registrations run — a duplicate name panics in
+// obs.(*Registry).register right here instead of at mdmd startup — and
+// then lints the populated default registry: mdm_ prefix, lowercase
+// names, counters ending in _total (and only counters), histograms
+// carrying a base-unit suffix, reserved labels (le, quantile) unused,
+// help text present. CI runs it in the docs job; a nonzero exit fails
+// the build.
+//
+// Usage:
+//
+//	go run ./tools/metricslint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mdm/internal/obs"
+
+	// Imported for their metric registrations only: rest pulls in the
+	// sparql, federate and tdb instrumentation transitively, but each
+	// is named so a future layering change cannot silently drop one
+	// from the lint.
+	_ "mdm/internal/federate"
+	_ "mdm/internal/rest"
+	_ "mdm/internal/sparql"
+	_ "mdm/internal/tdb"
+)
+
+func main() {
+	violations := obs.Default.Lint()
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "metricslint:", v)
+	}
+	if n := len(violations); n > 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %d violation(s)\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("metricslint: ok")
+}
